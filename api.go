@@ -1,0 +1,150 @@
+package synergy
+
+// This file is the library's public surface: a curated facade over the
+// internal packages, so downstream users import just "synergy".
+//
+//	mem, _ := synergy.New(synergy.Config{DataLines: 1 << 20})
+//	mem.Write(7, line)
+//	info, err := mem.Read(7, buf)   // err == synergy.ErrAttack on tampering
+//
+// The performance and reliability simulators are exposed through
+// convenience entry points (Experiments, SimulateReliability); the full
+// knob set lives in the commands (cmd/synergy-sim, cmd/synergy-faultsim)
+// and benchmarks.
+
+import (
+	"synergy/internal/core"
+	"synergy/internal/experiments"
+	"synergy/internal/reliability"
+)
+
+// LineSize is the protected cacheline size in bytes.
+const LineSize = core.LineSize
+
+// Config parameterizes a Synergy secure memory (see core.Config).
+type Config = core.Config
+
+// Memory is a functional Synergy secure memory on a simulated 9-chip
+// ECC-DIMM: counter-mode encryption, MAC-in-ECC-chip integrity, Bonsai
+// counter tree replay protection, and chipkill-level error correction
+// via the 9-chip parity.
+type Memory = core.Memory
+
+// ReadInfo describes corrections performed during a Read.
+type ReadInfo = core.ReadInfo
+
+// ErrAttack is returned when a MAC mismatch cannot be corrected:
+// multi-chip corruption or tampering. The engine fails closed.
+var ErrAttack = core.ErrAttack
+
+// New builds a Synergy memory.
+func New(cfg Config) (*Memory, error) { return core.New(cfg) }
+
+// Array is a multi-rank memory (Table III: 4 ranks of 9 chips); each
+// rank is an independent protection domain, so one chip may fail in
+// every rank simultaneously.
+type Array = core.Array
+
+// NewArray builds a multi-rank memory with cfg.DataLines total capacity
+// interleaved across ranks.
+func NewArray(cfg Config, ranks int) (*Array, error) { return core.NewArray(cfg, ranks) }
+
+// Device adapts a Memory or Array to io.ReaderAt/io.WriterAt.
+type Device = core.Device
+
+// NewDevice wraps a store exposing `lines` cachelines as a byte-
+// addressable block device.
+func NewDevice(store core.Store, lines uint64) (*Device, error) {
+	return core.NewDevice(store, lines)
+}
+
+// ErrorAssessment classifies corrected-error history (§IV-B DoS
+// analysis); see Memory.ErrorLog().Analyze.
+type ErrorAssessment = core.Assessment
+
+// Reliability policies for SimulateReliability.
+const (
+	PolicyNoECC    = reliability.NoECC
+	PolicySECDED   = reliability.SECDED
+	PolicyChipkill = reliability.Chipkill
+	PolicySynergy  = reliability.Synergy
+)
+
+// ReliabilityResult is a Monte Carlo outcome (probability of system
+// failure over the configured lifetime).
+type ReliabilityResult = reliability.Result
+
+// SimulateReliability runs the Fig. 11 Monte Carlo for one policy with
+// the paper's defaults (Table I rates, 7-year lifetime, 4 ranks × 9
+// chips) at the given trial count.
+func SimulateReliability(policy reliability.Policy, trials int) (ReliabilityResult, error) {
+	cfg := reliability.DefaultConfig()
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	return reliability.Simulate(policy, cfg)
+}
+
+// Experiment identifies one of the paper's figures.
+type Experiment string
+
+// The regenerable performance experiments (Fig. 11 is reliability; use
+// SimulateReliability or cmd/synergy-faultsim).
+const (
+	Figure6  Experiment = "fig6"
+	Figure8  Experiment = "fig8"
+	Figure9  Experiment = "fig9"
+	Figure10 Experiment = "fig10"
+	Figure12 Experiment = "fig12"
+	Figure13 Experiment = "fig13"
+	Figure14 Experiment = "fig14"
+	Figure16 Experiment = "fig16"
+	Figure17 Experiment = "fig17"
+)
+
+// ExperimentResult carries a regenerated figure: a rendered table and
+// the headline summary numbers the paper quotes.
+type ExperimentResult struct {
+	ID      string
+	Title   string
+	Table   string
+	Summary map[string]float64
+}
+
+// RunExperiment regenerates one figure of the paper's evaluation over
+// the full 29-workload roster. baseInstr is the per-core instruction
+// budget (0 = the default 1M used for the checked-in EXPERIMENTS.md).
+func RunExperiment(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
+	r := experiments.ParallelRunner(experiments.Options{BaseInstr: baseInstr})
+	fns := map[Experiment]func() (experiments.Figure, error){
+		Figure6:  r.Figure6,
+		Figure8:  r.Figure8,
+		Figure9:  r.Figure9,
+		Figure10: r.Figure10,
+		Figure12: r.Figure12,
+		Figure13: r.Figure13,
+		Figure14: r.Figure14,
+		Figure16: r.Figure16,
+		Figure17: r.Figure17,
+	}
+	fn, ok := fns[exp]
+	if !ok {
+		return ExperimentResult{}, errUnknownExperiment(exp)
+	}
+	fig, err := fn()
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return ExperimentResult{
+		ID:      fig.ID,
+		Title:   fig.Title,
+		Table:   fig.Table.String(),
+		Summary: fig.Summary,
+	}, nil
+}
+
+type errUnknownExperiment Experiment
+
+func (e errUnknownExperiment) Error() string {
+	return "synergy: unknown experiment " + string(e)
+}

@@ -1,0 +1,83 @@
+package synergy_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"synergy"
+)
+
+// These tests exercise only the public facade — what a downstream
+// importer of the library sees.
+
+func TestPublicMemoryRoundTrip(t *testing.T) {
+	mem, err := synergy.New(synergy.Config{DataLines: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x42}, synergy.LineSize)
+	if err := mem.Write(5, want); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, synergy.LineSize)
+	info, err := mem.Read(5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) || info.Corrected {
+		t.Fatal("public round trip failed")
+	}
+}
+
+func TestPublicCorrectionAndAttack(t *testing.T) {
+	mem, err := synergy.New(synergy.Config{DataLines: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{7}, synergy.LineSize)
+	mem.Write(9, want)
+	addr := mem.Layout().DataAddr(9)
+	mem.Module().InjectTransient(addr, 4, [8]byte{0xFF})
+	buf := make([]byte, synergy.LineSize)
+	info, err := mem.Read(9, buf)
+	if err != nil || !info.Corrected || !bytes.Equal(buf, want) {
+		t.Fatalf("correction through facade failed: %v %+v", err, info)
+	}
+	// Two-chip corruption fails closed with the public sentinel error.
+	mem.Module().InjectTransient(addr, 1, [8]byte{1})
+	mem.Module().InjectTransient(addr, 6, [8]byte{2})
+	if _, err := mem.Read(9, buf); !errors.Is(err, synergy.ErrAttack) {
+		t.Fatalf("err = %v, want synergy.ErrAttack", err)
+	}
+}
+
+func TestPublicReliability(t *testing.T) {
+	secded, err := synergy.SimulateReliability(synergy.PolicySECDED, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := synergy.SimulateReliability(synergy.PolicySynergy, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(secded.Probability > syn.Probability) {
+		t.Fatalf("SECDED %.3e not above Synergy %.3e", secded.Probability, syn.Probability)
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	res, err := synergy.RunExperiment(synergy.Figure13, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig13" || res.Table == "" {
+		t.Fatalf("experiment result: %+v", res)
+	}
+	if res.Summary["monolithic"] <= 1.0 {
+		t.Fatalf("Synergy speedup %.3f through facade", res.Summary["monolithic"])
+	}
+	if _, err := synergy.RunExperiment("fig99", 0); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

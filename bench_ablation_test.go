@@ -1,0 +1,208 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// what each piece of the Synergy organization buys, measured on the
+// performance simulator. Run with
+//
+//	go test -bench=Ablation -benchmem
+package synergy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"synergy/internal/experiments"
+
+	"synergy/internal/cpu"
+	"synergy/internal/dram"
+	"synergy/internal/secmem"
+	"synergy/internal/stats"
+	"synergy/internal/trace"
+)
+
+// ablationWorkloads is a representative slice of the roster: a pointer
+// chaser, a streaming kernel, a capacity-edge web graph and a mix.
+func ablationWorkloads(tb testing.TB) []trace.Workload {
+	tb.Helper()
+	want := map[string]bool{"mcf": true, "lbm": true, "cc-web": true, "mix2": true}
+	var out []trace.Workload
+	for _, w := range trace.Workloads() {
+		if want[w.Name] {
+			out = append(out, w)
+		}
+	}
+	if len(out) != len(want) {
+		tb.Fatalf("ablation workloads missing: got %d", len(out))
+	}
+	return out
+}
+
+// runSpec executes one configuration over the ablation workloads and
+// returns the gmean IPC ratio against a baseline runner.
+func gmeanIPC(tb testing.TB, scfg secmem.Config, dcfg dram.Config, base map[string]float64) float64 {
+	tb.Helper()
+	var ratios []float64
+	for _, w := range ablationWorkloads(tb) {
+		hier, err := secmem.New(scfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		mem, err := dram.New(dcfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ccfg := cpu.DefaultConfig()
+		ccfg.InstrPerCore = w.InstrBudget(300_000)
+		res, err := cpu.Run(ccfg, w, hier, mem)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if base == nil {
+			ratios = append(ratios, res.IPC)
+		} else {
+			ratios = append(ratios, res.IPC/base[w.Name])
+		}
+	}
+	return stats.Geomean(ratios)
+}
+
+// baselineIPC computes per-workload SGX_O IPC for normalization.
+func baselineIPC(tb testing.TB) map[string]float64 {
+	tb.Helper()
+	out := map[string]float64{}
+	for _, w := range ablationWorkloads(tb) {
+		hier, _ := secmem.New(secmem.DefaultConfig(secmem.SGXO))
+		mem, _ := dram.New(dram.DefaultConfig())
+		ccfg := cpu.DefaultConfig()
+		ccfg.InstrPerCore = w.InstrBudget(300_000)
+		res, err := cpu.Run(ccfg, w, hier, mem)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[w.Name] = res.IPC
+	}
+	return out
+}
+
+// BenchmarkAblationCustomDIMM — what Synergy's residual parity-write
+// traffic costs: Synergy vs the §VI-B 16-byte-metadata custom DIMM that
+// co-locates parity too.
+func BenchmarkAblationCustomDIMM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		syn := gmeanIPC(b, secmem.DefaultConfig(secmem.Synergy), dram.DefaultConfig(), base)
+		syn16 := gmeanIPC(b, secmem.DefaultConfig(secmem.Synergy16), dram.DefaultConfig(), base)
+		b.ReportMetric(syn, "Synergy")
+		b.ReportMetric(syn16, "Synergy-16B")
+		b.ReportMetric(syn16/syn, "parity-write-cost")
+	}
+}
+
+// BenchmarkAblationMetadataCache — sensitivity of Synergy's speedup to
+// the dedicated metadata cache size (Table III default 128 KB).
+func BenchmarkAblationMetadataCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		for _, kb := range []int{32, 64, 128, 256, 512} {
+			scfg := secmem.DefaultConfig(secmem.Synergy)
+			scfg.MetaLines = kb * 1024 / 64
+			v := gmeanIPC(b, scfg, dram.DefaultConfig(), base)
+			b.ReportMetric(v, fmt.Sprintf("meta%dKB", kb))
+		}
+	}
+}
+
+// BenchmarkAblationTreeDepth — protected-memory size sets the integrity
+// tree depth (paper footnote 3: 9 levels for 16 GB); deeper trees cost
+// more cold-walk traffic.
+func BenchmarkAblationTreeDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		for _, gb := range []uint64{4, 16, 64} {
+			scfg := secmem.DefaultConfig(secmem.Synergy)
+			scfg.MemLines = gb << 30 >> 6
+			v := gmeanIPC(b, scfg, dram.DefaultConfig(), base)
+			b.ReportMetric(v, fmt.Sprintf("mem%dGB", gb))
+		}
+	}
+}
+
+// BenchmarkAblationChipkillLockstep — the cost Fig. 1(b) attributes to
+// conventional chipkill: SGX_O with and without dual-channel lockstep.
+func BenchmarkAblationChipkillLockstep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		dcfg := dram.DefaultConfig()
+		dcfg.Lockstep = true
+		lock := gmeanIPC(b, secmem.DefaultConfig(secmem.SGXO), dcfg, base)
+		b.ReportMetric(lock, "SGX_O+Chipkill")
+		syn := gmeanIPC(b, secmem.DefaultConfig(secmem.Synergy), dram.DefaultConfig(), base)
+		b.ReportMetric(syn/lock, "Synergy-vs-Chipkill")
+	}
+}
+
+// BenchmarkAblationWriteDrain — sensitivity to the write-queue
+// watermarks (the posted-write cost model).
+func BenchmarkAblationWriteDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		for _, wq := range []int{16, 64, 256} {
+			dcfg := dram.DefaultConfig()
+			dcfg.WriteQHigh = wq
+			dcfg.WriteQLow = wq / 2
+			v := gmeanIPC(b, secmem.DefaultConfig(secmem.Synergy), dcfg, base)
+			b.ReportMetric(v, fmt.Sprintf("wq%d", wq))
+		}
+	}
+}
+
+// BenchmarkAblationDRAMBackend — model-robustness check: the Synergy
+// speedup measured on the streamlined dram model vs the detailed
+// memctrl backend (tFAW, write turnaround, refresh). The normalized
+// result should be close on both.
+func BenchmarkAblationDRAMBackend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{BaseInstr: 250_000})
+		var simple, detailed []float64
+		for _, w := range ablationWorkloads(b) {
+			base, err := r.Run(w, experiments.Spec{Label: "SGX_O", Design: secmem.SGXO})
+			if err != nil {
+				b.Fatal(err)
+			}
+			syn, err := r.Run(w, experiments.Spec{Label: "Synergy", Design: secmem.Synergy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			simple = append(simple, syn.IPC/base.IPC)
+
+			baseD, err := r.Run(w, experiments.Spec{Label: "SGX_O/detail", Design: secmem.SGXO, DetailedDRAM: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			synD, err := r.Run(w, experiments.Spec{Label: "Synergy/detail", Design: secmem.Synergy, DetailedDRAM: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			detailed = append(detailed, synD.IPC/baseD.IPC)
+		}
+		b.ReportMetric(stats.Geomean(simple), "streamlined")
+		b.ReportMetric(stats.Geomean(detailed), "detailed")
+	}
+}
+
+// BenchmarkAblationSpeculation — §VII-B: PoisonIvy-style speculation
+// takes verification off the critical path; Synergy's bandwidth saving
+// stacks on top of it (the paper's claim that speculative designs would
+// still benefit).
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := baselineIPC(b)
+		spec := secmem.DefaultConfig(secmem.SGXO)
+		spec.Speculative = true
+		specIPC := gmeanIPC(b, spec, dram.DefaultConfig(), base)
+		b.ReportMetric(specIPC, "SGX_O+spec")
+		synSpec := secmem.DefaultConfig(secmem.Synergy)
+		synSpec.Speculative = true
+		synIPC := gmeanIPC(b, synSpec, dram.DefaultConfig(), base)
+		b.ReportMetric(synIPC, "Synergy+spec")
+		b.ReportMetric(synIPC/specIPC, "Synergy-gain-under-spec")
+	}
+}

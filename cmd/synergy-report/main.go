@@ -1,0 +1,84 @@
+// Command synergy-report regenerates the paper's entire evaluation and
+// emits a self-contained markdown report: every figure's table, the
+// headline summaries, and the paper's reported numbers alongside for
+// comparison. The checked-in EXPERIMENTS.md numbers come from this
+// pipeline.
+//
+//	synergy-report > report.md
+//	synergy-report -instr 2000000 -trials 2000000 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synergy/internal/experiments"
+)
+
+// paperTargets records what the paper reports for each figure's
+// headline metric, keyed by the experiment summary keys.
+var paperTargets = map[string]map[string]float64{
+	"fig6":  {"NonSecure/SGX_O": 2.12, "SGX/SGX_O": 0.70},
+	"fig8":  {"Synergy/SGX_O": 1.20, "SGX/SGX_O": 0.70},
+	"fig9":  {"Synergy/overall": 0.82},
+	"fig10": {"Synergy/edp": 0.69},
+	"fig12": {"Synergy@2ch": 1.20, "Synergy@8ch": 1.06},
+	"fig13": {"monolithic": 1.20, "split": 1.23},
+	"fig14": {"dedicated+LLC": 1.20, "dedicated only": 1.13},
+	"fig16": {"IVEC/perf": 0.74, "IVEC/edp": 1.90, "Synergy/perf": 1.20},
+	"fig17": {"LOT-ECC/perf": 0.825, "Synergy/perf": 1.20},
+}
+
+func main() {
+	instr := flag.Uint64("instr", 1_000_000, "base instructions per core")
+	trials := flag.Int("trials", 500_000, "reliability Monte Carlo trials")
+	flag.Parse()
+
+	r := experiments.ParallelRunner(experiments.Options{BaseInstr: *instr})
+	figs := []func() (experiments.Figure, error){
+		r.Figure6, r.Figure8, r.Figure9, r.Figure10,
+		r.Figure12, r.Figure13, r.Figure14, r.Figure16, r.Figure17,
+	}
+
+	fmt.Println("# SYNERGY reproduction report")
+	fmt.Println()
+	fmt.Printf("Performance figures at %d base instructions/core over the\n", *instr)
+	fmt.Printf("29-workload roster; reliability at %d Monte Carlo lifetimes.\n\n", *trials)
+
+	for _, fn := range figs {
+		fig, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-report: %v\n", err)
+			os.Exit(1)
+		}
+		emit(fig)
+	}
+
+	fig11, err := experiments.Figure11(*trials, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synergy-report: %v\n", err)
+		os.Exit(1)
+	}
+	emit(fig11)
+}
+
+func emit(fig experiments.Figure) {
+	fmt.Printf("## %s — %s\n\n", fig.ID, fig.Title)
+	fmt.Println(fig.Table.Markdown())
+	targets := paperTargets[fig.ID]
+	if len(targets) == 0 {
+		fmt.Println()
+		return
+	}
+	fmt.Println("Headline vs paper:")
+	fmt.Println()
+	for key, want := range targets {
+		got, ok := fig.Summary[key]
+		if !ok {
+			continue
+		}
+		fmt.Printf("- `%s`: measured **%.3f**, paper ≈ %.2f\n", key, got, want)
+	}
+	fmt.Println()
+}

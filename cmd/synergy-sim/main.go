@@ -1,0 +1,93 @@
+// Command synergy-sim regenerates the performance figures of the SYNERGY
+// paper (HPCA 2018): Fig. 6, 8, 9, 10, 12, 13, 14, 16 and 17.
+//
+// Usage:
+//
+//	synergy-sim -experiment fig8            # one figure
+//	synergy-sim -experiment all             # every performance figure
+//	synergy-sim -experiment fig8 -instr 4e6 # larger instruction budget
+//
+// Each figure prints the same rows/series the paper reports, normalized
+// to the SGX_O baseline, with the gmean summary the paper quotes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"synergy/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"figure to regenerate: fig6|fig8|fig9|fig10|fig12|fig13|fig14|fig16|fig17|all")
+	instr := flag.Uint64("instr", 1_000_000,
+		"base instructions per core (workloads with large footprints scale this up)")
+	format := flag.String("format", "table", "output format: table|csv")
+	flag.Parse()
+
+	runner := experiments.ParallelRunner(experiments.Options{BaseInstr: *instr})
+	figures := map[string]func() (experiments.Figure, error){
+		"fig6":  runner.Figure6,
+		"fig8":  runner.Figure8,
+		"fig9":  runner.Figure9,
+		"fig10": runner.Figure10,
+		"fig12": runner.Figure12,
+		"fig13": runner.Figure13,
+		"fig14": runner.Figure14,
+		"fig16": runner.Figure16,
+		"fig17": runner.Figure17,
+	}
+
+	var order []string
+	if *exp == "all" {
+		for k := range figures {
+			order = append(order, k)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			// fig6 < fig8 < fig9 < fig10 < fig12 ... numeric sort.
+			return figNum(order[i]) < figNum(order[j])
+		})
+	} else {
+		if _, ok := figures[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "synergy-sim: unknown experiment %q (reliability lives in synergy-faultsim)\n", *exp)
+			os.Exit(2)
+		}
+		order = []string{*exp}
+	}
+
+	for _, k := range order {
+		fig, err := figures[k]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-sim: %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", fig.ID, fig.Title, fig.Table.CSV())
+		} else {
+			fmt.Println(fig)
+			printSummary(fig)
+			fmt.Println()
+		}
+	}
+}
+
+func figNum(s string) int {
+	n := 0
+	fmt.Sscanf(strings.TrimPrefix(s, "fig"), "%d", &n)
+	return n
+}
+
+func printSummary(fig experiments.Figure) {
+	keys := make([]string, 0, len(fig.Summary))
+	for k := range fig.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  summary %-24s %.3f\n", k, fig.Summary[k])
+	}
+}

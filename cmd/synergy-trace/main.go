@@ -1,0 +1,144 @@
+// Command synergy-trace inspects the synthetic workload roster that
+// stands in for the paper's SPEC2006/GAP traces: it lists the 29
+// workloads with their profile parameters, or samples a stream and
+// reports its empirical statistics.
+//
+// Usage:
+//
+//	synergy-trace                          # list the roster
+//	synergy-trace -sample mcf              # sample a stream and report stats
+//	synergy-trace -sample mcf -n 500000
+//	synergy-trace -record mcf -o mcf.trc   # record a trace file
+//	synergy-trace -replay mcf.trc          # inspect a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synergy/internal/stats"
+	"synergy/internal/trace"
+)
+
+func main() {
+	sample := flag.String("sample", "", "benchmark to sample (empty: list the roster)")
+	record := flag.String("record", "", "benchmark to record to a trace file")
+	out := flag.String("o", "workload.trc", "output path for -record")
+	replay := flag.String("replay", "", "trace file to inspect")
+	n := flag.Int("n", 200_000, "accesses to sample/record")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		p, err := trace.ByName(*record)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTrace(f, p.Name, *n, trace.NewStream(p, 0, 1)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("recorded %d accesses of %s to %s (%d bytes, %.1f B/access)\n",
+			*n, p.Name, *out, st.Size(), float64(st.Size())/float64(*n))
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		name, accs, err := trace.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		rp, err := trace.NewReplay(name, accs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %q: %d accesses\n", rp.Name(), rp.Len())
+		replayStats(accs)
+	case *sample != "":
+		p, err := trace.ByName(*sample)
+		if err != nil {
+			fatal(err)
+		}
+		sampleStream(p, *n)
+	default:
+		listRoster()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "synergy-trace: %v\n", err)
+	os.Exit(2)
+}
+
+func replayStats(accs []trace.Access) {
+	var gaps, writes, deps float64
+	touched := map[uint64]bool{}
+	for _, a := range accs {
+		gaps += float64(a.Gap)
+		if a.Write {
+			writes++
+		}
+		if a.Dependent {
+			deps++
+		}
+		touched[a.Addr] = true
+	}
+	fn := float64(len(accs))
+	fmt.Printf("  APKI:            %.1f\n", 1000*fn/gaps)
+	fmt.Printf("  write fraction:  %.3f\n", writes/fn)
+	fmt.Printf("  dependent loads: %.3f\n", deps/fn)
+	fmt.Printf("  distinct lines:  %d\n", len(touched))
+}
+
+func listRoster() {
+	tbl := stats.NewTable("workload", "suite", "APKI", "write%", "footprint(MB)", "stream%", "pointer%")
+	for _, w := range trace.Workloads() {
+		for _, p := range w.Parts {
+			tbl.AddRow(w.Name+"/"+p.Name, p.Suite, p.APKI, p.WriteFrac*100,
+				float64(p.FootprintLines)*64/1e6, p.StreamFrac*100, p.PointerFrac*100)
+			if w.RateRun {
+				break // rate mode: one profile, 4 copies
+			}
+		}
+	}
+	fmt.Printf("Workload roster (%d workloads; paper §V):\n%s", len(trace.Workloads()), tbl)
+}
+
+func sampleStream(p trace.Profile, n int) {
+	s := trace.NewStream(p, 0, 1)
+	var gaps, writes, deps, seq float64
+	var prev uint64
+	touched := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		a := s.Next()
+		gaps += float64(a.Gap)
+		if a.Write {
+			writes++
+		}
+		if a.Dependent {
+			deps++
+		}
+		if a.Addr == prev+1 {
+			seq++
+		}
+		prev = a.Addr
+		touched[a.Addr] = true
+	}
+	fn := float64(n)
+	fmt.Printf("%s (%s): %d accesses sampled\n", p.Name, p.Suite, n)
+	fmt.Printf("  APKI (empirical):    %.1f (profile %.1f)\n", 1000*fn/gaps, p.APKI)
+	fmt.Printf("  write fraction:      %.3f (profile %.2f)\n", writes/fn, p.WriteFrac)
+	fmt.Printf("  dependent loads:     %.3f\n", deps/fn)
+	fmt.Printf("  sequential pairs:    %.3f\n", seq/fn)
+	fmt.Printf("  distinct lines:      %d of %d footprint\n", len(touched), p.FootprintLines)
+}

@@ -1,0 +1,26 @@
+// Package synergy is a from-scratch Go reproduction of "SYNERGY:
+// Rethinking Secure-Memory Design for Error-Correcting Memories"
+// (Saileshwar, Nair, Ramrakhyani, Elsasser, Qureshi — HPCA 2018).
+//
+// The repository contains three cooperating systems:
+//
+//   - A byte-accurate functional engine (internal/core and the
+//     substrates under internal/gmac, internal/ctrenc,
+//     internal/integrity, internal/dimm, internal/ecc) implementing the
+//     paper's design: counter-mode encryption, 64-bit Carter–Wegman
+//     MACs co-located with data in the ECC chip of a 9-chip ECC-DIMM,
+//     a Bonsai counter tree, and a RAID-3 reconstruction engine that
+//     corrects any single-chip failure.
+//
+//   - A USIMM-style performance simulator (internal/cpu,
+//     internal/cache, internal/dram, internal/secmem, internal/trace,
+//     internal/energy) that regenerates the paper's performance
+//     figures for SGX, SGX_O, Synergy, IVEC, LOT-ECC and Chipkill.
+//
+//   - A FAULTSIM-style reliability Monte Carlo
+//     (internal/reliability) that regenerates the paper's Fig. 11.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and the benchmarks in bench_test.go for
+// one regeneration target per table/figure.
+package synergy

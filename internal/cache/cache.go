@@ -1,0 +1,153 @@
+// Package cache implements the set-associative LRU caches of the
+// simulated system (paper Table III): the 8 MB shared last-level cache
+// and the 128 KB dedicated metadata (counter) cache. Addresses are
+// cacheline-granular (one unit = one 64-byte line).
+package cache
+
+import "errors"
+
+// Cache is a set-associative, write-back, LRU cache over line addresses.
+// It is not safe for concurrent use.
+type Cache struct {
+	sets  int
+	ways  int
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	used  []uint64 // LRU timestamps
+	clock uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// New creates a cache holding the given number of lines with the given
+// associativity. lines must be a positive multiple of ways.
+func New(lines, ways int) (*Cache, error) {
+	if lines <= 0 || ways <= 0 || lines%ways != 0 {
+		return nil, errors.New("cache: lines must be a positive multiple of ways")
+	}
+	n := lines
+	return &Cache{
+		sets:  lines / ways,
+		ways:  ways,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		used:  make([]uint64, n),
+	}, nil
+}
+
+// Lines returns the cache capacity in cachelines.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+// Hits and Misses report Lookup outcomes since construction.
+func (c *Cache) Hits() uint64   { return c.hits }
+func (c *Cache) Misses() uint64 { return c.misses }
+
+func (c *Cache) setBase(addr uint64) int {
+	return int(addr%uint64(c.sets)) * c.ways
+}
+
+// Lookup probes for addr, updating recency on a hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	base := c.setBase(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == addr {
+			c.clock++
+			c.used[base+w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes for addr without updating recency or hit counters.
+func (c *Cache) Contains(addr uint64) bool {
+	base := c.setBase(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Insert places addr in the cache (most-recently-used), returning the
+// displaced victim, if any. If addr is already present it is refreshed
+// and its dirty bit is OR-ed with the argument.
+func (c *Cache) Insert(addr uint64, dirty bool) (Eviction, bool) {
+	base := c.setBase(addr)
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == addr {
+			c.clock++
+			c.used[i] = c.clock
+			c.dirty[i] = c.dirty[i] || dirty
+			return Eviction{}, false
+		}
+		if !c.valid[i] {
+			victim = i
+		} else if c.valid[victim] && c.used[i] < c.used[victim] {
+			victim = i
+		}
+	}
+	var ev Eviction
+	evicted := c.valid[victim]
+	if evicted {
+		ev = Eviction{Addr: c.tags[victim], Dirty: c.dirty[victim]}
+	}
+	c.clock++
+	c.tags[victim] = addr
+	c.valid[victim] = true
+	c.dirty[victim] = dirty
+	c.used[victim] = c.clock
+	return ev, evicted
+}
+
+// MarkDirty sets the dirty bit for addr, reporting whether it was
+// present.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	base := c.setBase(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == addr {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr, returning whether it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	base := c.setBase(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == addr {
+			c.valid[i] = false
+			return c.dirty[i], true
+		}
+	}
+	return false, false
+}
+
+// Reset empties the cache and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.hits = 0
+	c.misses = 0
+}

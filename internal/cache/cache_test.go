@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t testing.TB, lines, ways int) *Cache {
+	t.Helper()
+	c, err := New(lines, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {8, 0}, {10, 4}, {-8, 2}} {
+		if _, err := New(tc[0], tc[1]); err == nil {
+			t.Errorf("New(%d,%d) succeeded", tc[0], tc[1])
+		}
+	}
+	if c := mustNew(t, 64, 8); c.Lines() != 64 {
+		t.Errorf("Lines = %d", c.Lines())
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := mustNew(t, 64, 8)
+	if c.Lookup(42) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(42, false)
+	if !c.Lookup(42) {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 4, 4) // one set of 4 ways
+	for a := uint64(0); a < 4; a++ {
+		c.Insert(a*4, false) // all map to set 0 (addr % 1 == 0)
+	}
+	c.Lookup(0) // make 0 most-recent
+	ev, evicted := c.Insert(100, false)
+	if !evicted {
+		t.Fatal("expected an eviction")
+	}
+	if ev.Addr != 4 {
+		t.Fatalf("evicted %d, want 4 (LRU)", ev.Addr)
+	}
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := mustNew(t, 2, 2)
+	c.Insert(0, true)
+	c.Insert(2, false)
+	ev, evicted := c.Insert(4, false)
+	if !evicted || ev.Addr != 0 || !ev.Dirty {
+		t.Fatalf("eviction = %+v (%v), want dirty line 0", ev, evicted)
+	}
+}
+
+func TestInsertExistingMergesDirty(t *testing.T) {
+	c := mustNew(t, 4, 4)
+	c.Insert(7, false)
+	if _, evicted := c.Insert(7, true); evicted {
+		t.Fatal("re-insert evicted something")
+	}
+	wasDirty, present := c.Invalidate(7)
+	if !present || !wasDirty {
+		t.Fatalf("line 7 dirty=%v present=%v, want dirty", wasDirty, present)
+	}
+}
+
+func TestInsertExistingKeepsDirty(t *testing.T) {
+	c := mustNew(t, 4, 4)
+	c.Insert(7, true)
+	c.Insert(7, false) // must not clear the dirty bit
+	wasDirty, _ := c.Invalidate(7)
+	if !wasDirty {
+		t.Fatal("re-insert cleared dirty bit")
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	c := mustNew(t, 4, 4)
+	if c.MarkDirty(3) {
+		t.Fatal("MarkDirty hit on absent line")
+	}
+	c.Insert(3, false)
+	if !c.MarkDirty(3) {
+		t.Fatal("MarkDirty missed present line")
+	}
+	wasDirty, _ := c.Invalidate(3)
+	if !wasDirty {
+		t.Fatal("dirty bit not set")
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := mustNew(t, 2, 2)
+	c.Insert(0, false)
+	c.Insert(2, false) // 0 is now LRU
+	c.Contains(0)      // must NOT refresh 0
+	ev, _ := c.Insert(4, false)
+	if ev.Addr != 0 {
+		t.Fatalf("evicted %d, want 0", ev.Addr)
+	}
+	if c.Hits() != 0 {
+		t.Fatal("Contains counted as hit")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c := mustNew(t, 16, 2) // 8 sets
+	// Addresses 0..7 map to distinct sets; filling them must not evict.
+	for a := uint64(0); a < 8; a++ {
+		if _, evicted := c.Insert(a, false); evicted {
+			t.Fatalf("insert %d evicted", a)
+		}
+	}
+	for a := uint64(0); a < 8; a++ {
+		if !c.Contains(a) {
+			t.Fatalf("line %d missing", a)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, 8, 2)
+	c.Insert(1, true)
+	c.Lookup(1)
+	c.Lookup(99)
+	c.Reset()
+	if c.Contains(1) || c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// Property: a line just inserted is always present until ways more
+// distinct conflicting lines are inserted.
+func TestInsertedLinePresent(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		c := mustNew(t, 1024, 8)
+		for _, a := range addrs {
+			c.Insert(a, false)
+			if !c.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: capacity is never exceeded (inserting N+1 conflicting lines
+// evicts exactly the overflow).
+func TestCapacityBound(t *testing.T) {
+	c := mustNew(t, 8, 8)
+	evictions := 0
+	for a := uint64(0); a < 20; a++ {
+		if _, ev := c.Insert(a, false); ev {
+			evictions++
+		}
+	}
+	if evictions != 12 {
+		t.Fatalf("evictions = %d, want 12", evictions)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := mustNew(b, 1<<17, 8) // 8 MB LLC worth of lines
+	for a := uint64(0); a < 1<<17; a++ {
+		c.Insert(a, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i) & (1<<17 - 1))
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Array is a multi-rank Synergy memory: the Table III system has 2
+// channels × 2 ranks, and each 9-chip rank is an independent protection
+// domain (its own integrity tree root, parity region, and reconstruction
+// scoreboard) — exactly the grouping the reliability model's Fig. 11
+// analysis assumes. Lines interleave across ranks the way cachelines
+// interleave across channels, so streaming load spreads.
+//
+// Because ranks are independent, an Array survives one failed chip *per
+// rank* simultaneously — four concurrent chip failures on the default
+// system — where a single rank tolerates one.
+type Array struct {
+	ranks        []*Memory
+	linesPerRank uint64
+	dataLines    uint64
+}
+
+// NewArray builds an Array of `ranks` independent Synergy ranks, with
+// cfg.DataLines total capacity split across them. Keys are shared (one
+// memory controller); per-rank state is independent.
+func NewArray(cfg Config, ranks int) (*Array, error) {
+	if ranks <= 0 {
+		return nil, errors.New("core: Array needs at least one rank")
+	}
+	if cfg.DataLines == 0 {
+		return nil, errors.New("core: Config.DataLines must be positive")
+	}
+	perRank := (cfg.DataLines + uint64(ranks) - 1) / uint64(ranks)
+	a := &Array{linesPerRank: perRank, dataLines: cfg.DataLines}
+	for r := 0; r < ranks; r++ {
+		rcfg := cfg
+		rcfg.DataLines = perRank
+		m, err := New(rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+		a.ranks = append(a.ranks, m)
+	}
+	return a, nil
+}
+
+// Ranks returns the rank count.
+func (a *Array) Ranks() int { return len(a.ranks) }
+
+// DataLines returns the total capacity in cachelines.
+func (a *Array) DataLines() uint64 { return a.dataLines }
+
+// Rank exposes one rank's Memory (fault injection, stats, logs).
+func (a *Array) Rank(i int) *Memory { return a.ranks[i] }
+
+// route maps a global line to (rank, line-within-rank).
+func (a *Array) route(line uint64) (*Memory, uint64, error) {
+	if line >= a.dataLines {
+		return nil, 0, fmt.Errorf("core: data line %d out of range", line)
+	}
+	r := int(line % uint64(len(a.ranks)))
+	return a.ranks[r], line / uint64(len(a.ranks)), nil
+}
+
+// Read decrypts global data line i into dst.
+func (a *Array) Read(i uint64, dst []byte) (ReadInfo, error) {
+	m, inner, err := a.route(i)
+	if err != nil {
+		return ReadInfo{}, err
+	}
+	return m.Read(inner, dst)
+}
+
+// Write encrypts and stores global data line i.
+func (a *Array) Write(i uint64, plain []byte) error {
+	m, inner, err := a.route(i)
+	if err != nil {
+		return err
+	}
+	return m.Write(inner, plain)
+}
+
+// Scrub scrubs every rank, summing corrections.
+func (a *Array) Scrub() (corrected int, err error) {
+	for r, m := range a.ranks {
+		c, err := m.Scrub()
+		corrected += c
+		if err != nil {
+			return corrected, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	return corrected, nil
+}
+
+// Stats aggregates engine counters across ranks.
+func (a *Array) Stats() Stats {
+	var total Stats
+	for _, m := range a.ranks {
+		s := m.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.MACComputations += s.MACComputations
+		total.MismatchesSeen += s.MismatchesSeen
+		total.CorrectionEvents += s.CorrectionEvents
+		total.ReconstructionAttempts += s.ReconstructionAttempts
+		total.ParityPUses += s.ParityPUses
+		total.PreemptiveFixes += s.PreemptiveFixes
+		total.AttacksDeclared += s.AttacksDeclared
+		total.GroupReencryptions += s.GroupReencryptions
+		total.GroupLinesReencrypted += s.GroupLinesReencrypted
+		total.NodeCacheStops += s.NodeCacheStops
+	}
+	return total
+}
+
+// Store is the read/write contract shared by Memory and Array; the
+// block-device adapter accepts either.
+type Store interface {
+	Read(line uint64, dst []byte) (ReadInfo, error)
+	Write(line uint64, plain []byte) error
+}
+
+var (
+	_ Store = (*Memory)(nil)
+	_ Store = (*Array)(nil)
+)

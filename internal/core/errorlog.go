@@ -1,0 +1,165 @@
+package core
+
+import "fmt"
+
+// This file implements the §IV-B denial-of-service countermeasure: the
+// memory controller logs every corrected error, and statistical
+// analysis over the log distinguishes naturally occurring faults from
+// an adversary deliberately planting correctable errors to burn MAC
+// recomputation latency.
+
+// ErrorEvent is one corrected-error record.
+type ErrorEvent struct {
+	// Seq is the engine's access sequence number (reads+writes served)
+	// at correction time — the log's notion of time.
+	Seq uint64
+	// Region and Chip locate the repair.
+	Region Region
+	Chip   int
+	// Line is the module line address that was repaired.
+	Line uint64
+	// UsedParityP marks corrections that needed the parity-of-parities.
+	UsedParityP bool
+}
+
+// ErrorLog is a bounded ring of corrected-error events with the
+// aggregate statistics the §IV-B analysis needs. The zero value is not
+// usable; Memory owns one.
+type ErrorLog struct {
+	events []ErrorEvent
+	next   int
+	total  uint64
+	byChip [9]uint64
+}
+
+const defaultErrorLogCapacity = 1024
+
+func newErrorLog(capacity int) *ErrorLog {
+	if capacity <= 0 {
+		capacity = defaultErrorLogCapacity
+	}
+	return &ErrorLog{events: make([]ErrorEvent, 0, capacity)}
+}
+
+func (l *ErrorLog) add(e ErrorEvent) {
+	if len(l.events) < cap(l.events) {
+		l.events = append(l.events, e)
+	} else {
+		l.events[l.next] = e
+		l.next = (l.next + 1) % cap(l.events)
+	}
+	l.total++
+	if e.Chip >= 0 && e.Chip < len(l.byChip) {
+		l.byChip[e.Chip]++
+	}
+}
+
+// Total returns the number of corrections ever logged (not capped by
+// the ring capacity).
+func (l *ErrorLog) Total() uint64 { return l.total }
+
+// ByChip returns per-chip correction counts.
+func (l *ErrorLog) ByChip() [9]uint64 { return l.byChip }
+
+// Events returns the retained events, oldest first.
+func (l *ErrorLog) Events() []ErrorEvent {
+	out := make([]ErrorEvent, 0, len(l.events))
+	if len(l.events) == cap(l.events) {
+		out = append(out, l.events[l.next:]...)
+	}
+	out = append(out, l.events[:min(l.next, len(l.events))]...)
+	if len(l.events) < cap(l.events) {
+		out = append(out[:0], l.events...)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Assessment classifies the corrected-error history.
+type Assessment int
+
+const (
+	// AssessmentQuiet: too few corrections to say anything.
+	AssessmentQuiet Assessment = iota
+	// AssessmentNaturalFault: the pattern matches a hardware fault —
+	// corrections concentrated on a single chip.
+	AssessmentNaturalFault
+	// AssessmentSuspectedDoS: the pattern matches adversarial error
+	// planting — a high correction rate spread across multiple chips,
+	// which no single-chip failure mode produces.
+	AssessmentSuspectedDoS
+)
+
+func (a Assessment) String() string {
+	switch a {
+	case AssessmentQuiet:
+		return "quiet"
+	case AssessmentNaturalFault:
+		return "natural-fault"
+	case AssessmentSuspectedDoS:
+		return "suspected-dos"
+	default:
+		return fmt.Sprintf("Assessment(%d)", int(a))
+	}
+}
+
+// Analysis is the result of the §IV-B statistical check.
+type Analysis struct {
+	Assessment Assessment
+	// DominantChip is the chip with the most corrections (-1 if none).
+	DominantChip int
+	// DominantShare is that chip's share of all corrections.
+	DominantShare float64
+	// RatePerMAccess is corrections per million accesses over the
+	// engine's lifetime.
+	RatePerMAccess float64
+}
+
+// Analyze applies the §IV-B heuristic. Naturally occurring DRAM faults
+// within the engine's single-chip correction model concentrate on one
+// chip (Table I modes are all per-chip); an adversary flipping bits
+// wherever the bus allows produces corrections across chips at rates
+// far beyond field FIT rates.
+func (l *ErrorLog) Analyze(accesses uint64) Analysis {
+	a := Analysis{DominantChip: -1}
+	if accesses > 0 {
+		a.RatePerMAccess = float64(l.total) / float64(accesses) * 1e6
+	}
+	if l.total == 0 {
+		return a
+	}
+	var maxChip int
+	var maxCount, chipsWithErrors uint64
+	for c, n := range l.byChip {
+		if n > 0 {
+			chipsWithErrors++
+		}
+		if n > maxCount {
+			maxCount, maxChip = n, c
+		}
+	}
+	a.DominantChip = maxChip
+	a.DominantShare = float64(maxCount) / float64(l.total)
+
+	switch {
+	case l.total < 4:
+		a.Assessment = AssessmentQuiet
+	case a.DominantShare >= 0.9:
+		// One chip dominates: consistent with a natural chip fault
+		// (and with the scoreboard's own condemnation logic).
+		a.Assessment = AssessmentNaturalFault
+	case chipsWithErrors >= 3:
+		// Errors across ≥3 chips within one log window: no Table I
+		// failure mode does that; flag for the security apparatus.
+		a.Assessment = AssessmentSuspectedDoS
+	default:
+		a.Assessment = AssessmentNaturalFault
+	}
+	return a
+}

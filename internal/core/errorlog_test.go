@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"synergy/internal/dimm"
+)
+
+func TestErrorLogRecordsCorrections(t *testing.T) {
+	m := newMemory(t, 64)
+	m.Write(3, fillLine(1))
+	m.Module().InjectTransient(m.Layout().DataAddr(3), 2, [8]byte{0x11})
+	mustRead(t, m, 3)
+
+	log := m.ErrorLog()
+	if log.Total() != 1 {
+		t.Fatalf("log total = %d, want 1", log.Total())
+	}
+	evs := log.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Chip != 2 || e.Region != RegionData || e.Line != m.Layout().DataAddr(3) {
+		t.Fatalf("event = %+v", e)
+	}
+	if log.ByChip()[2] != 1 {
+		t.Fatal("per-chip count missing")
+	}
+}
+
+func TestErrorLogRecordsParityPUse(t *testing.T) {
+	m := newMemory(t, 64)
+	const line = 26
+	m.Write(line, fillLine(7))
+	pAddr, slot := m.Layout().ParityAddr(line)
+	m.Module().InjectTransient(m.Layout().DataAddr(line), slot, [8]byte{0x5A})
+	m.Module().InjectTransient(pAddr, slot, [8]byte{0xC3})
+	mustRead(t, m, line)
+	evs := m.ErrorLog().Events()
+	if len(evs) != 1 || !evs[0].UsedParityP {
+		t.Fatalf("expected a ParityP-marked event, got %+v", evs)
+	}
+}
+
+func TestErrorLogRingBound(t *testing.T) {
+	m, err := New(Config{DataLines: 64, ErrorLogCapacity: 4, FaultThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		line := uint64(k % 32)
+		m.Write(line, fillLine(byte(k)))
+		m.Module().InjectTransient(m.Layout().DataAddr(line), 1, [8]byte{1})
+		mustRead(t, m, line)
+	}
+	log := m.ErrorLog()
+	if log.Total() != 10 {
+		t.Fatalf("total = %d, want 10", log.Total())
+	}
+	evs := log.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want capacity 4", len(evs))
+	}
+	// Oldest-first ordering.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq < evs[i-1].Seq {
+			t.Fatal("events not oldest-first")
+		}
+	}
+}
+
+func TestAnalyzeQuiet(t *testing.T) {
+	m := newMemory(t, 64)
+	a := m.ErrorLog().Analyze(100)
+	if a.Assessment != AssessmentQuiet || a.DominantChip != -1 {
+		t.Fatalf("empty log analysis = %+v", a)
+	}
+}
+
+// A permanent single-chip fault produces a natural-fault assessment.
+func TestAnalyzeNaturalFault(t *testing.T) {
+	m, err := New(Config{DataLines: 64, FaultThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		m.Write(i, fillLine(byte(i)))
+	}
+	m.Module().InjectPermanent(5, 0, m.Module().Lines()-1, [8]byte{0x42})
+	for i := uint64(0); i < 32; i++ {
+		if i%8 == 5 {
+			continue // parity-slot residual window; see DESIGN.md §7.1
+		}
+		mustRead(t, m, i)
+	}
+	a := m.ErrorLog().Analyze(m.Stats().Reads + m.Stats().Writes)
+	if a.Assessment != AssessmentNaturalFault {
+		t.Fatalf("assessment = %v, want natural-fault (%+v)", a.Assessment, a)
+	}
+	if a.DominantChip != 5 || a.DominantShare < 0.9 {
+		t.Fatalf("dominant chip %d share %.2f", a.DominantChip, a.DominantShare)
+	}
+	if a.RatePerMAccess == 0 {
+		t.Fatal("rate not computed")
+	}
+}
+
+// An adversary planting correctable flips across many chips triggers
+// the DoS assessment (§IV-B).
+func TestAnalyzeSuspectedDoS(t *testing.T) {
+	m := newMemory(t, 64)
+	for i := uint64(0); i < 16; i++ {
+		m.Write(i, fillLine(byte(i)))
+	}
+	for k := 0; k < 12; k++ {
+		line := uint64(k % 16)
+		chip := k % dimm.Chips // errors spread across all chips
+		m.Module().InjectTransient(m.Layout().DataAddr(line), chip, [8]byte{0x80})
+		mustRead(t, m, line)
+	}
+	a := m.ErrorLog().Analyze(m.Stats().Reads + m.Stats().Writes)
+	if a.Assessment != AssessmentSuspectedDoS {
+		t.Fatalf("assessment = %v, want suspected-dos (%+v)", a.Assessment, a)
+	}
+}
+
+func TestAssessmentString(t *testing.T) {
+	for _, tc := range []struct {
+		a    Assessment
+		want string
+	}{{AssessmentQuiet, "quiet"}, {AssessmentNaturalFault, "natural-fault"}, {AssessmentSuspectedDoS, "suspected-dos"}} {
+		if tc.a.String() != tc.want {
+			t.Errorf("%d.String() = %q", tc.a, tc.a.String())
+		}
+	}
+	if Assessment(9).String() == "" {
+		t.Error("unknown assessment should stringify")
+	}
+}

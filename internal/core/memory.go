@@ -1,0 +1,889 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"synergy/internal/ctrenc"
+	"synergy/internal/dimm"
+	"synergy/internal/gmac"
+	"synergy/internal/integrity"
+)
+
+// LineSize is the data payload of one cacheline in bytes.
+const LineSize = dimm.LineSize
+
+// DefaultFaultThreshold is the number of corrections attributed to the
+// same chip after which the engine switches to pre-emptive correction
+// for that chip (paper §IV-A, "Mitigating Correction Latency under
+// Permanent Chip Failures").
+const DefaultFaultThreshold = 4
+
+// ErrAttack is returned when a MAC mismatch cannot be resolved by the
+// reconstruction engine: either more than one chip is in error or the
+// contents were maliciously modified. Synergy cannot distinguish the
+// two and, as the paper requires, fails closed (§III-B).
+var ErrAttack = errors.New("core: detected uncorrectable error or tampering — attack declared")
+
+// Config parameterizes a Synergy memory.
+type Config struct {
+	// DataLines is the number of 64-byte program-data cachelines.
+	DataLines uint64
+	// EncKey and MACKey are the 16-byte secret keys; zero-filled
+	// defaults are derived if nil (useful for tests and examples).
+	EncKey []byte
+	MACKey []byte
+	// FaultThreshold overrides DefaultFaultThreshold when > 0.
+	FaultThreshold int
+	// ErrorLogCapacity bounds the §IV-B corrected-error ring log
+	// (default 1024 events).
+	ErrorLogCapacity int
+	// SplitCounters selects the split-counter organization (Yan et
+	// al., paper §VI-F): one counter line covers 48 data lines (shared
+	// major + per-line minors), shrinking counter storage and working
+	// set 6x at the cost of group re-encryption on minor overflow.
+	SplitCounters bool
+	// NodeCacheLines sizes the on-chip trusted metadata cache at which
+	// the Fig. 7 upward walk stops (default 32; negative disables it).
+	NodeCacheLines int
+}
+
+// Memory is a functional Synergy secure memory on one 9-chip ECC-DIMM.
+// It is not safe for concurrent use (a memory controller serializes
+// command streams).
+type Memory struct {
+	layout Layout
+	geo    *integrity.Geometry
+	mod    *dimm.Module
+	mac    *gmac.Mac
+	enc    *ctrenc.Engine
+	root   uint64 // on-chip root counter (trusted)
+
+	split          bool
+	faultThreshold int
+	scoreboard     [dimm.Chips]uint64
+	knownBad       int // chip index, or -1
+
+	ncache *nodeCache
+	log    *ErrorLog
+	stats  Stats
+}
+
+// Stats counts the engine's observable activity, in the units the
+// paper's §IV-A analysis uses.
+type Stats struct {
+	Reads  uint64 // data-line reads served
+	Writes uint64 // data-line writes served
+
+	MACComputations        uint64 // total MAC evaluations (detection + correction)
+	MismatchesSeen         uint64 // MAC mismatches observed before correction
+	CorrectionEvents       uint64 // lines successfully corrected
+	ReconstructionAttempts uint64 // candidate reconstructions tried
+	ParityPUses            uint64 // corrections that needed the parity-of-parities
+	PreemptiveFixes        uint64 // reads served via the known-bad-chip fast path
+	AttacksDeclared        uint64 // uncorrectable events
+
+	GroupReencryptions    uint64 // split-counter minor overflows handled
+	GroupLinesReencrypted uint64 // data lines rewritten by those events
+
+	NodeCacheStops uint64 // read walks that ended at an on-chip node
+}
+
+// ReadInfo describes what happened during one Read.
+type ReadInfo struct {
+	// Corrected is true if any line on the access path was repaired.
+	Corrected bool
+	// CorrectedRegions lists the region of each repaired line.
+	CorrectedRegions []Region
+	// FaultyChips lists the chip index identified by each repair.
+	FaultyChips []int
+	// MACRecomputations counts MAC evaluations spent on correction for
+	// this access (≤16 for a data line, ≤8 per counter/tree line).
+	MACRecomputations int
+	// UsedParityP is true if the parity-of-parities was needed.
+	UsedParityP bool
+	// Preemptive is true if the known-bad-chip fast path served the read.
+	Preemptive bool
+}
+
+// New builds a Synergy memory and initializes every region to a
+// consistent encrypted, MACed, parity-protected state (as a trusted
+// boot-time initialization would).
+func New(cfg Config) (*Memory, error) {
+	if cfg.DataLines == 0 {
+		return nil, errors.New("core: Config.DataLines must be positive")
+	}
+	encKey := cfg.EncKey
+	if encKey == nil {
+		encKey = make([]byte, ctrenc.KeySize)
+		encKey[0] = 0x01
+	}
+	macKey := cfg.MACKey
+	if macKey == nil {
+		macKey = make([]byte, gmac.KeySize)
+		macKey[0] = 0x02
+	}
+	enc, err := ctrenc.New(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad encryption key: %w", err)
+	}
+	mac, err := gmac.New(macKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad MAC key: %w", err)
+	}
+	ctrsPerLine := uint64(integrity.CountersPerLine)
+	if cfg.SplitCounters {
+		ctrsPerLine = integrity.SplitCountersPerLine
+	}
+	counterLines := (cfg.DataLines + ctrsPerLine - 1) / ctrsPerLine
+	geo, err := integrity.NewGeometry(counterLines)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := NewLayout(cfg.DataLines, geo, ctrsPerLine)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := dimm.New(layout.TotalLines)
+	if err != nil {
+		return nil, err
+	}
+	threshold := cfg.FaultThreshold
+	if threshold <= 0 {
+		threshold = DefaultFaultThreshold
+	}
+	m := &Memory{
+		layout:         layout,
+		geo:            geo,
+		mod:            mod,
+		mac:            mac,
+		enc:            enc,
+		split:          cfg.SplitCounters,
+		faultThreshold: threshold,
+		knownBad:       -1,
+		log:            newErrorLog(cfg.ErrorLogCapacity),
+	}
+	switch {
+	case cfg.NodeCacheLines < 0:
+		m.ncache = newNodeCache(0)
+	case cfg.NodeCacheLines == 0:
+		m.ncache = newNodeCache(DefaultNodeCacheLines)
+	default:
+		m.ncache = newNodeCache(cfg.NodeCacheLines)
+	}
+	if err := m.initialize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// initialize writes consistent zero state everywhere: tree and counter
+// nodes sealed top-down, data lines encrypted with counter 0, parity
+// lines consistent.
+func (m *Memory) initialize() error {
+	// Tree levels, top-down so parents exist before children are sealed.
+	for level := m.geo.Levels() - 1; level >= 0; level-- {
+		for idx := uint64(0); idx < m.layout.TreeLines[level]; idx++ {
+			var node integrity.Node
+			addr := m.layout.TreeAddr(level, idx)
+			node.Seal(m.mac, addr, m.parentCounterForInit(level, idx))
+			if err := m.writeNode(addr, &node); err != nil {
+				return err
+			}
+		}
+	}
+	// Encryption-counter lines.
+	for idx := uint64(0); idx < m.layout.CounterLines; idx++ {
+		addr := m.layout.counterBase + idx
+		var buf [integrity.NodeSize]byte
+		if m.split {
+			var node integrity.SplitNode
+			node.Seal(m.mac, addr, m.parentCounterForInit(-1, idx))
+			node.Pack(buf[:])
+		} else {
+			var node integrity.Node
+			node.Seal(m.mac, addr, m.parentCounterForInit(-1, idx))
+			node.Pack(buf[:])
+		}
+		par := integrity.SliceParity(buf[:])
+		if err := m.mod.WriteLine(addr, buf[:], par[:]); err != nil {
+			return err
+		}
+	}
+	// Data lines: ciphertext of zeros under counter 0, with MAC.
+	var zero [LineSize]byte
+	cipher := make([]byte, LineSize)
+	for i := uint64(0); i < m.layout.DataLines; i++ {
+		addr := m.layout.DataAddr(i)
+		if err := m.enc.Encrypt(cipher, zero[:], addr, 0); err != nil {
+			return err
+		}
+		tag := m.mac.SumBytes(addr, 0, cipher)
+		m.stats.MACComputations++
+		if err := m.mod.WriteLine(addr, cipher, tag); err != nil {
+			return err
+		}
+	}
+	// Parity lines, computed from the just-written data lines.
+	for p := uint64(0); p < m.layout.ParityLines; p++ {
+		if err := m.rebuildParityLine(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parentCounterForInit returns the (all-zero at init) parent counter for
+// a node; kept as a method so initialization and runtime agree on the
+// chain structure.
+func (m *Memory) parentCounterForInit(level int, index uint64) uint64 {
+	_, _, _, ok := m.geo.Parent(level, index)
+	if !ok {
+		return m.root // root counter, zero at init
+	}
+	return 0
+}
+
+// rebuildParityLine recomputes parity line p (all 8 slots and ParityP)
+// from the current data-region contents.
+func (m *Memory) rebuildParityLine(p uint64) error {
+	var line [LineSize]byte
+	var parityP [8]byte
+	for slot := 0; slot < 8; slot++ {
+		dataLine := p*8 + uint64(slot)
+		var par [8]byte
+		if dataLine < m.layout.DataLines {
+			dl, err := m.mod.ReadLine(m.layout.DataAddr(dataLine))
+			if err != nil {
+				return err
+			}
+			par = parity9(&dl)
+		}
+		copy(line[slot*8:slot*8+8], par[:])
+		for b := 0; b < 8; b++ {
+			parityP[b] ^= par[b]
+		}
+	}
+	return m.mod.WriteLine(m.layout.parityBase+p, line[:], parityP[:])
+}
+
+// parity9 computes the Synergy parity across all 9 chips of a data line:
+// C0 ⊕ C1 ⊕ … ⊕ C7 ⊕ MAC (paper §III, Fig. 5).
+func parity9(l *dimm.Line) [8]byte {
+	var p [8]byte
+	for chip := 0; chip < dimm.DataChips; chip++ {
+		for b := 0; b < 8; b++ {
+			p[b] ^= l.Data[chip*8+b]
+		}
+	}
+	for b := 0; b < 8; b++ {
+		p[b] ^= l.ECC[b]
+	}
+	return p
+}
+
+// Module exposes the underlying DIMM for fault injection in tests,
+// examples, and the reliability harness.
+func (m *Memory) Module() *dimm.Module { return m.mod }
+
+// Layout exposes the region map (for targeted fault injection).
+func (m *Memory) Layout() Layout { return m.layout }
+
+// Stats returns a copy of the engine counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// KnownBadChip returns the chip the scoreboard has condemned, or -1.
+func (m *Memory) KnownBadChip() int { return m.knownBad }
+
+// ErrorLog exposes the §IV-B corrected-error log for the platform's
+// security apparatus (see ErrorLog.Analyze).
+func (m *Memory) ErrorLog() *ErrorLog { return m.log }
+
+// FlushNodeCache empties the on-chip trusted metadata cache (as a
+// context switch or enclave exit would), forcing subsequent walks back
+// to memory. Correctness never depends on cache contents; flushing just
+// re-exposes the walk to DRAM state.
+func (m *Memory) FlushNodeCache() {
+	m.ncache = newNodeCache(m.ncache.cap)
+}
+
+// readNode fetches and unpacks a counter/tree node line.
+func (m *Memory) readNode(addr uint64) (integrity.Node, dimm.Line, error) {
+	l, err := m.mod.ReadLine(addr)
+	if err != nil {
+		return integrity.Node{}, dimm.Line{}, err
+	}
+	var n integrity.Node
+	n.Unpack(l.Data[:])
+	return n, l, nil
+}
+
+// writeNode packs and stores a node with its intra-line parity in the
+// ECC chip (ParityC / ParityT).
+func (m *Memory) writeNode(addr uint64, n *integrity.Node) error {
+	var buf [integrity.NodeSize]byte
+	n.Pack(buf[:])
+	par := integrity.SliceParity(buf[:])
+	return m.mod.WriteLine(addr, buf[:], par[:])
+}
+
+// pathEntry is one level of the integrity path for a data line, leaf
+// (encryption counter) first. Tree levels always hold a monolithic
+// Node; under split counters the leaf holds a SplitNode instead.
+type pathEntry struct {
+	level int // -1 for the encryption-counter line
+	index uint64
+	addr  uint64
+	slot  int // slot within the parent holding this node's counter
+	node  integrity.Node
+	split integrity.SplitNode // leaf only, when split counters are on
+	raw   dimm.Line
+	// trusted marks an entry served from the on-chip node cache: it
+	// was verified when cached and lives inside the trust boundary, so
+	// the walk stops here (Fig. 7b) and no verification is needed.
+	trusted bool
+}
+
+// isSplitLeaf reports whether entry e carries a split-counter leaf.
+func (m *Memory) isSplitLeaf(e *pathEntry) bool {
+	return m.split && e.level == -1
+}
+
+// entryUnpack refreshes e's decoded view from e.raw.
+func (m *Memory) entryUnpack(e *pathEntry) {
+	if m.isSplitLeaf(e) {
+		e.split.Unpack(e.raw.Data[:])
+		return
+	}
+	e.node.Unpack(e.raw.Data[:])
+}
+
+// entryVerify checks e's MAC under the trusted parent counter.
+func (m *Memory) entryVerify(e *pathEntry, parentCtr uint64) bool {
+	if m.isSplitLeaf(e) {
+		return e.split.Verify(m.mac, e.addr, parentCtr)
+	}
+	return e.node.Verify(m.mac, e.addr, parentCtr)
+}
+
+// entrySeal recomputes e's MAC under the parent counter.
+func (m *Memory) entrySeal(e *pathEntry, parentCtr uint64) {
+	if m.isSplitLeaf(e) {
+		e.split.Seal(m.mac, e.addr, parentCtr)
+		return
+	}
+	e.node.Seal(m.mac, e.addr, parentCtr)
+}
+
+// writeEntry packs e and stores it with its intra-line parity.
+func (m *Memory) writeEntry(e *pathEntry) error {
+	var buf [integrity.NodeSize]byte
+	if m.isSplitLeaf(e) {
+		e.split.Pack(buf[:])
+	} else {
+		e.node.Pack(buf[:])
+	}
+	copy(e.raw.Data[:], buf[:])
+	par := integrity.SliceParity(buf[:])
+	copy(e.raw.ECC[:], par[:])
+	return m.mod.WriteLine(e.addr, buf[:], par[:])
+}
+
+// leafCounter returns the effective encryption counter for slot s of
+// the leaf entry.
+func (m *Memory) leafCounter(e *pathEntry, slot int) uint64 {
+	if m.isSplitLeaf(e) {
+		return e.split.Counter(slot)
+	}
+	return e.node.Counters[slot]
+}
+
+// loadPath reads the counter line for data line i and every tree node
+// upward. With stopAtCache, the walk ends at the first entry found in
+// the on-chip trusted node cache (Fig. 7b); otherwise it continues to
+// the root (writes must update every level). No verification of
+// memory-sourced entries is performed here.
+func (m *Memory) loadPath(i uint64, stopAtCache bool) ([]pathEntry, error) {
+	addr, _ := m.layout.CounterAddr(i)
+	entries := make([]pathEntry, 0, m.geo.Levels()+1)
+	level, index := -1, addr-m.layout.counterBase
+	for {
+		var e pathEntry
+		e.level, e.index = level, index
+		if level == -1 {
+			e.addr = m.layout.counterBase + index
+		} else {
+			e.addr = m.layout.TreeAddr(level, index)
+		}
+		pl, pi, slot, ok := m.geo.Parent(level, index)
+		e.slot = slot
+		if stopAtCache {
+			if cn, hit := m.ncache.get(e.addr); hit {
+				e.node, e.split = cn.node, cn.split
+				e.trusted = true
+				m.stats.NodeCacheStops++
+				entries = append(entries, e)
+				return entries, nil
+			}
+		}
+		raw, err := m.mod.ReadLine(e.addr)
+		if err != nil {
+			return nil, err
+		}
+		e.raw = raw
+		m.entryUnpack(&e)
+		entries = append(entries, e)
+		if !ok {
+			return entries, nil
+		}
+		level, index = pl, pi
+	}
+}
+
+// cachePath inserts a fully trusted path into the on-chip node cache.
+func (m *Memory) cachePath(path []pathEntry) {
+	for k := range path {
+		m.ncache.put(path[k].addr, cachedNode{node: path[k].node, split: path[k].split})
+	}
+}
+
+// parentCounterOf returns the trusted counter authenticating path entry
+// k, assuming entries above k are already verified/corrected.
+func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
+	if k == len(path)-1 {
+		return root
+	}
+	return path[k+1].node.Counters[path[k].slot]
+}
+
+// Read decrypts data line i into dst (64 bytes), performing the full
+// integrity-tree traversal with Synergy's integrated error detection and
+// correction (paper §III-B, Fig. 7). On an uncorrectable mismatch it
+// returns ErrAttack and leaves dst unspecified.
+func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
+	if len(dst) != LineSize {
+		return ReadInfo{}, fmt.Errorf("core: Read needs a %d-byte buffer", LineSize)
+	}
+	if i >= m.layout.DataLines {
+		return ReadInfo{}, fmt.Errorf("core: data line %d out of range", i)
+	}
+	m.stats.Reads++
+	var info ReadInfo
+
+	dataAddr := m.layout.DataAddr(i)
+	dl, err := m.mod.ReadLine(dataAddr)
+	if err != nil {
+		return info, err
+	}
+	path, err := m.loadPath(i, true)
+	if err != nil {
+		return info, err
+	}
+
+	// Pre-emptive correction fast path for a condemned chip (§IV-A):
+	// rebuild that chip's slice everywhere from parity before the MAC
+	// check, so a permanent failure costs only the one MAC computation
+	// the baseline needs anyway. The fix is applied to copies and
+	// committed only if the whole path then verifies — if the mismatch
+	// has a different cause, we fall back to full reconstruction on the
+	// unmodified lines.
+	if m.knownBad >= 0 {
+		if ctr, ok, err := m.tryPreemptive(i, &dl, path); err != nil {
+			return info, err
+		} else if ok {
+			info.Preemptive = true
+			m.stats.PreemptiveFixes++
+			if err := m.enc.Decrypt(dst, dl.Data[:], dataAddr, ctr); err != nil {
+				return info, err
+			}
+			return info, nil
+		}
+	}
+
+	// Upward traversal: verify leaf-to-root, logging mismatches rather
+	// than declaring an attack immediately (Fig. 7b).
+	mismatch := make([]bool, len(path))
+	anyMismatch := false
+	for k := 0; k < len(path); k++ {
+		if path[k].trusted {
+			continue // on-chip entry: the walk stopped here
+		}
+		parentCtr := parentCounterOf(path, k, m.root)
+		m.stats.MACComputations++
+		if !m.entryVerify(&path[k], parentCtr) {
+			mismatch[k] = true
+			anyMismatch = true
+			m.stats.MismatchesSeen++
+		}
+	}
+	_, ctrSlot := m.layout.CounterAddr(i)
+	ctr := m.leafCounter(&path[0], ctrSlot)
+	m.stats.MACComputations++
+	dataOK := m.verifyData(dataAddr, ctr, &dl)
+	if !dataOK {
+		m.stats.MismatchesSeen++
+	}
+
+	// Downward traversal: correct from the level nearest the trusted
+	// root toward the data (Fig. 7c). At each level the parent is
+	// already trusted, so a mismatch can only mean an error in the
+	// line itself.
+	if anyMismatch || !dataOK {
+		for k := len(path) - 1; k >= 0; k-- {
+			if path[k].trusted {
+				continue
+			}
+			parentCtr := parentCounterOf(path, k, m.root)
+			// Re-verify with the (possibly corrected) parent: an
+			// upward mismatch may have been the parent's fault, and
+			// conversely a corrected parent can expose a stale child.
+			m.stats.MACComputations++
+			if m.entryVerify(&path[k], parentCtr) {
+				continue
+			}
+			chip, att, err := m.reconstructEntry(&path[k], parentCtr)
+			info.MACRecomputations += att
+			if err != nil {
+				m.stats.AttacksDeclared++
+				return info, err
+			}
+			if err := m.writeEntry(&path[k]); err != nil {
+				return info, err
+			}
+			m.noteCorrection(chip, regionOfLevel(path[k].level), path[k].addr, false, &info)
+		}
+		// Path is now trusted; re-derive the counter and check data.
+		ctr = m.leafCounter(&path[0], ctrSlot)
+		m.stats.MACComputations++
+		if !m.verifyData(dataAddr, ctr, &dl) {
+			fixed, chip, att, usedPP, err := m.reconstructData(i, ctr, &dl)
+			info.MACRecomputations += att
+			info.UsedParityP = info.UsedParityP || usedPP
+			if err != nil {
+				m.stats.AttacksDeclared++
+				return info, err
+			}
+			dl = fixed
+			if err := m.mod.WriteLine(dataAddr, dl.Data[:], dl.ECC[:]); err != nil {
+				return info, err
+			}
+			m.noteCorrection(chip, RegionData, dataAddr, usedPP, &info)
+		}
+	}
+
+	// The whole path is now verified (or was served from on-chip):
+	// cache it so subsequent walks stop early.
+	m.cachePath(path)
+
+	if err := m.enc.Decrypt(dst, dl.Data[:], dataAddr, ctr); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// verifyData checks the data-line MAC (stored in the ECC chip) against a
+// MAC computed over the ciphertext with the line's encryption counter.
+func (m *Memory) verifyData(addr, ctr uint64, l *dimm.Line) bool {
+	return m.mac.Sum(addr, ctr, l.Data[:]) == binary.BigEndian.Uint64(l.ECC[:])
+}
+
+func regionOfLevel(level int) Region {
+	if level == -1 {
+		return RegionCounter
+	}
+	return RegionTree
+}
+
+func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, info *ReadInfo) {
+	info.Corrected = true
+	info.CorrectedRegions = append(info.CorrectedRegions, r)
+	info.FaultyChips = append(info.FaultyChips, chip)
+	m.stats.CorrectionEvents++
+	m.log.add(ErrorEvent{
+		Seq:         m.stats.Reads + m.stats.Writes,
+		Region:      r,
+		Chip:        chip,
+		Line:        addr,
+		UsedParityP: usedPP,
+	})
+	if chip >= 0 && chip < dimm.Chips {
+		m.scoreboard[chip]++
+		if m.scoreboard[chip] >= uint64(m.faultThreshold) {
+			m.knownBad = chip
+		}
+	}
+}
+
+// Write encrypts and stores 64 bytes at data line i, incrementing the
+// encryption counter and every tree counter on the path, resealing the
+// path MACs, and updating the Synergy parity (§III-A).
+func (m *Memory) Write(i uint64, plain []byte) error {
+	if len(plain) != LineSize {
+		return fmt.Errorf("core: Write needs a %d-byte buffer", LineSize)
+	}
+	if i >= m.layout.DataLines {
+		return fmt.Errorf("core: data line %d out of range", i)
+	}
+	m.stats.Writes++
+
+	// Load and trust the path (correcting errors as on a read).
+	path, err := m.loadTrustedPath(i)
+	if err != nil {
+		return err
+	}
+
+	// Increment the encryption counter and all path counters; the root
+	// advances too, so any stale path replay fails closed.
+	_, ctrSlot := m.layout.CounterAddr(i)
+	var newCtr uint64
+	var reencrypt bool
+	oldLeaf := path[0].split // pre-bump counters, for group re-encryption
+	if m.split {
+		newCtr, reencrypt, err = path[0].split.Bump(ctrSlot)
+		if err != nil {
+			return err
+		}
+	} else {
+		newCtr, err = ctrenc.NextCounter(path[0].node.Counters[ctrSlot])
+		if err != nil {
+			return err
+		}
+		path[0].node.Counters[ctrSlot] = newCtr
+	}
+	for k := 1; k < len(path); k++ {
+		path[k].node.Counters[path[k-1].slot] =
+			(path[k].node.Counters[path[k-1].slot] + 1) & integrity.CounterMask
+	}
+	m.root = (m.root + 1) & integrity.CounterMask
+
+	// Reseal top-down so each MAC uses its parent's new counter.
+	for k := len(path) - 1; k >= 0; k-- {
+		m.entrySeal(&path[k], parentCounterOf(path, k, m.root))
+		m.stats.MACComputations++
+		if err := m.writeEntry(&path[k]); err != nil {
+			return err
+		}
+	}
+	// Refresh the on-chip copies so cached reads see the new counters.
+	m.cachePath(path)
+
+	// A minor-counter overflow re-encrypts the whole 48-line group
+	// under the incremented major (the split-counter design's overflow
+	// cost, §VI-F).
+	if reencrypt {
+		if err := m.reencryptGroup(i, &oldLeaf, path[0].split.Major); err != nil {
+			return err
+		}
+	}
+
+	// Encrypt, MAC, store the data line.
+	dataAddr := m.layout.DataAddr(i)
+	cipher := make([]byte, LineSize)
+	if err := m.enc.Encrypt(cipher, plain, dataAddr, newCtr); err != nil {
+		return err
+	}
+	tag := m.mac.SumBytes(dataAddr, newCtr, cipher)
+	m.stats.MACComputations++
+	if err := m.mod.WriteLine(dataAddr, cipher, tag); err != nil {
+		return err
+	}
+
+	// Update the parity line slot for this data line and ParityP.
+	return m.updateParity(i, cipher, tag)
+}
+
+// tryPreemptive applies the condemned chip's parity fix to copies of the
+// data line and path, verifies everything, and commits the fix only on
+// full success. On success it returns the trusted encryption counter.
+func (m *Memory) tryPreemptive(i uint64, dl *dimm.Line, path []pathEntry) (uint64, bool, error) {
+	cand := *dl
+	pcand := append([]pathEntry(nil), path...)
+	m.preemptNode(pcand)
+	if err := m.preemptData(i, &cand); err != nil {
+		return 0, false, err
+	}
+	for k := 0; k < len(pcand); k++ {
+		if pcand[k].trusted {
+			continue
+		}
+		m.stats.MACComputations++
+		if !m.entryVerify(&pcand[k], parentCounterOf(pcand, k, m.root)) {
+			return 0, false, nil
+		}
+	}
+	_, ctrSlot := m.layout.CounterAddr(i)
+	ctr := m.leafCounter(&pcand[0], ctrSlot)
+	m.stats.MACComputations++
+	if !m.verifyData(m.layout.DataAddr(i), ctr, &cand) {
+		return 0, false, nil
+	}
+	// Commit, scrubbing repaired lines back to memory so transient
+	// damage does not linger in the stored cells.
+	if cand != *dl {
+		if err := m.mod.WriteLine(m.layout.DataAddr(i), cand.Data[:], cand.ECC[:]); err != nil {
+			return 0, false, err
+		}
+	}
+	for k := range pcand {
+		if !pcand[k].trusted && pcand[k].raw != path[k].raw {
+			if err := m.writeEntry(&pcand[k]); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	*dl = cand
+	copy(path, pcand)
+	return ctr, true, nil
+}
+
+// loadTrustedPath loads the integrity path for data line i and corrects
+// any errors top-down, returning a fully verified path.
+func (m *Memory) loadTrustedPath(i uint64) ([]pathEntry, error) {
+	// Writes update counters at every level, so the full path is
+	// loaded (the node cache accelerates reads, not write updates).
+	path, err := m.loadPath(i, false)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path for a condemned chip: verify a preemptively corrected
+	// copy of the path; on failure fall back to full correction on the
+	// original lines.
+	if m.knownBad >= 0 {
+		pcand := append([]pathEntry(nil), path...)
+		m.preemptNode(pcand)
+		allOK := true
+		for k := 0; k < len(pcand); k++ {
+			m.stats.MACComputations++
+			if !m.entryVerify(&pcand[k], parentCounterOf(pcand, k, m.root)) {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			return pcand, nil
+		}
+	}
+	for k := len(path) - 1; k >= 0; k-- {
+		parentCtr := parentCounterOf(path, k, m.root)
+		m.stats.MACComputations++
+		if m.entryVerify(&path[k], parentCtr) {
+			continue
+		}
+		m.stats.MismatchesSeen++
+		chip, _, err := m.reconstructEntry(&path[k], parentCtr)
+		if err != nil {
+			m.stats.AttacksDeclared++
+			return nil, err
+		}
+		if err := m.writeEntry(&path[k]); err != nil {
+			return nil, err
+		}
+		var info ReadInfo
+		m.noteCorrection(chip, regionOfLevel(path[k].level), path[k].addr, false, &info)
+	}
+	return path, nil
+}
+
+// reencryptGroup rewrites every other data line of the 48-line group
+// containing target under the new major counter (minor 0), after a
+// split-counter overflow. Old counters come from the pre-bump leaf;
+// lines with outstanding errors are corrected through the normal
+// reconstruction engine first.
+func (m *Memory) reencryptGroup(target uint64, oldLeaf *integrity.SplitNode, newMajor uint64) error {
+	m.stats.GroupReencryptions++
+	group := (target / integrity.SplitCountersPerLine) * integrity.SplitCountersPerLine
+	plain := make([]byte, LineSize)
+	cipher := make([]byte, LineSize)
+	for slot := 0; slot < integrity.SplitCountersPerLine; slot++ {
+		j := group + uint64(slot)
+		if j == target || j >= m.layout.DataLines {
+			continue
+		}
+		addr := m.layout.DataAddr(j)
+		dl, err := m.mod.ReadLine(addr)
+		if err != nil {
+			return err
+		}
+		oldCtr := oldLeaf.Counter(slot)
+		m.stats.MACComputations++
+		if !m.verifyData(addr, oldCtr, &dl) {
+			fixed, chip, _, usedPP, rerr := m.reconstructData(j, oldCtr, &dl)
+			if rerr != nil {
+				m.stats.AttacksDeclared++
+				return rerr
+			}
+			dl = fixed
+			var info ReadInfo
+			m.noteCorrection(chip, RegionData, addr, usedPP, &info)
+		}
+		if err := m.enc.Decrypt(plain, dl.Data[:], addr, oldCtr); err != nil {
+			return err
+		}
+		newCtr := newMajor << 8 // minor reset to 0
+		if err := m.enc.Encrypt(cipher, plain, addr, newCtr); err != nil {
+			return err
+		}
+		tag := m.mac.SumBytes(addr, newCtr, cipher)
+		m.stats.MACComputations++
+		if err := m.mod.WriteLine(addr, cipher, tag); err != nil {
+			return err
+		}
+		if err := m.updateParity(j, cipher, tag); err != nil {
+			return err
+		}
+		m.stats.GroupLinesReencrypted++
+	}
+	return nil
+}
+
+// updateParity installs the parity slot for data line i and refreshes
+// ParityP. The new slot value is computed from the ciphertext and tag
+// the controller just wrote — never from a re-read of the data line, so
+// an active chip fault cannot poison the stored parity. ParityP is
+// maintained incrementally (newPP = oldPP XOR oldSlot XOR newSlot),
+// which keeps it exact under a fault on any chip other than the one
+// holding this slot. (A write landing exactly on a faulty, not-yet-
+// identified parity slot degrades that line's ParityP by the fault
+// mask; Synergy then fails closed on a later overlapping correction —
+// the paper's §III-B "parity assumed non-erroneous" caveat.)
+func (m *Memory) updateParity(i uint64, cipher, tag []byte) error {
+	pAddr, slot := m.layout.ParityAddr(i)
+	var newSlot [8]byte
+	for chip := 0; chip < dimm.DataChips; chip++ {
+		for b := 0; b < 8; b++ {
+			newSlot[b] ^= cipher[chip*8+b]
+		}
+	}
+	for b := 0; b < 8; b++ {
+		newSlot[b] ^= tag[b]
+	}
+
+	pl, err := m.mod.ReadLine(pAddr)
+	if err != nil {
+		return err
+	}
+	var newPP [8]byte
+	for b := 0; b < 8; b++ {
+		newPP[b] = pl.ECC[b] ^ pl.Data[slot*8+b] ^ newSlot[b]
+	}
+	copy(pl.Data[slot*8:slot*8+8], newSlot[:])
+	return m.mod.WriteLine(pAddr, pl.Data[:], newPP[:])
+}
+
+// Scrub walks the entire data region, reading (and thereby correcting)
+// every line. It reports the number of lines that needed correction and
+// stops at the first uncorrectable error.
+func (m *Memory) Scrub() (corrected int, err error) {
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < m.layout.DataLines; i++ {
+		info, err := m.Read(i, buf)
+		if err != nil {
+			return corrected, err
+		}
+		if info.Corrected {
+			corrected++
+		}
+	}
+	return corrected, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"synergy/internal/integrity"
+)
+
+// This file implements the on-chip metadata cache of the SGX-class
+// design (paper §II-A5, Fig. 7): recently verified counter/tree lines
+// are kept inside the trust boundary, so the upward traversal stops at
+// the first cached entry — "assumed to be free from errors since it is
+// found on-chip" — instead of walking to the root on every access.
+//
+// Entries are cached only after verification (or after this engine
+// itself wrote them), so a cached node is trusted by construction.
+// Correctness does not depend on the cache: disabling it (size 0) just
+// makes every walk reach the root.
+
+// nodeCache is a tiny fully-associative LRU of trusted path entries.
+type nodeCache struct {
+	cap   int
+	clock uint64
+	nodes map[uint64]*cachedNode
+}
+
+type cachedNode struct {
+	node  integrity.Node
+	split integrity.SplitNode
+	used  uint64
+}
+
+// DefaultNodeCacheLines is the default on-chip metadata cache capacity
+// in cachelines. 32 lines is deliberately small — the functional engine
+// cares about hit/stop semantics, not hit rate; the performance
+// simulator models the 128 KB cache of Table III.
+const DefaultNodeCacheLines = 32
+
+func newNodeCache(capacity int) *nodeCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &nodeCache{cap: capacity, nodes: make(map[uint64]*cachedNode)}
+}
+
+// get returns the trusted entry for addr, if cached.
+func (c *nodeCache) get(addr uint64) (*cachedNode, bool) {
+	n, ok := c.nodes[addr]
+	if ok {
+		c.clock++
+		n.used = c.clock
+	}
+	return n, ok
+}
+
+// put caches a trusted entry, evicting the least recently used one if
+// full. Evictions are silent: the in-memory copy is already current
+// (this engine writes through).
+func (c *nodeCache) put(addr uint64, n cachedNode) {
+	if c.cap == 0 {
+		return
+	}
+	c.clock++
+	n.used = c.clock
+	if _, ok := c.nodes[addr]; !ok && len(c.nodes) >= c.cap {
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for a, e := range c.nodes {
+			if e.used < oldest {
+				oldest, victim = e.used, a
+			}
+		}
+		delete(c.nodes, victim)
+	}
+	cp := n
+	c.nodes[addr] = &cp
+}
+
+// invalidate drops addr from the cache.
+func (c *nodeCache) invalidate(addr uint64) {
+	delete(c.nodes, addr)
+}
+
+// len reports occupancy (for tests).
+func (c *nodeCache) size() int { return len(c.nodes) }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNodeCacheStopsWalk(t *testing.T) {
+	m := newMemory(t, 512) // two tree levels
+	m.Write(100, fillLine(1))
+	before := m.Stats().NodeCacheStops
+	mustRead(t, m, 100) // the write cached the path
+	if m.Stats().NodeCacheStops <= before {
+		t.Fatal("read did not stop at the on-chip node cache")
+	}
+}
+
+func TestNodeCacheMasksMemoryCorruptionUntilFlush(t *testing.T) {
+	m := newMemory(t, 64)
+	want := fillLine(2)
+	m.Write(12, want)
+	ctrAddr, slot := m.Layout().CounterAddr(12)
+	m.Module().InjectTransient(ctrAddr, slot, [8]byte{0xFF})
+	// Warm cache: the corrupted memory copy is never consulted.
+	got, info := mustRead(t, m, 12)
+	if !bytes.Equal(got, want) || info.Corrected {
+		t.Fatalf("cached read: corrected=%v", info.Corrected)
+	}
+	// After a flush the walk sees (and repairs) the corruption.
+	m.FlushNodeCache()
+	got, info = mustRead(t, m, 12)
+	if !bytes.Equal(got, want) || !info.Corrected {
+		t.Fatalf("flushed read: corrected=%v", info.Corrected)
+	}
+}
+
+func TestNodeCacheDisabled(t *testing.T) {
+	m, err := New(Config{DataLines: 64, NodeCacheLines: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(3, fillLine(3))
+	mustRead(t, m, 3)
+	mustRead(t, m, 3)
+	if m.Stats().NodeCacheStops != 0 {
+		t.Fatal("disabled cache still produced stops")
+	}
+}
+
+func TestNodeCacheWritesRefreshCachedCounters(t *testing.T) {
+	// Reads served from the cache must observe the counters bumped by
+	// interleaved writes (stale cached counters would garble data).
+	m := newMemory(t, 64)
+	for k := 0; k < 20; k++ {
+		want := fillLine(byte(k))
+		if err := m.Write(7, want); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := mustRead(t, m, 7)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iteration %d: stale counter served from cache", k)
+		}
+	}
+}
+
+func TestNodeCacheLRUEviction(t *testing.T) {
+	c := newNodeCache(2)
+	c.put(1, cachedNode{})
+	c.put(2, cachedNode{})
+	c.get(1) // refresh 1
+	c.put(3, cachedNode{})
+	if _, ok := c.get(2); ok {
+		t.Fatal("LRU entry 2 not evicted")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+	if c.size() != 2 {
+		t.Fatalf("size = %d", c.size())
+	}
+	c.invalidate(1)
+	if _, ok := c.get(1); ok {
+		t.Fatal("invalidated entry still present")
+	}
+}
+
+func TestNodeCacheZeroCapacity(t *testing.T) {
+	c := newNodeCache(0)
+	c.put(1, cachedNode{})
+	if _, ok := c.get(1); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}

@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"testing"
+
+	"synergy/internal/dram"
+	"synergy/internal/secmem"
+	"synergy/internal/trace"
+)
+
+func runWorkload(t testing.TB, name string, design secmem.Design, instr uint64, channels int) Result {
+	t.Helper()
+	var w trace.Workload
+	found := false
+	for _, cand := range trace.Workloads() {
+		if cand.Name == name {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("workload %q not in roster", name)
+	}
+	hier, err := secmem.New(secmem.DefaultConfig(design))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dram.DefaultConfig()
+	dcfg.Channels = channels
+	mem, err := dram.New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = instr
+	res, err := Run(cfg, w, hier, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	hier, _ := secmem.New(secmem.DefaultConfig(secmem.NonSecure))
+	mem, _ := dram.New(dram.DefaultConfig())
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if _, err := Run(bad, trace.Workloads()[0], hier, mem); err == nil {
+		t.Fatal("accepted zero cores")
+	}
+}
+
+func TestRunProducesActivity(t *testing.T) {
+	res := runWorkload(t, "mcf", secmem.SGXO, 200_000, 2)
+	if res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Traffic.Total() == 0 {
+		t.Fatal("no DRAM traffic for a memory-intensive workload")
+	}
+	if res.IPC > float64(DefaultConfig().Width*DefaultConfig().Cores) {
+		t.Fatalf("IPC %.2f exceeds machine width", res.IPC)
+	}
+	if res.MemReads == 0 {
+		t.Fatal("DRAM saw no reads")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runWorkload(t, "lbm", secmem.Synergy, 100_000, 2)
+	b := runWorkload(t, "lbm", secmem.Synergy, 100_000, 2)
+	if a.Cycles != b.Cycles || a.Traffic != b.Traffic {
+		t.Fatalf("non-deterministic run: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// The headline result's direction: for a memory-intensive workload,
+// NonSecure > Synergy > SGX_O > SGX in performance.
+func TestDesignPerformanceOrdering(t *testing.T) {
+	const instr = 400_000
+	ipc := map[secmem.Design]float64{}
+	for _, d := range []secmem.Design{secmem.NonSecure, secmem.SGX, secmem.SGXO, secmem.Synergy} {
+		ipc[d] = runWorkload(t, "mcf", d, instr, 2).IPC
+	}
+	if !(ipc[secmem.NonSecure] > ipc[secmem.Synergy]) {
+		t.Errorf("NonSecure %.3f not above Synergy %.3f", ipc[secmem.NonSecure], ipc[secmem.Synergy])
+	}
+	if !(ipc[secmem.Synergy] > ipc[secmem.SGXO]) {
+		t.Errorf("Synergy %.3f not above SGX_O %.3f", ipc[secmem.Synergy], ipc[secmem.SGXO])
+	}
+	if !(ipc[secmem.SGXO] > ipc[secmem.SGX]) {
+		t.Errorf("SGX_O %.3f not above SGX %.3f", ipc[secmem.SGXO], ipc[secmem.SGX])
+	}
+}
+
+// More channels relieve the bandwidth bottleneck (Fig. 12 direction).
+func TestMoreChannelsHelp(t *testing.T) {
+	two := runWorkload(t, "lbm", secmem.SGXO, 300_000, 2)
+	eight := runWorkload(t, "lbm", secmem.SGXO, 300_000, 8)
+	if eight.IPC <= two.IPC {
+		t.Fatalf("8-channel IPC %.3f not above 2-channel %.3f", eight.IPC, two.IPC)
+	}
+}
+
+// Chipkill's lockstep dual-channel operation must cost performance
+// versus plain SGX_O on the same channel count (Fig. 1b rationale).
+func TestLockstepCostsPerformance(t *testing.T) {
+	plain := runWorkload(t, "lbm", secmem.SGXO, 300_000, 2)
+
+	var w trace.Workload
+	for _, cand := range trace.Workloads() {
+		if cand.Name == "lbm" {
+			w = cand
+		}
+	}
+	hier, _ := secmem.New(secmem.DefaultConfig(secmem.SGXO))
+	dcfg := dram.DefaultConfig()
+	dcfg.Lockstep = true
+	mem, _ := dram.New(dcfg)
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 300_000
+	lock, err := Run(cfg, w, hier, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock.IPC >= plain.IPC {
+		t.Fatalf("lockstep IPC %.3f not below plain %.3f", lock.IPC, plain.IPC)
+	}
+}
+
+func TestAPKIReflectsWorkloadIntensity(t *testing.T) {
+	heavy := runWorkload(t, "mcf", secmem.NonSecure, 300_000, 2)
+	light := runWorkload(t, "gobmk", secmem.NonSecure, 300_000, 2)
+	if heavy.APKI() <= light.APKI() {
+		t.Fatalf("mcf APKI %.1f not above gobmk %.1f", heavy.APKI(), light.APKI())
+	}
+}
+
+// A tiny-footprint workload should mostly hit in the LLC and show high
+// IPC regardless of design (the paper's non-memory-intensive argument).
+func TestCacheResidentWorkloadInsensitive(t *testing.T) {
+	p := trace.Profile{Name: "tiny", Suite: "SPECint", APKI: 20, WriteFrac: 0.2,
+		FootprintLines: 512, StreamFrac: 0.5}
+	w := trace.Workload{Name: "tiny", Suite: "SPECint", Parts: []trace.Profile{p}, RateRun: true}
+	run := func(d secmem.Design) float64 {
+		hier, _ := secmem.New(secmem.DefaultConfig(d))
+		mem, _ := dram.New(dram.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.InstrPerCore = 3_000_000
+		res, err := Run(cfg, w, hier, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	sgxo := run(secmem.SGXO)
+	syn := run(secmem.Synergy)
+	diff := (syn - sgxo) / sgxo
+	if diff > 0.05 || diff < -0.05 {
+		t.Fatalf("cache-resident workload moved %.1f%% between designs", diff*100)
+	}
+}
+
+func BenchmarkRunMcfSGXO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runWorkload(b, "mcf", secmem.SGXO, 200_000, 2)
+	}
+}
+
+// RunSources with recorded traces must behave like the live stream it
+// was recorded from: a replayed workload still shows the design
+// ordering.
+func TestRunSourcesWithReplay(t *testing.T) {
+	p, err := trace.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record one slice per core, as the paper's Pin-points do.
+	sources := make([]trace.Source, 4)
+	for c := 0; c < 4; c++ {
+		src := trace.NewStream(p, uint64(c)<<36, int64(c)*7919)
+		accs := make([]trace.Access, 30_000)
+		for i := range accs {
+			accs[i] = src.Next()
+		}
+		rp, err := trace.NewReplay("mcf", accs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[c] = rp
+	}
+	run := func(d secmem.Design) float64 {
+		hier, _ := secmem.New(secmem.DefaultConfig(d))
+		mem, _ := dram.New(dram.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.InstrPerCore = 300_000
+		// Fresh replays per run for determinism.
+		srcs := make([]trace.Source, 4)
+		for c := 0; c < 4; c++ {
+			srcs[c], _ = trace.NewReplay("mcf", sources[c].(*trace.Replay).Accesses())
+		}
+		res, err := RunSources(cfg, "mcf-replay", srcs, hier, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Workload != "mcf-replay" {
+			t.Fatalf("label = %q", res.Workload)
+		}
+		return res.IPC
+	}
+	if syn, sgxo := run(secmem.Synergy), run(secmem.SGXO); syn <= sgxo {
+		t.Fatalf("replayed Synergy %.3f not above SGX_O %.3f", syn, sgxo)
+	}
+}
+
+func TestRunSourcesValidatesCount(t *testing.T) {
+	hier, _ := secmem.New(secmem.DefaultConfig(secmem.NonSecure))
+	mem, _ := dram.New(dram.DefaultConfig())
+	if _, err := RunSources(DefaultConfig(), "x", nil, hier, mem); err == nil {
+		t.Fatal("accepted nil sources")
+	}
+}

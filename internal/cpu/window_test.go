@@ -1,0 +1,81 @@
+package cpu
+
+import "testing"
+
+// Unit tests for the ROB lookback window — the O(1) core-model machinery
+// that bounds how far ahead of retirement a load may issue.
+
+func TestRetireAtBeforeAnyRecord(t *testing.T) {
+	c := &core{}
+	// With no records, instructions retire at full width from t=0.
+	if got := c.retireAt(400, 4); got != 100 {
+		t.Fatalf("retireAt(400) = %d, want 100", got)
+	}
+}
+
+func TestRetireAtUsesNewestRecordAtOrBefore(t *testing.T) {
+	c := &core{}
+	c.push(record{inst: 100, retire: 1000}, 192)
+	c.push(record{inst: 200, retire: 5000}, 192)
+	// j between the records: bound by the first record plus width-rate.
+	if got := c.retireAt(180, 4); got != 1000+(180-100)/4 {
+		t.Fatalf("retireAt(180) = %d", got)
+	}
+	// j after the newest record: bound by it.
+	if got := c.retireAt(240, 4); got != 5000+10 {
+		t.Fatalf("retireAt(240) = %d", got)
+	}
+	// j before all records: width-rate from zero.
+	if got := c.retireAt(40, 4); got != 10 {
+		t.Fatalf("retireAt(40) = %d", got)
+	}
+}
+
+func TestRetireAtMonotone(t *testing.T) {
+	c := &core{}
+	c.push(record{inst: 50, retire: 400}, 192)
+	c.push(record{inst: 90, retire: 900}, 192)
+	c.push(record{inst: 130, retire: 910}, 192)
+	prev := uint64(0)
+	for j := uint64(0); j < 200; j += 7 {
+		got := c.retireAt(j, 4)
+		if got < prev {
+			t.Fatalf("retireAt(%d) = %d < previous %d", j, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPushPrunesStaleRecords(t *testing.T) {
+	c := &core{}
+	const rob = 100
+	for i := uint64(1); i <= 300; i++ {
+		c.push(record{inst: i * 10, retire: i * 40}, rob)
+	}
+	// All retained records except possibly the head's predecessor must
+	// be within rob of the newest instruction.
+	newest := c.window[len(c.window)-1].inst
+	live := c.window[c.head:]
+	for i := 1; i < len(live); i++ {
+		if live[i].inst+rob*4 < newest {
+			t.Fatalf("record %d (inst %d) far beyond the ROB window of %d", i, live[i].inst, newest)
+		}
+	}
+	// The buffer is compacted, not growing without bound.
+	if len(c.window)-c.head > 300 {
+		t.Fatal("window not pruned")
+	}
+}
+
+func TestPushCompactsBuffer(t *testing.T) {
+	c := &core{}
+	for i := uint64(1); i <= 10_000; i++ {
+		c.push(record{inst: i * 100, retire: i * 400}, 192)
+	}
+	if c.head > 64 {
+		t.Fatalf("head = %d — compaction never ran", c.head)
+	}
+	if len(c.window) > 200 {
+		t.Fatalf("window length %d — leaking records", len(c.window))
+	}
+}

@@ -1,0 +1,248 @@
+// Package dram models the DDR3 main-memory system of the paper's
+// evaluation platform (Table III): line-interleaved channels, ranks and
+// banks with open-page row buffers, a shared data bus per channel, and
+// write queues with watermark-based draining — the USIMM-style substrate
+// on which all performance experiments run.
+//
+// Time is measured in CPU cycles at 3.2 GHz; the 800 MHz DDR3 bus gives
+// a 4:1 clock ratio, so a 64-byte burst occupies the channel data bus
+// for 16 CPU cycles (8 beats at 2 transfers/bus-cycle).
+package dram
+
+import "errors"
+
+// Timing parameters, in CPU cycles (3.2 GHz core, DDR3-1600 memory).
+const (
+	// TBurst is the channel data-bus occupancy of one 64-byte transfer.
+	TBurst = 16
+	// TCAS is the column-access (CL) latency.
+	TCAS = 44
+	// TRCD is the row-activate-to-column delay.
+	TRCD = 44
+	// TRP is the precharge latency.
+	TRP = 44
+	// TChannel is the fixed command/IO overhead per access.
+	TChannel = 8
+)
+
+// Config describes the memory organization (defaults follow Table III).
+type Config struct {
+	Channels    int
+	RanksPerCh  int
+	BanksPerRk  int
+	RowsPerBank int
+	ColsPerRow  int // cachelines per row
+	// Lockstep gangs channel pairs: every access occupies two adjacent
+	// channels simultaneously, as x8 Chipkill requires (paper Fig. 1b).
+	Lockstep bool
+	// RowInterleave maps whole rows to a channel (consecutive lines
+	// share a channel and row buffer) instead of striping lines across
+	// channels; trades channel-level parallelism for row locality.
+	RowInterleave bool
+	// WriteQHigh / WriteQLow are the write-drain watermarks per channel.
+	WriteQHigh int
+	WriteQLow  int
+}
+
+// DefaultConfig returns the Table III baseline: 2 channels, 2 ranks per
+// channel, 8 banks per rank, 64 K rows, 128 cachelines per row.
+func DefaultConfig() Config {
+	return Config{
+		Channels:    2,
+		RanksPerCh:  2,
+		BanksPerRk:  8,
+		RowsPerBank: 64 * 1024,
+		ColsPerRow:  128,
+		WriteQHigh:  64,
+		WriteQLow:   32,
+	}
+}
+
+// System is the DRAM timing model. Not safe for concurrent use.
+type System struct {
+	cfg      Config
+	busFree  []uint64 // per channel: cycle the data bus frees up
+	bankFree []uint64 // per (channel, rank, bank)
+	openRow  []int64  // per bank: open row, -1 if closed
+	writeQ   []int    // per channel: queued writes
+
+	stats Stats
+}
+
+// Stats aggregates observable activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64
+	RowMisses  uint64
+	TotalLat   uint64 // sum of read latencies (request to data)
+	DrainStall uint64 // cycles reads were delayed by write drains
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.Channels <= 0 || cfg.RanksPerCh <= 0 || cfg.BanksPerRk <= 0 ||
+		cfg.RowsPerBank <= 0 || cfg.ColsPerRow <= 0 {
+		return nil, errors.New("dram: all organization parameters must be positive")
+	}
+	if cfg.Lockstep && cfg.Channels%2 != 0 {
+		return nil, errors.New("dram: lockstep operation needs an even channel count")
+	}
+	if cfg.WriteQHigh <= 0 {
+		cfg.WriteQHigh = 64
+	}
+	if cfg.WriteQLow < 0 || cfg.WriteQLow >= cfg.WriteQHigh {
+		cfg.WriteQLow = cfg.WriteQHigh / 2
+	}
+	banks := cfg.Channels * cfg.RanksPerCh * cfg.BanksPerRk
+	s := &System{
+		cfg:      cfg,
+		busFree:  make([]uint64, cfg.Channels),
+		bankFree: make([]uint64, banks),
+		openRow:  make([]int64, banks),
+		writeQ:   make([]int, cfg.Channels),
+	}
+	for i := range s.openRow {
+		s.openRow[i] = -1
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Counts reports total reads and writes served (the cpu.Memory backend
+// contract shared with memctrl.Controller).
+func (s *System) Counts() (reads, writes uint64) {
+	return s.stats.Reads, s.stats.Writes
+}
+
+// map decomposes a line address: channel interleaved on the low bits
+// (maximizing channel parallelism), then bank, then row.
+func (s *System) mapAddr(line uint64) (ch, bank int, row int64) {
+	var rest uint64
+	if s.cfg.RowInterleave {
+		// Row-granular channel interleave: bits above the column pick
+		// the channel, keeping whole rows on one channel.
+		rest = line / uint64(s.cfg.ColsPerRow)
+		ch = int(rest % uint64(s.cfg.Channels))
+		rest /= uint64(s.cfg.Channels)
+	} else {
+		// Line-granular (default): adjacent lines alternate channels.
+		ch = int(line % uint64(s.cfg.Channels))
+		rest = line / uint64(s.cfg.Channels) / uint64(s.cfg.ColsPerRow)
+	}
+	banksPerCh := s.cfg.RanksPerCh * s.cfg.BanksPerRk
+	bank = int(rest % uint64(banksPerCh))
+	row = int64((rest / uint64(banksPerCh)) % uint64(s.cfg.RowsPerBank))
+	return ch, bank, row
+}
+
+// bankIndex flattens (channel, bank-within-channel).
+func (s *System) bankIndex(ch, bank int) int {
+	return ch*s.cfg.RanksPerCh*s.cfg.BanksPerRk + bank
+}
+
+// lockstepPeer returns the ganged partner channel under lockstep.
+func lockstepPeer(ch int) int { return ch ^ 1 }
+
+// Read issues a read for line at time now and returns the cycle its
+// data arrives. It accounts bank timing, row-buffer state, channel bus
+// occupancy, and any pending write drain.
+func (s *System) Read(now uint64, line uint64) uint64 {
+	ch, bank, row := s.mapAddr(line)
+	if s.cfg.Lockstep {
+		// Ganged channels: drain and reserve the peer too.
+		s.drainWrites(now, lockstepPeer(ch))
+	}
+	s.drainWrites(now, ch)
+
+	bi := s.bankIndex(ch, bank)
+
+	var start, access uint64
+	if s.openRow[bi] == row {
+		// Column accesses to an open row pipeline at burst rate; only
+		// the data bus constrains them.
+		start = now
+		access = TCAS
+		s.stats.RowHits++
+	} else {
+		// A new activation waits for the bank to finish its previous
+		// access (precharge + activate).
+		start = max64(now, s.bankFree[bi])
+		access = TRP + TRCD + TCAS
+		s.stats.RowMisses++
+		s.openRow[bi] = row
+	}
+	// Bank latencies pipeline across banks; only the data bursts
+	// serialize on the channel bus (peak 64 B / 16 cycles = 12.8 GB/s
+	// per channel).
+	dataAt := max64(start+TChannel+access+TBurst, s.busFree[ch]+TBurst)
+	if s.cfg.Lockstep {
+		dataAt = max64(dataAt, s.busFree[lockstepPeer(ch)]+TBurst)
+	}
+	s.bankFree[bi] = dataAt
+	s.busFree[ch] = dataAt
+	if s.cfg.Lockstep {
+		s.busFree[lockstepPeer(ch)] = dataAt
+	}
+	s.stats.Reads++
+	s.stats.TotalLat += dataAt - now
+	return dataAt
+}
+
+// Write enqueues a posted write for line at time now. Writes do not
+// stall the requester; their bandwidth is consumed when the per-channel
+// write queue crosses its high watermark and the controller drains it
+// (delaying subsequent reads), as USIMM's write-drain policy does.
+func (s *System) Write(now uint64, line uint64) {
+	ch, _, _ := s.mapAddr(line)
+	s.writeQ[ch]++
+	if s.cfg.Lockstep {
+		s.writeQ[lockstepPeer(ch)]++
+	}
+	s.stats.Writes++
+	_ = now
+}
+
+// drainWrites models watermark-based write draining: when the queue
+// reaches the high watermark, the channel bus is occupied with write
+// bursts until the queue falls to the low watermark.
+func (s *System) drainWrites(now uint64, ch int) {
+	if s.writeQ[ch] < s.cfg.WriteQHigh {
+		return
+	}
+	n := s.writeQ[ch] - s.cfg.WriteQLow
+	busy := uint64(n) * (TBurst + TChannel/2)
+	from := max64(now, s.busFree[ch])
+	s.busFree[ch] = from + busy
+	s.writeQ[ch] = s.cfg.WriteQLow
+	s.stats.DrainStall += busy
+}
+
+// AvgReadLatency returns the mean read latency in CPU cycles.
+func (s *System) AvgReadLatency() float64 {
+	if s.stats.Reads == 0 {
+		return 0
+	}
+	return float64(s.stats.TotalLat) / float64(s.stats.Reads)
+}
+
+// RowHitRate returns the fraction of reads that hit an open row.
+func (s *System) RowHitRate() float64 {
+	t := s.stats.RowHits + s.stats.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.stats.RowHits) / float64(t)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package ecc
+
+import "fmt"
+
+// Chipkill: single-symbol-correcting Reed–Solomon over GF(2^8).
+//
+// x8 Chipkill (paper §II-B, Fig. 1b) stripes a codeword across 18 chips —
+// 16 data chips and 2 check chips, spanning two ECC-DIMMs in lockstep. In
+// each bus beat every chip contributes one byte, so a beat is an RS(18,16)
+// codeword: 16 data symbols + 2 check symbols, able to correct one failed
+// symbol (= one failed chip) per codeword. A 64-byte cacheline plus its
+// companion line on the second DIMM is 8 such codewords.
+
+// GF(2^8) arithmetic with the AES/most-common polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), via exp/log tables built at init.
+
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gf8Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+func gf8Div(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gf8Pow returns α^n for the generator α=2.
+func gf8Pow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+const (
+	// RSDataSymbols is the number of data symbols per Chipkill codeword.
+	RSDataSymbols = 16
+	// RSCheckSymbols is the number of check symbols per codeword.
+	RSCheckSymbols = 2
+	// RSCodewordLen is the total codeword length (one symbol per chip).
+	RSCodewordLen = RSDataSymbols + RSCheckSymbols
+)
+
+// RSResult classifies a Reed–Solomon decode.
+type RSResult int
+
+const (
+	// RSOk means the codeword was error-free.
+	RSOk RSResult = iota
+	// RSCorrected means a single-symbol error was corrected.
+	RSCorrected
+	// RSDetected means an uncorrectable (≥2-symbol) error was detected.
+	RSDetected
+)
+
+func (r RSResult) String() string {
+	switch r {
+	case RSOk:
+		return "ok"
+	case RSCorrected:
+		return "corrected"
+	case RSDetected:
+		return "detected-uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// RSEncode computes the two check symbols for 16 data symbols. The
+// codeword c[0..17] = data[0..15] ++ check[0..1] satisfies
+// Σ c[i]·α^i = 0 and Σ c[i]·α^(2i) = 0 over symbol positions i.
+func RSEncode(data []byte) (check [RSCheckSymbols]byte, err error) {
+	if len(data) != RSDataSymbols {
+		return check, fmt.Errorf("ecc: RSEncode needs %d symbols, got %d", RSDataSymbols, len(data))
+	}
+	// Solve for c16, c17:
+	//   s1 = Σ_{i<16} d[i]·α^i,  s2 = Σ_{i<16} d[i]·α^(2i)
+	//   c16·α^16 + c17·α^17 = s1
+	//   c16·α^32 + c17·α^34 = s2
+	var s1, s2 byte
+	for i, d := range data {
+		s1 ^= gf8Mul(d, gf8Pow(i))
+		s2 ^= gf8Mul(d, gf8Pow(2*i))
+	}
+	a, b := gf8Pow(16), gf8Pow(17)
+	c, d := gf8Pow(32), gf8Pow(34)
+	det := gf8Mul(a, d) ^ gf8Mul(b, c)
+	// det = α^16·α^34 + α^17·α^32 = α^50 + α^49 ≠ 0 (distinct powers).
+	c16 := gf8Div(gf8Mul(s1, d)^gf8Mul(s2, b), det)
+	c17 := gf8Div(gf8Mul(a, s2)^gf8Mul(c, s1), det)
+	return [RSCheckSymbols]byte{c16, c17}, nil
+}
+
+// RSDecode verifies (and if possible repairs) an 18-symbol codeword
+// in place. It returns the decode classification and, when a symbol was
+// corrected, its position (0..17).
+func RSDecode(codeword []byte) (RSResult, int, error) {
+	if len(codeword) != RSCodewordLen {
+		return RSDetected, -1, fmt.Errorf("ecc: RSDecode needs %d symbols, got %d", RSCodewordLen, len(codeword))
+	}
+	var s1, s2 byte
+	for i, c := range codeword {
+		s1 ^= gf8Mul(c, gf8Pow(i))
+		s2 ^= gf8Mul(c, gf8Pow(2*i))
+	}
+	if s1 == 0 && s2 == 0 {
+		return RSOk, -1, nil
+	}
+	if s1 == 0 || s2 == 0 {
+		// A single error at position j with magnitude e gives
+		// s1 = e·α^j and s2 = e·α^2j, both non-zero. One zero
+		// syndrome with the other non-zero cannot be a single error.
+		return RSDetected, -1, nil
+	}
+	// locator: α^j = s2/s1.
+	loc := gf8Div(s2, s1)
+	j := gfLog[loc]
+	if j >= RSCodewordLen {
+		return RSDetected, -1, nil
+	}
+	e := gf8Div(s1, gf8Pow(j))
+	codeword[j] ^= e
+	return RSCorrected, j, nil
+}
+
+// ChipkillLine encodes/decodes a full 18-chip lockstep access: 128 bytes
+// of data (16 chips × 8 bytes) protected by 16 check bytes (2 chips × 8
+// bytes), organized as 8 interleaved RS(18,16) codewords — codeword b
+// takes byte b of every chip. A single failed chip corrupts at most one
+// symbol per codeword and is therefore always correctable.
+
+// ChipkillEncode computes the 16 check bytes (two chip slices) for 128
+// bytes of data.
+func ChipkillEncode(data []byte) ([16]byte, error) {
+	var check [16]byte
+	if len(data) != RSDataSymbols*8 {
+		return check, fmt.Errorf("ecc: ChipkillEncode needs %d bytes, got %d", RSDataSymbols*8, len(data))
+	}
+	var symbols [RSDataSymbols]byte
+	for beat := 0; beat < 8; beat++ {
+		for chip := 0; chip < RSDataSymbols; chip++ {
+			symbols[chip] = data[chip*8+beat]
+		}
+		cs, err := RSEncode(symbols[:])
+		if err != nil {
+			return check, err
+		}
+		check[beat] = cs[0]   // chip 16 slice
+		check[8+beat] = cs[1] // chip 17 slice
+	}
+	return check, nil
+}
+
+// ChipkillDecode verifies and repairs a 128-byte lockstep line against
+// its 16 check bytes, both modified in place. It returns the worst
+// classification across the 8 beat codewords and the set of chip
+// positions corrected.
+func ChipkillDecode(data []byte, check []byte) (RSResult, []int, error) {
+	if len(data) != RSDataSymbols*8 || len(check) != 16 {
+		return RSDetected, nil, fmt.Errorf("ecc: ChipkillDecode needs %d+16 bytes, got %d+%d",
+			RSDataSymbols*8, len(data), len(check))
+	}
+	result := RSOk
+	var corrected []int
+	var cw [RSCodewordLen]byte
+	for beat := 0; beat < 8; beat++ {
+		for chip := 0; chip < RSDataSymbols; chip++ {
+			cw[chip] = data[chip*8+beat]
+		}
+		cw[16] = check[beat]
+		cw[17] = check[8+beat]
+		r, pos, err := RSDecode(cw[:])
+		if err != nil {
+			return RSDetected, corrected, err
+		}
+		switch r {
+		case RSDetected:
+			result = RSDetected
+		case RSCorrected:
+			if result != RSDetected {
+				result = RSCorrected
+			}
+			seen := false
+			for _, p := range corrected {
+				if p == pos {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				corrected = append(corrected, pos)
+			}
+			for chip := 0; chip < RSDataSymbols; chip++ {
+				data[chip*8+beat] = cw[chip]
+			}
+			check[beat] = cw[16]
+			check[8+beat] = cw[17]
+		}
+	}
+	return result, corrected, nil
+}

@@ -1,0 +1,338 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- SECDED ---
+
+func TestSECDEDNoError(t *testing.T) {
+	f := func(data uint64) bool {
+		check := SECDEDEncode(data)
+		got, res, _ := SECDEDDecode(data, check)
+		return res == SECDEDOk && got == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDEDCorrectsEverySingleDataBit(t *testing.T) {
+	data := uint64(0xDEADBEEFCAFEF00D)
+	check := SECDEDEncode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := data ^ (1 << bit)
+		got, res, _ := SECDEDDecode(corrupted, check)
+		if res != SECDEDCorrected {
+			t.Fatalf("bit %d: result %v, want corrected", bit, res)
+		}
+		if got != data {
+			t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, data)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleCheckBit(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	check := SECDEDEncode(data)
+	for bit := 0; bit < 8; bit++ {
+		got, res, _ := SECDEDDecode(data, check^(1<<bit))
+		if res != SECDEDCorrected {
+			t.Fatalf("check bit %d: result %v, want corrected", bit, res)
+		}
+		if got != data {
+			t.Fatalf("check bit %d: data changed to %#x", bit, got)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64()
+		check := SECDEDEncode(data)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		for b2 == b1 {
+			b2 = rng.Intn(64)
+		}
+		corrupted := data ^ (1 << b1) ^ (1 << b2)
+		_, res, _ := SECDEDDecode(corrupted, check)
+		if res != SECDEDDetected {
+			t.Fatalf("trial %d: double error (bits %d,%d) classified %v", trial, b1, b2, res)
+		}
+	}
+}
+
+func TestSECDEDDetectsDataPlusCheckDouble(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		data := rng.Uint64()
+		check := SECDEDEncode(data)
+		_, res, _ := SECDEDDecode(data^(1<<rng.Intn(64)), check^(1<<rng.Intn(8)))
+		if res != SECDEDDetected {
+			t.Fatalf("trial %d: data+check double error classified %v", trial, res)
+		}
+	}
+}
+
+func TestSECDEDCorrectableProperty(t *testing.T) {
+	if !SECDEDCorrectable(0, 0) || !SECDEDCorrectable(1<<17, 0) || !SECDEDCorrectable(0, 1<<3) {
+		t.Fatal("≤1-bit patterns should be correctable")
+	}
+	if SECDEDCorrectable(3, 0) || SECDEDCorrectable(1, 1) {
+		t.Fatal("2-bit patterns should not be correctable")
+	}
+}
+
+func TestSECDEDResultString(t *testing.T) {
+	for _, tc := range []struct {
+		r    SECDEDResult
+		want string
+	}{{SECDEDOk, "ok"}, {SECDEDCorrected, "corrected"}, {SECDEDDetected, "detected-uncorrectable"}, {SECDEDResult(9), "unknown"}} {
+		if tc.r.String() != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.r, tc.r.String(), tc.want)
+		}
+	}
+}
+
+// --- Reed–Solomon / Chipkill ---
+
+func TestRSEncodeValidCodeword(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, RSDataSymbols)
+		rng.Read(data)
+		check, err := RSEncode(data)
+		if err != nil {
+			return false
+		}
+		cw := append(append([]byte{}, data...), check[0], check[1])
+		res, _, err := RSDecode(cw)
+		return err == nil && res == RSOk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSCorrectsEverySingleSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, RSDataSymbols)
+	rng.Read(data)
+	check, _ := RSEncode(data)
+	clean := append(append([]byte{}, data...), check[0], check[1])
+	for pos := 0; pos < RSCodewordLen; pos++ {
+		for _, e := range []byte{0x01, 0x80, 0xFF, 0x5A} {
+			cw := append([]byte{}, clean...)
+			cw[pos] ^= e
+			res, got, err := RSDecode(cw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != RSCorrected || got != pos {
+				t.Fatalf("pos %d mask %#x: result %v at %d", pos, e, res, got)
+			}
+			for i := range cw {
+				if cw[i] != clean[i] {
+					t.Fatalf("pos %d: symbol %d not restored", pos, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRSDetectsDoubleSymbolErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, RSDataSymbols)
+	rng.Read(data)
+	check, _ := RSEncode(data)
+	clean := append(append([]byte{}, data...), check[0], check[1])
+	miscorrections := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		cw := append([]byte{}, clean...)
+		p1 := rng.Intn(RSCodewordLen)
+		p2 := rng.Intn(RSCodewordLen)
+		for p2 == p1 {
+			p2 = rng.Intn(RSCodewordLen)
+		}
+		cw[p1] ^= byte(1 + rng.Intn(255))
+		cw[p2] ^= byte(1 + rng.Intn(255))
+		res, _, _ := RSDecode(cw)
+		// A distance-3 code cannot guarantee detection of 2-symbol
+		// errors; some alias to correctable single errors
+		// (mis-correction). They must never decode to "Ok".
+		if res == RSOk {
+			t.Fatalf("trial %d: double error decoded as OK", trial)
+		}
+		if res == RSCorrected {
+			miscorrections++
+		}
+	}
+	// Mis-correction rate for random double errors should be well under
+	// 20% for RS(18,16) (aliasing ≈ n/q ≈ 18/255 ≈ 7%).
+	if miscorrections > trials/5 {
+		t.Fatalf("implausible mis-correction rate: %d/%d", miscorrections, trials)
+	}
+}
+
+func TestRSEncodeDecodeSizeValidation(t *testing.T) {
+	if _, err := RSEncode(make([]byte, 15)); err == nil {
+		t.Fatal("RSEncode accepted 15 symbols")
+	}
+	if _, _, err := RSDecode(make([]byte, 17)); err == nil {
+		t.Fatal("RSDecode accepted 17 symbols")
+	}
+}
+
+func TestChipkillRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := make([]byte, 128)
+	rng.Read(data)
+	check, err := ChipkillEncode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, corrected, err := ChipkillDecode(append([]byte{}, data...), append([]byte{}, check[:]...))
+	if err != nil || res != RSOk || len(corrected) != 0 {
+		t.Fatalf("clean decode: %v %v %v", res, corrected, err)
+	}
+}
+
+func TestChipkillCorrectsWholeChipFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	orig := make([]byte, 128)
+	rng.Read(orig)
+	check, _ := ChipkillEncode(orig)
+	for chip := 0; chip < RSDataSymbols; chip++ {
+		data := append([]byte{}, orig...)
+		chk := append([]byte{}, check[:]...)
+		// Kill the whole chip: corrupt all 8 of its bytes.
+		for b := 0; b < 8; b++ {
+			data[chip*8+b] ^= byte(1 + rng.Intn(255))
+		}
+		res, corrected, err := ChipkillDecode(data, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != RSCorrected {
+			t.Fatalf("chip %d: result %v", chip, res)
+		}
+		if len(corrected) != 1 || corrected[0] != chip {
+			t.Fatalf("chip %d: corrected positions %v", chip, corrected)
+		}
+		for i := range data {
+			if data[i] != orig[i] {
+				t.Fatalf("chip %d: byte %d not restored", chip, i)
+			}
+		}
+	}
+}
+
+func TestChipkillCorrectsCheckChipFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	orig := make([]byte, 128)
+	rng.Read(orig)
+	check, _ := ChipkillEncode(orig)
+	for chip := 16; chip < 18; chip++ {
+		data := append([]byte{}, orig...)
+		chk := append([]byte{}, check[:]...)
+		base := (chip - 16) * 8
+		for b := 0; b < 8; b++ {
+			chk[base+b] ^= 0xA5
+		}
+		res, corrected, err := ChipkillDecode(data, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != RSCorrected || len(corrected) != 1 || corrected[0] != chip {
+			t.Fatalf("check chip %d: %v %v", chip, res, corrected)
+		}
+	}
+}
+
+func TestChipkillDetectsTwoChipFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	orig := make([]byte, 128)
+	rng.Read(orig)
+	check, _ := ChipkillEncode(orig)
+	data := append([]byte{}, orig...)
+	chk := append([]byte{}, check[:]...)
+	for b := 0; b < 8; b++ {
+		data[3*8+b] ^= 0xFF
+		data[9*8+b] ^= 0x77
+	}
+	res, _, err := ChipkillDecode(data, chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != RSDetected {
+		t.Fatalf("two-chip failure classified %v, want detected", res)
+	}
+}
+
+func TestChipkillSizeValidation(t *testing.T) {
+	if _, err := ChipkillEncode(make([]byte, 64)); err == nil {
+		t.Fatal("ChipkillEncode accepted 64 bytes")
+	}
+	if _, _, err := ChipkillDecode(make([]byte, 128), make([]byte, 8)); err == nil {
+		t.Fatal("ChipkillDecode accepted short check")
+	}
+}
+
+func TestRSResultString(t *testing.T) {
+	for _, tc := range []struct {
+		r    RSResult
+		want string
+	}{{RSOk, "ok"}, {RSCorrected, "corrected"}, {RSDetected, "detected-uncorrectable"}, {RSResult(7), "unknown"}} {
+		if tc.r.String() != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.r, tc.r.String(), tc.want)
+		}
+	}
+}
+
+// GF(2^8) field sanity.
+func TestGF8Basics(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gf8Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("%d * 1 != %d", a, a)
+		}
+		inv := gf8Div(1, byte(a))
+		if gf8Mul(byte(a), inv) != 1 {
+			t.Fatalf("%d has no inverse", a)
+		}
+	}
+	if gf8Mul(0, 37) != 0 || gf8Mul(37, 0) != 0 {
+		t.Fatal("multiplication by zero broken")
+	}
+}
+
+func TestGF8DivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = gf8Div(1, 0)
+}
+
+func BenchmarkSECDEDDecode(b *testing.B) {
+	data := uint64(0xFEEDFACE12345678)
+	check := SECDEDEncode(data)
+	for i := 0; i < b.N; i++ {
+		_, _, _ = SECDEDDecode(data^1, check)
+	}
+}
+
+func BenchmarkChipkillDecodeLine(b *testing.B) {
+	data := make([]byte, 128)
+	check, _ := ChipkillEncode(data)
+	chk := check[:]
+	b.SetBytes(128)
+	for i := 0; i < b.N; i++ {
+		_, _, _ = ChipkillDecode(data, chk)
+	}
+}

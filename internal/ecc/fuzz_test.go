@@ -1,0 +1,56 @@
+package ecc
+
+import "testing"
+
+// FuzzSECDED: decoding any (data, check) pair must not panic, and a
+// word corrupted by at most one bit must always come back exactly.
+func FuzzSECDED(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(^uint64(0), uint8(0xFF), uint8(63))
+	f.Fuzz(func(t *testing.T, data uint64, noise uint8, flip uint8) {
+		check := SECDEDEncode(data)
+		// Arbitrary check corruption must classify, never panic.
+		_, res, _ := SECDEDDecode(data, check^noise)
+		_ = res
+		// A single flipped data bit must correct exactly.
+		bit := uint(flip % 64)
+		got, r, _ := SECDEDDecode(data^(1<<bit), check)
+		if r != SECDEDCorrected || got != data {
+			t.Fatalf("single-bit correction failed: data=%#x bit=%d -> %v %#x", data, bit, r, got)
+		}
+	})
+}
+
+// FuzzRS: any single-symbol corruption of a valid codeword corrects to
+// the original; arbitrary codewords never panic the decoder.
+func FuzzRS(f *testing.F) {
+	f.Add([]byte("sixteen byte data"), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, pos uint8, mag uint8) {
+		data := make([]byte, RSDataSymbols)
+		copy(data, raw)
+		check, err := RSEncode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw := append(append([]byte{}, data...), check[0], check[1])
+		p := int(pos) % RSCodewordLen
+		m := mag
+		if m == 0 {
+			m = 1
+		}
+		orig := append([]byte{}, cw...)
+		cw[p] ^= m
+		res, at, err := RSDecode(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != RSCorrected || at != p {
+			t.Fatalf("pos %d mag %#x: result %v at %d", p, m, res, at)
+		}
+		for i := range cw {
+			if cw[i] != orig[i] {
+				t.Fatalf("symbol %d not restored", i)
+			}
+		}
+	})
+}

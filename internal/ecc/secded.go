@@ -1,0 +1,162 @@
+// Package ecc implements the error-correcting codes the paper compares
+// against: SECDED (72,64) Hamming codes as stored by conventional
+// ECC-DIMMs, and a single-symbol-correcting Reed–Solomon code over
+// GF(2^8) of the kind used by x8 Chipkill (RS(18,16), 16 data symbols +
+// 2 check symbols per codeword, one symbol per chip).
+package ecc
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// SECDED (72,64): an extended Hamming code over a 64-bit word with 8
+// check bits — 7 Hamming bits plus one overall parity bit. It corrects
+// any single-bit error and detects any double-bit error, exactly the
+// guarantee of a conventional ECC-DIMM (paper §II-B).
+
+// SECDEDResult classifies the outcome of a SECDED decode.
+type SECDEDResult int
+
+const (
+	// SECDEDOk means the word was error-free.
+	SECDEDOk SECDEDResult = iota
+	// SECDEDCorrected means a single-bit error was corrected.
+	SECDEDCorrected
+	// SECDEDDetected means an uncorrectable (≥2-bit) error was detected.
+	SECDEDDetected
+)
+
+func (r SECDEDResult) String() string {
+	switch r {
+	case SECDEDOk:
+		return "ok"
+	case SECDEDCorrected:
+		return "corrected"
+	case SECDEDDetected:
+		return "detected-uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// codeword layout: positions 1..71 hold Hamming-coded bits, with check
+// bits at power-of-two positions (1,2,4,...,64) and data bits filling the
+// rest; position 0 holds the overall parity of positions 1..71.
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions = func() [64]int {
+	var pos [64]int
+	i := 0
+	for p := 1; p < 72 && i < 64; p++ {
+		if p&(p-1) == 0 { // power of two: check bit
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}()
+
+// SECDEDEncode computes the 8 check bits for a 64-bit data word.
+// Bit k of the result (k=0..6) is the Hamming check bit for mask 2^k;
+// bit 7 is the overall parity.
+func SECDEDEncode(data uint64) uint8 {
+	var cw [72]bool
+	for i := 0; i < 64; i++ {
+		cw[dataPositions[i]] = data&(1<<i) != 0
+	}
+	var check uint8
+	for k := 0; k < 7; k++ {
+		parity := false
+		for p := 1; p < 72; p++ {
+			if p&(1<<k) != 0 && cw[p] {
+				parity = !parity
+			}
+		}
+		if parity {
+			check |= 1 << k
+			cw[1<<k] = true
+		}
+	}
+	overall := false
+	for p := 1; p < 72; p++ {
+		if cw[p] {
+			overall = !overall
+		}
+	}
+	if overall {
+		check |= 1 << 7
+	}
+	return check
+}
+
+// SECDEDDecode checks (and if possible repairs) a 64-bit word against its
+// 8 check bits. It returns the possibly corrected data, the decode
+// classification, and for SECDEDCorrected the codeword bit position that
+// was repaired (data positions are 1..71; 0 means the overall parity bit
+// itself was wrong).
+func SECDEDDecode(data uint64, check uint8) (uint64, SECDEDResult, int) {
+	var cw [72]bool
+	for i := 0; i < 64; i++ {
+		cw[dataPositions[i]] = data&(1<<i) != 0
+	}
+	for k := 0; k < 7; k++ {
+		cw[1<<k] = check&(1<<k) != 0
+	}
+	cw[0] = check&(1<<7) != 0
+
+	syndrome := 0
+	for k := 0; k < 7; k++ {
+		parity := false
+		for p := 1; p < 72; p++ {
+			if p&(1<<k) != 0 && cw[p] {
+				parity = !parity
+			}
+		}
+		if parity {
+			syndrome |= 1 << k
+		}
+	}
+	overall := cw[0]
+	for p := 1; p < 72; p++ {
+		if cw[p] {
+			overall = !overall
+		}
+	}
+
+	switch {
+	case syndrome == 0 && !overall:
+		return data, SECDEDOk, -1
+	case syndrome == 0 && overall:
+		// The overall parity bit itself flipped; data is intact.
+		return data, SECDEDCorrected, 0
+	case overall:
+		// Single-bit error at position = syndrome.
+		if syndrome >= 72 {
+			return data, SECDEDDetected, -1
+		}
+		cw[syndrome] = !cw[syndrome]
+		var fixed uint64
+		for i := 0; i < 64; i++ {
+			if cw[dataPositions[i]] {
+				fixed |= 1 << i
+			}
+		}
+		return fixed, SECDEDCorrected, syndrome
+	default:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, SECDEDDetected, -1
+	}
+}
+
+// SECDEDCorrectable reports whether an error pattern (XOR mask over the
+// 64-bit data plus the 8 check bits) is correctable (≤1 bit in error).
+// It is the predicate the reliability simulator uses.
+func SECDEDCorrectable(dataMask uint64, checkMask uint8) bool {
+	return bits.OnesCount64(dataMask)+bits.OnesCount8(checkMask) <= 1
+}
+
+// ErrUncorrectable is returned by helpers when a code cannot repair the
+// observed corruption.
+var ErrUncorrectable = errors.New("ecc: detected uncorrectable error")

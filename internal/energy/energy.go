@@ -1,0 +1,68 @@
+// Package energy implements the system power/energy model behind the
+// paper's Fig. 10 and the EDP comparisons of Figs. 16–17: a fixed
+// processor power, per-channel DRAM background power, and per-access
+// DRAM energy. Energy follows access counts; power is energy over time;
+// EDP is system energy times delay — so designs that both run longer
+// and move more data (SGX, IVEC) compound, which is how Synergy's 20%
+// speedup becomes a 31% EDP reduction.
+package energy
+
+import "errors"
+
+// Model holds the power/energy constants.
+type Model struct {
+	// CorePowerW is the constant processor (4-core socket) power.
+	CorePowerW float64
+	// ChannelBackgroundW is per-channel DRAM background power.
+	ChannelBackgroundW float64
+	// ReadEnergyJ / WriteEnergyJ is the incremental energy per 64-byte
+	// DRAM access (activation + column access + IO).
+	ReadEnergyJ  float64
+	WriteEnergyJ float64
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+}
+
+// Default returns constants representative of a 4-core 3.2 GHz server
+// socket with DDR3: 40 W cores, 1.5 W/channel background, ~22 nJ per
+// access (the absolute values cancel in the paper's normalized plots;
+// the ratios are what matter).
+func Default() Model {
+	return Model{
+		CorePowerW:         40,
+		ChannelBackgroundW: 1.5,
+		ReadEnergyJ:        22e-9,
+		WriteEnergyJ:       24e-9,
+		ClockHz:            3.2e9,
+	}
+}
+
+// Report is the evaluated energy accounting for one run.
+type Report struct {
+	Seconds   float64
+	EnergyJ   float64
+	AvgPowerW float64
+	EDP       float64 // joule-seconds
+}
+
+// Evaluate computes the report for a run of `cycles` CPU cycles with the
+// given DRAM access counts over `channels` memory channels.
+func (m Model) Evaluate(cycles uint64, channels int, reads, writes uint64) (Report, error) {
+	if m.ClockHz <= 0 {
+		return Report{}, errors.New("energy: ClockHz must be positive")
+	}
+	if cycles == 0 {
+		return Report{}, errors.New("energy: zero-cycle run")
+	}
+	sec := float64(cycles) / m.ClockHz
+	e := m.CorePowerW*sec +
+		m.ChannelBackgroundW*float64(channels)*sec +
+		m.ReadEnergyJ*float64(reads) +
+		m.WriteEnergyJ*float64(writes)
+	return Report{
+		Seconds:   sec,
+		EnergyJ:   e,
+		AvgPowerW: e / sec,
+		EDP:       e * sec,
+	}, nil
+}

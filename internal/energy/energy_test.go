@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	m := Default()
+	if _, err := m.Evaluate(0, 2, 1, 1); err == nil {
+		t.Fatal("accepted zero cycles")
+	}
+	m.ClockHz = 0
+	if _, err := m.Evaluate(100, 2, 1, 1); err == nil {
+		t.Fatal("accepted zero clock")
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	m := Default()
+	r, err := m.Evaluate(3_200_000_000, 2, 0, 0) // exactly 1 s, no accesses
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Seconds-1) > 1e-12 {
+		t.Fatalf("seconds = %v, want 1", r.Seconds)
+	}
+	wantE := m.CorePowerW + 2*m.ChannelBackgroundW
+	if math.Abs(r.EnergyJ-wantE) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", r.EnergyJ, wantE)
+	}
+	if math.Abs(r.AvgPowerW-wantE) > 1e-9 {
+		t.Fatalf("power = %v, want %v", r.AvgPowerW, wantE)
+	}
+	if math.Abs(r.EDP-wantE) > 1e-9 {
+		t.Fatalf("EDP = %v, want %v (1 s run)", r.EDP, wantE)
+	}
+}
+
+func TestAccessesAddEnergy(t *testing.T) {
+	m := Default()
+	base, _ := m.Evaluate(1000, 2, 0, 0)
+	withTraffic, _ := m.Evaluate(1000, 2, 1000, 500)
+	wantDelta := 1000*m.ReadEnergyJ + 500*m.WriteEnergyJ
+	if math.Abs((withTraffic.EnergyJ-base.EnergyJ)-wantDelta) > 1e-15 {
+		t.Fatalf("energy delta = %v, want %v", withTraffic.EnergyJ-base.EnergyJ, wantDelta)
+	}
+}
+
+// Fig. 10's structure: a slower run with the same traffic has higher
+// energy (background) and much higher EDP, but similar power.
+func TestSlowerRunRaisesEDP(t *testing.T) {
+	m := Default()
+	fast, _ := m.Evaluate(1_000_000, 2, 10_000, 5_000)
+	slow, _ := m.Evaluate(1_300_000, 2, 10_000, 5_000)
+	if slow.EnergyJ <= fast.EnergyJ {
+		t.Fatal("slower run did not consume more energy")
+	}
+	if slow.EDP <= fast.EDP*1.2 {
+		t.Fatalf("EDP ratio %.3f, want > 1.2 (delay squared)", slow.EDP/fast.EDP)
+	}
+	powerRatio := slow.AvgPowerW / fast.AvgPowerW
+	if powerRatio > 1.05 || powerRatio < 0.8 {
+		t.Fatalf("power ratio %.3f, want near 1 (paper Fig. 10)", powerRatio)
+	}
+}
+
+func TestMoreChannelsMoreBackground(t *testing.T) {
+	m := Default()
+	two, _ := m.Evaluate(1000, 2, 0, 0)
+	eight, _ := m.Evaluate(1000, 8, 0, 0)
+	if eight.EnergyJ <= two.EnergyJ {
+		t.Fatal("channel background power not accounted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package gmac implements a 64-bit Carter–Wegman message authentication
+// code of the kind assumed throughout the SYNERGY paper (a "64-bit
+// AES-GCM based GMAC", §II-A3).
+//
+// The construction is the classic universal-hash-then-encrypt MAC:
+//
+//	MAC(key, addr, ctr, data) = Poly_H(data) XOR AES_K(addr || ctr)
+//
+// where Poly_H is a polynomial hash over GF(2^64) evaluated at a secret
+// point H derived from the key, and the pad AES_K(addr||ctr) binds the
+// tag to the cacheline address and the per-line write counter so that
+// relocating or replaying ciphertext is detected. A forgery or a random
+// corruption survives verification with probability about 2^-64 — the
+// property the paper's error-detection reuse (§III) and mis-correction
+// analysis (§IV-A) rely on.
+//
+// Everything is implemented with the standard library only; the GF(2^64)
+// carry-less multiplication is done in pure Go.
+package gmac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+)
+
+// TagBits is the width of the authentication tag in bits.
+const TagBits = 64
+
+// TagSize is the width of the authentication tag in bytes. It equals the
+// per-cacheline ECC-chip capacity of an x8 ECC-DIMM (8 bytes per 64-byte
+// line), which is what lets Synergy co-locate the MAC with data.
+const TagSize = 8
+
+// KeySize is the size of the secret MAC key in bytes (an AES-128 key).
+const KeySize = 16
+
+// Mac computes 64-bit Carter–Wegman tags bound to an (address, counter)
+// pair. It is safe for concurrent use by multiple goroutines after
+// construction: all state is read-only.
+type Mac struct {
+	h     uint64       // secret GF(2^64) evaluation point
+	block cipher.Block // AES for the one-time pad
+}
+
+// New creates a Mac from a 16-byte secret key.
+//
+// The key is expanded with AES: the hash point H is AES_K(0^16) truncated
+// to 64 bits (mirroring how GCM derives its GHASH key), and the same AES
+// instance whitens each tag with an address/counter-dependent pad.
+func New(key []byte) (*Mac, error) {
+	if len(key) != KeySize {
+		return nil, errors.New("gmac: key must be 16 bytes")
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	var zero, hblk [16]byte
+	b.Encrypt(hblk[:], zero[:])
+	h := binary.BigEndian.Uint64(hblk[:8])
+	if h == 0 {
+		// Point zero would hash every message to zero. Practically
+		// unreachable (probability 2^-64) but trivially avoidable.
+		h = 1
+	}
+	return &Mac{h: h, block: b}, nil
+}
+
+// Sum returns the 64-bit tag for data stored at the given cacheline
+// address with the given encryption counter. len(data) may be anything;
+// it is processed in 8-byte words (zero-padded) with the length folded
+// into the polynomial so that messages of different lengths cannot
+// collide trivially.
+func (m *Mac) Sum(addr uint64, counter uint64, data []byte) uint64 {
+	acc := polyHash(m.h, data)
+	return acc ^ m.pad(addr, counter)
+}
+
+// Verify reports whether tag authenticates data at (addr, counter).
+func (m *Mac) Verify(addr uint64, counter uint64, data []byte, tag uint64) bool {
+	return m.Sum(addr, counter, data) == tag
+}
+
+// SumBytes is Sum with the tag serialized big-endian into an 8-byte slice.
+func (m *Mac) SumBytes(addr uint64, counter uint64, data []byte) []byte {
+	var out [TagSize]byte
+	binary.BigEndian.PutUint64(out[:], m.Sum(addr, counter, data))
+	return out[:]
+}
+
+// pad computes AES_K(addr || counter) truncated to 64 bits.
+func (m *Mac) pad(addr, counter uint64) uint64 {
+	var in, out [16]byte
+	binary.BigEndian.PutUint64(in[:8], addr)
+	binary.BigEndian.PutUint64(in[8:], counter)
+	m.block.Encrypt(out[:], in[:])
+	return binary.BigEndian.Uint64(out[:8])
+}
+
+// polyHash evaluates the GF(2^64) polynomial whose coefficients are the
+// 8-byte words of data (zero padded), followed by the bit length, at
+// point h: ((w0·h + w1)·h + ... + len)·h.
+func polyHash(h uint64, data []byte) uint64 {
+	var acc uint64
+	for len(data) >= 8 {
+		acc = gfMul(acc^binary.BigEndian.Uint64(data[:8]), h)
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var last [8]byte
+		copy(last[:], data)
+		acc = gfMul(acc^binary.BigEndian.Uint64(last[:]), h)
+	}
+	return gfMul(acc^uint64(len(data))<<3^uint64(lenMixin), h)
+}
+
+// lenMixin separates the final length block from data blocks.
+const lenMixin = 0xa5a5a5a5a5a5a5a5
+
+// gfPoly is the reduction polynomial for GF(2^64):
+// x^64 + x^4 + x^3 + x + 1 (a standard irreducible pentanomial).
+const gfPoly = 0x1b
+
+// gfMul multiplies two elements of GF(2^64) (carry-less multiply reduced
+// modulo gfPoly). Pure Go, constant 64-iteration shift-and-add.
+func gfMul(a, b uint64) uint64 {
+	var p uint64
+	for i := 0; i < 64; i++ {
+		// Branch-free select of b when bit i of a is set.
+		p ^= b & -(a & 1)
+		a >>= 1
+		// Multiply b by x, reducing on overflow of the top bit.
+		hi := b >> 63
+		b = (b << 1) ^ (gfPoly & -hi)
+	}
+	return p
+}
+
+// GFMul exposes the field multiplication for tests and for reuse by the
+// integrity-tree package (which hashes node contents the same way).
+func GFMul(a, b uint64) uint64 { return gfMul(a, b) }

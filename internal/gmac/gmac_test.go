@@ -1,0 +1,222 @@
+package gmac
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t testing.TB) *Mac {
+	t.Helper()
+	m, err := New(bytes.Repeat([]byte{0x42}, KeySize))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestNewAcceptsGoodKey(t *testing.T) {
+	if _, err := New(make([]byte, KeySize)); err != nil {
+		t.Fatalf("New rejected valid key: %v", err)
+	}
+}
+
+func TestSumDeterministic(t *testing.T) {
+	m := testKey(t)
+	data := []byte("sixty-four bytes of cacheline data .............................")[:64]
+	a := m.Sum(0x1000, 7, data)
+	b := m.Sum(0x1000, 7, data)
+	if a != b {
+		t.Fatalf("Sum not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestSumDependsOnAddress(t *testing.T) {
+	m := testKey(t)
+	data := make([]byte, 64)
+	if m.Sum(0x1000, 1, data) == m.Sum(0x1040, 1, data) {
+		t.Fatal("tags for different addresses collide")
+	}
+}
+
+func TestSumDependsOnCounter(t *testing.T) {
+	m := testKey(t)
+	data := make([]byte, 64)
+	if m.Sum(0x1000, 1, data) == m.Sum(0x1000, 2, data) {
+		t.Fatal("tags for different counters collide")
+	}
+}
+
+func TestSumDependsOnKey(t *testing.T) {
+	m1, _ := New(bytes.Repeat([]byte{1}, KeySize))
+	m2, _ := New(bytes.Repeat([]byte{2}, KeySize))
+	data := make([]byte, 64)
+	if m1.Sum(0, 0, data) == m2.Sum(0, 0, data) {
+		t.Fatal("tags under different keys collide")
+	}
+}
+
+func TestVerifyRoundTrip(t *testing.T) {
+	m := testKey(t)
+	data := []byte("hello, secure memory")
+	tag := m.Sum(5, 9, data)
+	if !m.Verify(5, 9, data, tag) {
+		t.Fatal("Verify rejected a genuine tag")
+	}
+	if m.Verify(5, 9, data, tag^1) {
+		t.Fatal("Verify accepted a flipped tag")
+	}
+}
+
+func TestSumBytesMatchesSum(t *testing.T) {
+	m := testKey(t)
+	data := []byte("abcdefgh12345678")
+	want := m.Sum(3, 4, data)
+	got := binary.BigEndian.Uint64(m.SumBytes(3, 4, data))
+	if got != want {
+		t.Fatalf("SumBytes = %x, want %x", got, want)
+	}
+}
+
+// Every single-bit flip in a 64-byte line must change the tag: this is the
+// error-detection property Synergy re-uses (paper §III).
+func TestSingleBitFlipDetected(t *testing.T) {
+	m := testKey(t)
+	data := make([]byte, 64)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	orig := m.Sum(0x40, 11, data)
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			data[byteIdx] ^= 1 << bit
+			if m.Sum(0x40, 11, data) == orig {
+				t.Fatalf("bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+			data[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+// Whole-chip corruption (any change to one aligned 8-byte slice) must be
+// detected — the chip-failure case of Fig. 5.
+func TestChipSliceCorruptionDetected(t *testing.T) {
+	m := testKey(t)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 64)
+		rng.Read(data)
+		orig := m.Sum(0x80, 3, data)
+		chip := rng.Intn(8)
+		slice := data[chip*8 : chip*8+8]
+		old := make([]byte, 8)
+		copy(old, slice)
+		rng.Read(slice)
+		if bytes.Equal(old, slice) {
+			continue
+		}
+		if m.Sum(0x80, 3, data) == orig {
+			t.Fatalf("trial %d: chip %d corruption undetected", trial, chip)
+		}
+	}
+}
+
+func TestDifferentLengthsDiffer(t *testing.T) {
+	m := testKey(t)
+	// A message and the same message zero-extended must not collide.
+	a := []byte{1, 2, 3}
+	b := []byte{1, 2, 3, 0}
+	if m.Sum(0, 0, a) == m.Sum(0, 0, b) {
+		t.Fatal("zero-extension collision")
+	}
+	if m.Sum(0, 0, nil) == m.Sum(0, 0, []byte{0}) {
+		t.Fatal("empty vs single-zero collision")
+	}
+}
+
+// --- GF(2^64) field properties (property-based) ---
+
+func TestGFMulCommutative(t *testing.T) {
+	f := func(a, b uint64) bool { return GFMul(a, b) == GFMul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return GFMul(GFMul(a, b), c) == GFMul(a, GFMul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMulDistributesOverXor(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return GFMul(a, b^c) == GFMul(a, b)^GFMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMulIdentityAndZero(t *testing.T) {
+	f := func(a uint64) bool {
+		return GFMul(a, 1) == a && GFMul(1, a) == a && GFMul(a, 0) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// x^64 ≡ x^4 + x^3 + x + 1 (the reduction polynomial).
+func TestGFMulReduction(t *testing.T) {
+	// (x^63) * x = x^64 = 0x1b
+	if got := GFMul(1<<63, 2); got != 0x1b {
+		t.Fatalf("x^63 * x = %#x, want 0x1b", got)
+	}
+}
+
+// Tag distribution sanity: over random inputs, each tag bit should be set
+// roughly half the time.
+func TestTagBitBalance(t *testing.T) {
+	m := testKey(t)
+	rng := rand.New(rand.NewSource(3))
+	const n = 2000
+	var counts [64]int
+	data := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		rng.Read(data)
+		tag := m.Sum(uint64(i)*64, uint64(i), data)
+		for b := 0; b < 64; b++ {
+			if tag&(1<<b) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		if c < n/3 || c > 2*n/3 {
+			t.Errorf("tag bit %d set %d/%d times — badly skewed", b, c, n)
+		}
+	}
+}
+
+func BenchmarkSum64B(b *testing.B) {
+	m := testKey(b)
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Sum(uint64(i), 1, data)
+	}
+}

@@ -1,0 +1,65 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+
+	"synergy/internal/gmac"
+)
+
+// FuzzNodeCodec: Unpack/Pack over arbitrary 64-byte lines must be a
+// bijection for both node layouts (modulo the architectural 56-bit
+// counter mask for monolithic nodes, which the packed form enforces by
+// construction).
+func FuzzNodeCodec(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{0xA5}, NodeSize))
+	f.Add(make([]byte, NodeSize))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != NodeSize {
+			return
+		}
+		var n Node
+		n.Unpack(raw)
+		var out [NodeSize]byte
+		n.Pack(out[:])
+		if !bytes.Equal(raw, out[:]) {
+			t.Fatalf("monolithic codec not bijective")
+		}
+		var s SplitNode
+		s.Unpack(raw)
+		var out2 [NodeSize]byte
+		s.Pack(out2[:])
+		if !bytes.Equal(raw, out2[:]) {
+			t.Fatalf("split codec not bijective")
+		}
+	})
+}
+
+// FuzzMACBinding: any single-byte corruption of a sealed node's packed
+// form must fail verification.
+func FuzzMACBinding(f *testing.F) {
+	key := bytes.Repeat([]byte{7}, gmac.KeySize)
+	m, err := gmac.New(key)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0x40), uint64(3), uint8(5), uint8(0x01))
+	f.Fuzz(func(t *testing.T, addr, parent uint64, pos, mask uint8) {
+		if mask == 0 {
+			return
+		}
+		var n Node
+		for i := range n.Counters {
+			n.Counters[i] = addr*uint64(i+1) + parent
+		}
+		n.Seal(m, addr, parent)
+		var buf [NodeSize]byte
+		n.Pack(buf[:])
+		buf[int(pos)%NodeSize] ^= mask
+		var c Node
+		c.Unpack(buf[:])
+		if c.Verify(m, addr, parent) {
+			t.Fatalf("corruption at byte %d mask %#x passed verification", pos%NodeSize, mask)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package integrity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"synergy/internal/gmac"
+)
+
+func testMac(t testing.TB) *gmac.Mac {
+	t.Helper()
+	m, err := gmac.New(bytes.Repeat([]byte{9}, gmac.KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randomNode(rng *rand.Rand) Node {
+	var n Node
+	for i := range n.Counters {
+		n.Counters[i] = rng.Uint64() & CounterMask
+	}
+	n.MAC = rng.Uint64()
+	return n
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNode(rng)
+		var buf [NodeSize]byte
+		n.Pack(buf[:])
+		var m Node
+		m.Unpack(buf[:])
+		return m == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackChipInterleaving(t *testing.T) {
+	var n Node
+	n.Counters[3] = 0x00AABBCCDDEEFF11 & CounterMask
+	n.MAC = 0x0102030405060708
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	// Chip 3 slice: 7 counter bytes + MAC byte 3.
+	slice := buf[3*8 : 3*8+8]
+	want := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x04}
+	if !bytes.Equal(slice, want) {
+		t.Fatalf("chip 3 slice = %x, want %x", slice, want)
+	}
+}
+
+func TestPackMasksCounterTo56Bits(t *testing.T) {
+	var n Node
+	n.Counters[0] = ^uint64(0)
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	var m Node
+	m.Unpack(buf[:])
+	if m.Counters[0] != CounterMask {
+		t.Fatalf("counter round-tripped as %#x, want %#x", m.Counters[0], uint64(CounterMask))
+	}
+}
+
+func TestSealVerify(t *testing.T) {
+	m := testMac(t)
+	rng := rand.New(rand.NewSource(1))
+	n := randomNode(rng)
+	n.Seal(m, 0x1000, 42)
+	if !n.Verify(m, 0x1000, 42) {
+		t.Fatal("sealed node fails verification")
+	}
+	if n.Verify(m, 0x1000, 43) {
+		t.Fatal("node verifies under wrong parent counter (replay undetected)")
+	}
+	if n.Verify(m, 0x1040, 42) {
+		t.Fatal("node verifies at wrong address (relocation undetected)")
+	}
+}
+
+func TestCounterChangeBreaksMAC(t *testing.T) {
+	m := testMac(t)
+	rng := rand.New(rand.NewSource(2))
+	n := randomNode(rng)
+	n.Seal(m, 0, 7)
+	for i := range n.Counters {
+		n.Counters[i]++
+		if n.Verify(m, 0, 7) {
+			t.Fatalf("counter %d modification undetected", i)
+		}
+		n.Counters[i]--
+	}
+}
+
+// A single-chip corruption of the packed line corrupts one counter and
+// one MAC byte; verification must fail (Fig. 7 detection scenario).
+func TestChipCorruptionDetected(t *testing.T) {
+	m := testMac(t)
+	rng := rand.New(rand.NewSource(3))
+	for chip := 0; chip < 8; chip++ {
+		n := randomNode(rng)
+		n.Seal(m, 0x80, 5)
+		var buf [NodeSize]byte
+		n.Pack(buf[:])
+		buf[chip*8+rng.Intn(8)] ^= byte(1 + rng.Intn(255))
+		var c Node
+		c.Unpack(buf[:])
+		if c.Verify(m, 0x80, 5) {
+			t.Fatalf("chip %d corruption passed verification", chip)
+		}
+	}
+}
+
+func TestParityReconstructsAnyChip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := randomNode(rng)
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	parity := SliceParity(buf[:])
+	for chip := 0; chip < 8; chip++ {
+		// Reconstruct chip's slice as parity XOR all other slices.
+		var rec [8]byte
+		copy(rec[:], parity[:])
+		for other := 0; other < 8; other++ {
+			if other == chip {
+				continue
+			}
+			for b := 0; b < 8; b++ {
+				rec[b] ^= buf[other*8+b]
+			}
+		}
+		if !bytes.Equal(rec[:], buf[chip*8:chip*8+8]) {
+			t.Fatalf("chip %d not reconstructable from parity", chip)
+		}
+	}
+}
+
+func TestNodeParityMatchesSliceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := randomNode(rng)
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	if n.Parity() != SliceParity(buf[:]) {
+		t.Fatal("Node.Parity disagrees with SliceParity of packed form")
+	}
+}
+
+func TestGeometrySmall(t *testing.T) {
+	g, err := NewGeometry(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Levels() != 0 || g.TotalNodes() != 0 {
+		t.Fatalf("1 counter line: levels=%d nodes=%d, want 0/0", g.Levels(), g.TotalNodes())
+	}
+	// Its parent is the root directly.
+	_, _, slot, ok := g.Parent(-1, 0)
+	if ok || slot != 0 {
+		t.Fatalf("Parent(-1,0) = ok=%v slot=%d", ok, slot)
+	}
+}
+
+func TestGeometryLevels(t *testing.T) {
+	cases := []struct {
+		counterLines uint64
+		levels       int
+		total        uint64
+	}{
+		{8, 1, 1},      // 8 leaves -> 1 node -> root
+		{64, 2, 8 + 1}, // 64 -> 8 -> 1
+		{512, 3, 64 + 8 + 1},
+		{9, 2, 2 + 1}, // 9 -> 2 -> 1
+	}
+	for _, tc := range cases {
+		g, err := NewGeometry(tc.counterLines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Levels() != tc.levels {
+			t.Errorf("%d lines: levels = %d, want %d", tc.counterLines, g.Levels(), tc.levels)
+		}
+		if g.TotalNodes() != tc.total {
+			t.Errorf("%d lines: total = %d, want %d", tc.counterLines, g.TotalNodes(), tc.total)
+		}
+	}
+}
+
+func TestGeometryParentChain(t *testing.T) {
+	g, _ := NewGeometry(512) // levels: 64, 8, 1
+	// Counter line 100 -> level 0 node 12 slot 4.
+	pl, pi, slot, ok := g.Parent(-1, 100)
+	if !ok || pl != 0 || pi != 12 || slot != 4 {
+		t.Fatalf("Parent(-1,100) = %d,%d,%d,%v", pl, pi, slot, ok)
+	}
+	// Level 0 node 12 -> level 1 node 1 slot 4.
+	pl, pi, slot, ok = g.Parent(0, 12)
+	if !ok || pl != 1 || pi != 1 || slot != 4 {
+		t.Fatalf("Parent(0,12) = %d,%d,%d,%v", pl, pi, slot, ok)
+	}
+	// Level 1 node 1 -> level 2 node 0 slot 1.
+	pl, pi, slot, ok = g.Parent(1, 1)
+	if !ok || pl != 2 || pi != 0 || slot != 1 {
+		t.Fatalf("Parent(1,1) = %d,%d,%d,%v", pl, pi, slot, ok)
+	}
+	// Level 2 node 0 -> root.
+	_, _, slot, ok = g.Parent(2, 0)
+	if ok || slot != 0 {
+		t.Fatalf("Parent(2,0) = slot=%d ok=%v, want root", slot, ok)
+	}
+}
+
+func TestGeometryRejectsZero(t *testing.T) {
+	if _, err := NewGeometry(0); err == nil {
+		t.Fatal("NewGeometry(0) succeeded")
+	}
+}
+
+func TestGeometryNodesAt(t *testing.T) {
+	g, _ := NewGeometry(512)
+	if g.NodesAt(0) != 64 || g.NodesAt(1) != 8 || g.NodesAt(2) != 1 {
+		t.Fatalf("NodesAt = %d,%d,%d", g.NodesAt(0), g.NodesAt(1), g.NodesAt(2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodesAt(3) should panic")
+		}
+	}()
+	g.NodesAt(3)
+}
+
+// Property: every node at every level has a well-defined parent chain
+// terminating at the root.
+func TestParentChainTerminates(t *testing.T) {
+	g, _ := NewGeometry(4096)
+	f := func(line uint64) bool {
+		line %= 4096
+		level, index := -1, line
+		for hops := 0; hops < 10; hops++ {
+			pl, pi, _, ok := g.Parent(level, index)
+			if !ok {
+				return true
+			}
+			if pl != level+1 || pi > index {
+				return false
+			}
+			level, index = pl, pi
+		}
+		return false // did not terminate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	g, _ := NewGeometry(512)
+	want := float64(64+8+1) / 512
+	if got := g.StorageOverhead(); got != want {
+		t.Fatalf("StorageOverhead = %v, want %v", got, want)
+	}
+}

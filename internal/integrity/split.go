@@ -1,0 +1,133 @@
+package integrity
+
+import (
+	"errors"
+
+	"synergy/internal/gmac"
+)
+
+// SplitNode is a split-counter leaf line (Yan et al., paper §VI-F): one
+// shared major counter plus many small per-line minor counters, so a
+// single cacheline covers 48 data lines instead of 8 and the counter
+// working set shrinks 6x. The effective encryption counter of slot s is
+// Major<<8 | Minors[s]; when a minor would overflow, the major
+// increments and every line in the group is re-encrypted (the design's
+// well-known overflow cost, which the functional engine implements).
+//
+// Chip-interleaved layout, preserving Synergy's failure model — chip i
+// of the 8 data chips holds:
+//
+//	byte 0    : byte i of the 64-bit major counter
+//	bytes 1-6 : minors 6i .. 6i+5
+//	byte 7    : byte i of the 64-bit line MAC
+//
+// so a chip failure corrupts one major byte, six minors and one MAC
+// byte, all caught by the line MAC and all restored by rebuilding the
+// chip's slice from ParityC.
+type SplitNode struct {
+	Major  uint64
+	Minors [SplitCountersPerLine]uint8
+	MAC    uint64
+}
+
+// SplitCountersPerLine is the number of data lines one split-counter
+// line covers.
+const SplitCountersPerLine = 48
+
+// MinorMax is the largest minor value; bumping past it forces a group
+// re-encryption under an incremented major.
+const MinorMax = 0xFF
+
+// ErrMajorOverflow reports major-counter exhaustion (the region must be
+// re-keyed, as with monolithic counter overflow).
+var ErrMajorOverflow = errors.New("integrity: split-counter major overflow (region must be re-keyed)")
+
+// splitMajorMax keeps effective counters (Major<<8 | minor) within the
+// architectural 56 bits of the encryption engine.
+const splitMajorMax = 1<<48 - 1
+
+// Counter returns the effective encryption counter of slot s.
+func (n *SplitNode) Counter(slot int) uint64 {
+	return n.Major<<8 | uint64(n.Minors[slot])
+}
+
+// Bump advances slot s. It returns the slot's new effective counter and
+// whether a group re-encryption is required: when the minor overflows,
+// the major has already been incremented and every minor reset (the
+// bumped slot to 1, so its counter is distinct from the re-encrypted
+// group's Major<<8|0).
+func (n *SplitNode) Bump(slot int) (uint64, bool, error) {
+	if n.Minors[slot] < MinorMax {
+		n.Minors[slot]++
+		return n.Counter(slot), false, nil
+	}
+	if n.Major >= splitMajorMax {
+		return 0, false, ErrMajorOverflow
+	}
+	n.Major++
+	for i := range n.Minors {
+		n.Minors[i] = 0
+	}
+	n.Minors[slot] = 1
+	return n.Counter(slot), true, nil
+}
+
+// Pack serializes the node into a 64-byte cacheline with the chip
+// interleaving documented on SplitNode.
+func (n *SplitNode) Pack(dst []byte) {
+	if len(dst) != NodeSize {
+		panic("integrity: Pack needs a 64-byte buffer")
+	}
+	for chip := 0; chip < 8; chip++ {
+		s := dst[chip*8 : chip*8+8]
+		s[0] = byte(n.Major >> (8 * (7 - chip)))
+		for j := 0; j < 6; j++ {
+			s[1+j] = n.Minors[chip*6+j]
+		}
+		s[7] = byte(n.MAC >> (8 * (7 - chip)))
+	}
+}
+
+// Unpack deserializes a 64-byte cacheline into the node.
+func (n *SplitNode) Unpack(src []byte) {
+	if len(src) != NodeSize {
+		panic("integrity: Unpack needs a 64-byte buffer")
+	}
+	n.Major = 0
+	n.MAC = 0
+	for chip := 0; chip < 8; chip++ {
+		s := src[chip*8 : chip*8+8]
+		n.Major |= uint64(s[0]) << (8 * (7 - chip))
+		for j := 0; j < 6; j++ {
+			n.Minors[chip*6+j] = s[1+j]
+		}
+		n.MAC |= uint64(s[7]) << (8 * (7 - chip))
+	}
+}
+
+// macContent serializes the MACed content: major then minors (56 bytes;
+// the MAC bytes themselves are excluded).
+func (n *SplitNode) macContent() []byte {
+	buf := make([]byte, 8+SplitCountersPerLine)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n.Major >> (8 * (7 - i)))
+	}
+	copy(buf[8:], n.Minors[:])
+	return buf
+}
+
+// ComputeMAC computes the node's 64-bit MAC keyed by line address and
+// parent counter.
+func (n *SplitNode) ComputeMAC(m *gmac.Mac, addr, parentCtr uint64) uint64 {
+	return m.Sum(addr, parentCtr, n.macContent())
+}
+
+// Seal recomputes and stores the node MAC.
+func (n *SplitNode) Seal(m *gmac.Mac, addr, parentCtr uint64) {
+	n.MAC = n.ComputeMAC(m, addr, parentCtr)
+}
+
+// Verify reports whether the stored MAC matches the computed one.
+func (n *SplitNode) Verify(m *gmac.Mac, addr, parentCtr uint64) bool {
+	return n.ComputeMAC(m, addr, parentCtr) == n.MAC
+}

@@ -1,0 +1,196 @@
+package integrity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSplitNode(rng *rand.Rand) SplitNode {
+	var n SplitNode
+	n.Major = rng.Uint64() & splitMajorMax
+	for i := range n.Minors {
+		n.Minors[i] = uint8(rng.Intn(256))
+	}
+	n.MAC = rng.Uint64()
+	return n
+}
+
+func TestSplitPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomSplitNode(rng)
+		var buf [NodeSize]byte
+		n.Pack(buf[:])
+		var m SplitNode
+		m.Unpack(buf[:])
+		return m == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitChipInterleaving(t *testing.T) {
+	var n SplitNode
+	n.Major = 0x0102030405060708
+	n.MAC = 0xA1A2A3A4A5A6A7A8
+	for i := range n.Minors {
+		n.Minors[i] = uint8(i)
+	}
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	// Chip 2's slice: major byte 2, minors 12..17, MAC byte 2.
+	s := buf[2*8 : 2*8+8]
+	if s[0] != 0x03 || s[7] != 0xA3 {
+		t.Fatalf("chip 2 slice = %x", s)
+	}
+	for j := 0; j < 6; j++ {
+		if s[1+j] != uint8(12+j) {
+			t.Fatalf("chip 2 minor %d = %d", j, s[1+j])
+		}
+	}
+}
+
+func TestSplitCounterValue(t *testing.T) {
+	var n SplitNode
+	n.Major = 5
+	n.Minors[7] = 9
+	if got := n.Counter(7); got != 5<<8|9 {
+		t.Fatalf("Counter = %#x", got)
+	}
+}
+
+func TestSplitBumpNoOverflow(t *testing.T) {
+	var n SplitNode
+	ctr, re, err := n.Bump(3)
+	if err != nil || re {
+		t.Fatalf("Bump: %v %v", re, err)
+	}
+	if ctr != 1 || n.Minors[3] != 1 {
+		t.Fatalf("ctr=%d minor=%d", ctr, n.Minors[3])
+	}
+}
+
+func TestSplitBumpOverflowResetsGroup(t *testing.T) {
+	var n SplitNode
+	n.Major = 10
+	for i := range n.Minors {
+		n.Minors[i] = uint8(i)
+	}
+	n.Minors[5] = MinorMax
+	ctr, re, err := n.Bump(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re {
+		t.Fatal("overflow did not request re-encryption")
+	}
+	if n.Major != 11 {
+		t.Fatalf("major = %d, want 11", n.Major)
+	}
+	for i, m := range n.Minors {
+		want := uint8(0)
+		if i == 5 {
+			want = 1
+		}
+		if m != want {
+			t.Fatalf("minor %d = %d, want %d", i, m, want)
+		}
+	}
+	if ctr != 11<<8|1 {
+		t.Fatalf("ctr = %#x", ctr)
+	}
+}
+
+func TestSplitBumpMajorOverflow(t *testing.T) {
+	var n SplitNode
+	n.Major = splitMajorMax
+	n.Minors[0] = MinorMax
+	if _, _, err := n.Bump(0); err != ErrMajorOverflow {
+		t.Fatalf("err = %v, want ErrMajorOverflow", err)
+	}
+}
+
+// Monotonicity: effective counters strictly increase under Bump,
+// across minor overflows.
+func TestSplitCounterMonotone(t *testing.T) {
+	var n SplitNode
+	prev := n.Counter(2)
+	for k := 0; k < 600; k++ {
+		ctr, _, err := n.Bump(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctr <= prev {
+			t.Fatalf("step %d: counter %d not above %d", k, ctr, prev)
+		}
+		prev = ctr
+	}
+}
+
+func TestSplitSealVerify(t *testing.T) {
+	m := testMac(t)
+	rng := rand.New(rand.NewSource(21))
+	n := randomSplitNode(rng)
+	n.Seal(m, 0x2000, 77)
+	if !n.Verify(m, 0x2000, 77) {
+		t.Fatal("sealed split node fails verification")
+	}
+	if n.Verify(m, 0x2000, 78) || n.Verify(m, 0x2040, 77) {
+		t.Fatal("split node verifies under wrong binding")
+	}
+	n.Minors[17]++
+	if n.Verify(m, 0x2000, 77) {
+		t.Fatal("minor modification undetected")
+	}
+	n.Minors[17]--
+	n.Major++
+	if n.Verify(m, 0x2000, 77) {
+		t.Fatal("major modification undetected")
+	}
+}
+
+func TestSplitChipCorruptionDetected(t *testing.T) {
+	m := testMac(t)
+	rng := rand.New(rand.NewSource(22))
+	for chip := 0; chip < 8; chip++ {
+		n := randomSplitNode(rng)
+		n.Seal(m, 0x40, 3)
+		var buf [NodeSize]byte
+		n.Pack(buf[:])
+		buf[chip*8+rng.Intn(8)] ^= byte(1 + rng.Intn(255))
+		var c SplitNode
+		c.Unpack(buf[:])
+		if c.Verify(m, 0x40, 3) {
+			t.Fatalf("chip %d corruption passed verification", chip)
+		}
+	}
+}
+
+// Parity reconstruction restores any chip's slice of a packed split
+// node, exactly as for monolithic nodes.
+func TestSplitParityReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := randomSplitNode(rng)
+	var buf [NodeSize]byte
+	n.Pack(buf[:])
+	parity := SliceParity(buf[:])
+	for chip := 0; chip < 8; chip++ {
+		var rec [8]byte
+		copy(rec[:], parity[:])
+		for other := 0; other < 8; other++ {
+			if other == chip {
+				continue
+			}
+			for b := 0; b < 8; b++ {
+				rec[b] ^= buf[other*8+b]
+			}
+		}
+		for b := 0; b < 8; b++ {
+			if rec[b] != buf[chip*8+b] {
+				t.Fatalf("chip %d byte %d not reconstructable", chip, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,462 @@
+// Package reliability is the FAULTSIM-style Monte Carlo memory
+// reliability simulator behind Fig. 11. It injects DRAM faults with the
+// field-measured FIT rates of Table I (Sridharan et al.) into a
+// multi-rank memory over a 7-year lifetime and evaluates, per
+// protection scheme, whether an uncorrectable pattern arises:
+//
+//	NoECC    — any fault is fatal.
+//	SECDED   — per-word single-bit correction: any multi-bit-per-word
+//	           footprint (word/row/bank faults) is fatal; single-bit
+//	           and single-DQ column faults are corrected unless two
+//	           such faults intersect the same word.
+//	Chipkill — corrects one failed chip per 18-chip (two-rank lockstep)
+//	           group; two intersecting faults on distinct chips fail.
+//	Synergy  — corrects one failed chip per 9-chip rank group (the MAC
+//	           detects, the 9-chip parity corrects); two intersecting
+//	           faults on distinct chips of a rank fail.
+//
+// The paper's headline ratios (Chipkill 37× and Synergy 185× better
+// than SECDED) come from exactly this structure: SECDED dies on its
+// first large-footprint fault, while the chip-correcting schemes need
+// two co-located faulty chips, and Synergy's smaller group halves the
+// number of fatal chip pairs per system.
+package reliability
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"synergy/internal/stats"
+)
+
+// FaultMode enumerates the Table I DRAM failure modes.
+type FaultMode int
+
+const (
+	// Bit is a single-bit fault.
+	Bit FaultMode = iota
+	// Word is a multi-bit fault within one word.
+	Word
+	// Column is a single-DQ column fault (one bit of many words).
+	Column
+	// Row is a single-row fault (all bits of the row).
+	Row
+	// Bank is a single-bank fault.
+	Bank
+	// MultiBank spans several banks of one chip.
+	MultiBank
+	// MultiRank affects the same chip position across ranks.
+	MultiRank
+	numModes
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case Bit:
+		return "bit"
+	case Word:
+		return "word"
+	case Column:
+		return "column"
+	case Row:
+		return "row"
+	case Bank:
+		return "bank"
+	case MultiBank:
+		return "multi-bank"
+	case MultiRank:
+		return "multi-rank"
+	default:
+		return "unknown"
+	}
+}
+
+// ModeRate holds transient and permanent FIT (failures per 10^9
+// device-hours) for one mode.
+type ModeRate struct {
+	Transient float64
+	Permanent float64
+}
+
+// TableI reproduces the paper's Table I fault rates per DRAM chip.
+var TableI = map[FaultMode]ModeRate{
+	Bit:       {Transient: 14.2, Permanent: 18.6},
+	Word:      {Transient: 1.4, Permanent: 0.3},
+	Column:    {Transient: 1.4, Permanent: 5.6},
+	Row:       {Transient: 0.2, Permanent: 8.2},
+	Bank:      {Transient: 0.8, Permanent: 10},
+	MultiBank: {Transient: 0.3, Permanent: 1.4},
+	MultiRank: {Transient: 0.9, Permanent: 2.8},
+}
+
+// Policy selects the protection scheme being evaluated.
+type Policy int
+
+const (
+	// NoECC has no protection.
+	NoECC Policy = iota
+	// SECDED is the conventional ECC-DIMM code (paper baseline).
+	SECDED
+	// Chipkill corrects one chip per 18-chip lockstep group.
+	Chipkill
+	// Synergy corrects one chip per 9-chip rank.
+	Synergy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NoECC:
+		return "NoECC"
+	case SECDED:
+		return "SECDED"
+	case Chipkill:
+		return "Chipkill"
+	case Synergy:
+		return "Synergy"
+	default:
+		return "unknown"
+	}
+}
+
+// Geometry is the per-chip array organization used for fault-footprint
+// intersection (Table III defaults).
+type Geometry struct {
+	Banks int
+	Rows  int
+	Cols  int
+}
+
+// Config parameterizes the Monte Carlo.
+type Config struct {
+	// Ranks in the system; each rank has ChipsPerRank chips (9 for
+	// ECC-DIMMs). Chipkill groups rank pairs.
+	Ranks        int
+	ChipsPerRank int
+	// LifetimeHours is the evaluation window (paper: 7 years).
+	LifetimeHours float64
+	// ScrubHours is how long a transient fault persists before patrol
+	// scrubbing repairs it. Permanent faults persist forever.
+	ScrubHours float64
+	Geometry   Geometry
+	Rates      map[FaultMode]ModeRate
+	Trials     int
+	Seed       int64
+}
+
+// IVECConfig returns the §VII-A comparison point: IVEC on commodity x4
+// DIMMs corrects one chip per 16-chip rank. x4 chips are half as wide,
+// so the same capacity needs twice as many chips (4 ranks × 16); chip
+// fault rates are taken from Table I unchanged (a documented
+// approximation — Sridharan's rates are per-device and largely
+// width-independent). Evaluate it with the Synergy policy, whose rule
+// ("one faulty chip per rank-group is correctable") is exactly IVEC's.
+func IVECConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ChipsPerRank = 16
+	return cfg
+}
+
+// DefaultConfig returns the paper's evaluation setup: 4 ranks of 9
+// chips (2 channels × 2 ranks), 7-year lifetime, Table I rates.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:         4,
+		ChipsPerRank:  9,
+		LifetimeHours: 7 * 365.25 * 24,
+		ScrubHours:    24,
+		Geometry:      Geometry{Banks: 8, Rows: 64 * 1024, Cols: 128},
+		Rates:         TableI,
+		Trials:        200_000,
+		Seed:          1,
+	}
+}
+
+// fault is one sampled fault instance.
+type fault struct {
+	chip       int // global chip index
+	mode       FaultMode
+	transient  bool
+	start, end float64
+	bankLo     int
+	bankHi     int
+	rowLo      int
+	rowHi      int
+	colLo      int
+	colHi      int
+}
+
+func overlap(a, b *fault) bool {
+	if a.end < b.start || b.end < a.start {
+		return false
+	}
+	return a.bankLo <= b.bankHi && b.bankLo <= a.bankHi &&
+		a.rowLo <= b.rowHi && b.rowLo <= a.rowHi &&
+		a.colLo <= b.colHi && b.colLo <= a.colHi
+}
+
+// secdedFatal reports whether a single fault overwhelms SECDED: any
+// footprint placing more than one bit in a 72-bit word. Row, bank and
+// word faults do; bit faults and single-DQ column faults do not.
+func secdedFatal(m FaultMode) bool {
+	switch m {
+	case Word, Row, Bank, MultiBank, MultiRank:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result summarizes a Monte Carlo run.
+type Result struct {
+	Policy      Policy
+	Trials      int
+	Failures    int
+	Probability float64
+	WilsonLo    float64
+	WilsonHi    float64
+	MeanFaults  float64 // average faults per system lifetime
+	// FailuresByMode attributes each failed trial to the fault mode
+	// that triggered the uncorrectable condition — which failure modes
+	// a protection scheme is actually vulnerable to.
+	FailuresByMode map[FaultMode]int
+}
+
+// Simulate runs the Monte Carlo for one policy.
+func Simulate(policy Policy, cfg Config) (Result, error) {
+	if cfg.Trials <= 0 || cfg.Ranks <= 0 || cfg.ChipsPerRank <= 0 {
+		return Result{}, errors.New("reliability: Trials, Ranks, ChipsPerRank must be positive")
+	}
+	if cfg.LifetimeHours <= 0 || cfg.Geometry.Banks <= 0 {
+		return Result{}, errors.New("reliability: lifetime and geometry must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chips := cfg.Ranks * cfg.ChipsPerRank
+
+	// Per-chip total rate and cumulative mode weights.
+	var entries []modeEntry
+	var chipLambda float64
+	for m := FaultMode(0); m < numModes; m++ {
+		r, ok := cfg.Rates[m]
+		if !ok {
+			continue
+		}
+		tr := r.Transient * 1e-9 * cfg.LifetimeHours
+		pr := r.Permanent * 1e-9 * cfg.LifetimeHours
+		entries = append(entries,
+			modeEntry{m, true, tr}, modeEntry{m, false, pr})
+		chipLambda += tr + pr
+	}
+	sysLambda := chipLambda * float64(chips)
+
+	failures := 0
+	totalFaults := 0
+	byMode := map[FaultMode]int{}
+	var active []fault
+	for trial := 0; trial < cfg.Trials; trial++ {
+		n := poisson(rng, sysLambda)
+		if n == 0 {
+			continue
+		}
+		totalFaults += n
+		active = active[:0]
+		for i := 0; i < n; i++ {
+			chip := rng.Intn(chips)
+			me := pick(rng, entries, chipLambda)
+			fs := sampleFault(rng, chip, me.mode, me.transient, cfg)
+			active = append(active, fs...)
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i].start < active[j].start })
+		if fails, mode := systemFailsMode(policy, active, cfg); fails {
+			failures++
+			byMode[mode]++
+		}
+	}
+	p := float64(failures) / float64(cfg.Trials)
+	lo, hi := stats.WilsonInterval(uint64(failures), uint64(cfg.Trials))
+	return Result{
+		Policy:         policy,
+		Trials:         cfg.Trials,
+		Failures:       failures,
+		Probability:    p,
+		WilsonLo:       lo,
+		WilsonHi:       hi,
+		MeanFaults:     float64(totalFaults) / float64(cfg.Trials),
+		FailuresByMode: byMode,
+	}, nil
+}
+
+// modeEntry is one (mode, transience) sampling bucket.
+type modeEntry struct {
+	mode      FaultMode
+	transient bool
+	weight    float64
+}
+
+// pick selects a mode entry proportionally to weight.
+func pick(rng *rand.Rand, entries []modeEntry, total float64) modeEntry {
+	r := rng.Float64() * total
+	for _, e := range entries {
+		if r < e.weight {
+			return e
+		}
+		r -= e.weight
+	}
+	return entries[len(entries)-1]
+}
+
+// sampleFault instantiates a fault's footprint and lifetime. MultiRank
+// faults expand to whole-chip faults on the same chip position of the
+// partner rank as well.
+func sampleFault(rng *rand.Rand, chip int, m FaultMode, transient bool, cfg Config) []fault {
+	g := cfg.Geometry
+	f := fault{chip: chip, mode: m, transient: transient}
+	f.start = rng.Float64() * cfg.LifetimeHours
+	if transient {
+		f.end = f.start + cfg.ScrubHours
+	} else {
+		f.end = math.Inf(1)
+	}
+	b := rng.Intn(g.Banks)
+	r := rng.Intn(g.Rows)
+	c := rng.Intn(g.Cols)
+	f.bankLo, f.bankHi = b, b
+	f.rowLo, f.rowHi = r, r
+	f.colLo, f.colHi = c, c
+	switch m {
+	case Bit, Word:
+		// point footprint, set above
+	case Column:
+		f.rowLo, f.rowHi = 0, g.Rows-1
+	case Row:
+		f.colLo, f.colHi = 0, g.Cols-1
+	case Bank:
+		f.rowLo, f.rowHi = 0, g.Rows-1
+		f.colLo, f.colHi = 0, g.Cols-1
+	case MultiBank:
+		span := 2 + rng.Intn(3)
+		hi := b + span - 1
+		if hi >= g.Banks {
+			hi = g.Banks - 1
+		}
+		f.bankLo, f.bankHi = b, hi
+		f.rowLo, f.rowHi = 0, g.Rows-1
+		f.colLo, f.colHi = 0, g.Cols-1
+	case MultiRank:
+		// Whole chip, plus its twin on the partner rank.
+		f.bankLo, f.bankHi = 0, g.Banks-1
+		f.rowLo, f.rowHi = 0, g.Rows-1
+		f.colLo, f.colHi = 0, g.Cols-1
+		twin := f
+		partner := partnerRankChip(chip, cfg)
+		if partner >= 0 {
+			twin.chip = partner
+			return []fault{f, twin}
+		}
+	}
+	return []fault{f}
+}
+
+// partnerRankChip returns the same chip position in the paired rank
+// (ranks pair 0-1, 2-3 within a channel), or -1 if there is none.
+func partnerRankChip(chip int, cfg Config) int {
+	rank := chip / cfg.ChipsPerRank
+	pos := chip % cfg.ChipsPerRank
+	partner := rank ^ 1
+	if partner >= cfg.Ranks {
+		return -1
+	}
+	return partner*cfg.ChipsPerRank + pos
+}
+
+// groupOf maps a chip to its protection group under the policy.
+func groupOf(policy Policy, chip int, cfg Config) int {
+	rank := chip / cfg.ChipsPerRank
+	switch policy {
+	case Chipkill:
+		// Lockstep pairs ranks across channels: with ranks laid out
+		// [ch0.r0, ch0.r1, ch1.r0, ch1.r1], group rank i of channel 0
+		// with rank i of channel 1.
+		half := cfg.Ranks / 2
+		if half == 0 {
+			return 0
+		}
+		return rank % half
+	default:
+		return rank
+	}
+}
+
+// systemFails replays the fault sequence under the policy.
+func systemFails(policy Policy, faults []fault, cfg Config) bool {
+	fails, _ := systemFailsMode(policy, faults, cfg)
+	return fails
+}
+
+// systemFailsMode additionally reports the mode of the fault that
+// triggered the failure.
+func systemFailsMode(policy Policy, faults []fault, cfg Config) (bool, FaultMode) {
+	if len(faults) == 0 {
+		return false, 0
+	}
+	if policy == NoECC {
+		return true, faults[0].mode
+	}
+	for i := range faults {
+		f := &faults[i]
+		if policy == SECDED && secdedFatal(f.mode) {
+			return true, f.mode
+		}
+		for j := 0; j < i; j++ {
+			e := &faults[j]
+			if !overlap(e, f) {
+				continue
+			}
+			switch policy {
+			case SECDED:
+				// Two correctable faults sharing a word: the word has
+				// two bad bits. (Same chip or different chips of the
+				// rank — the 72-bit word spans all 9 chips.)
+				if groupOf(policy, e.chip, cfg) == groupOf(policy, f.chip, cfg) {
+					return true, f.mode
+				}
+			case Chipkill, Synergy:
+				// One chip per group is correctable; two distinct
+				// faulty chips in a group with intersecting footprints
+				// are not.
+				if e.chip != f.chip &&
+					groupOf(policy, e.chip, cfg) == groupOf(policy, f.chip, cfg) {
+					return true, f.mode
+				}
+			}
+		}
+	}
+	return false, 0
+}
+
+// poisson draws from Poisson(lambda) by inversion (lambda is small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// SDCRate returns the analytical silent-data-corruption FIT of
+// Synergy's reconstruction engine (paper §IV-A): each correction event
+// performs up to `attempts` MAC recomputations against a `macBits`-wide
+// MAC, and correction events arrive at faultFIT.
+func SDCRate(faultFIT float64, attempts int, macBits int) float64 {
+	perEvent := float64(attempts) / math.Pow(2, float64(macBits))
+	return faultFIT * perEvent
+}

@@ -1,0 +1,320 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func quickCfg(trials int) Config {
+	cfg := DefaultConfig()
+	cfg.Trials = trials
+	return cfg
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 0
+	if _, err := Simulate(SECDED, cfg); err == nil {
+		t.Fatal("accepted zero trials")
+	}
+	cfg = DefaultConfig()
+	cfg.LifetimeHours = 0
+	if _, err := Simulate(SECDED, cfg); err == nil {
+		t.Fatal("accepted zero lifetime")
+	}
+}
+
+func TestMeanFaultRateMatchesTableI(t *testing.T) {
+	cfg := quickCfg(100_000)
+	res, err := Simulate(NoECC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected sampled faults/system/lifetime: sum of Table I rates x
+	// chips x hours (multi-rank twins are derived, not sampled).
+	var perChip float64
+	for _, r := range cfg.Rates {
+		perChip += (r.Transient + r.Permanent) * 1e-9 * cfg.LifetimeHours
+	}
+	want := perChip * float64(cfg.Ranks*cfg.ChipsPerRank)
+	if math.Abs(res.MeanFaults-want)/want > 0.05 {
+		t.Fatalf("mean faults %.5f, want ≈%.5f", res.MeanFaults, want)
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	cfg := quickCfg(300_000)
+	probs := map[Policy]float64{}
+	for _, p := range []Policy{NoECC, SECDED, Chipkill, Synergy} {
+		res, err := Simulate(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs[p] = res.Probability
+		t.Logf("%-8s P(fail) = %.3e (%d/%d)", p, res.Probability, res.Failures, res.Trials)
+	}
+	if !(probs[NoECC] > probs[SECDED]) {
+		t.Errorf("NoECC %.3e not above SECDED %.3e", probs[NoECC], probs[SECDED])
+	}
+	if !(probs[SECDED] > probs[Chipkill]) {
+		t.Errorf("SECDED %.3e not above Chipkill %.3e", probs[SECDED], probs[Chipkill])
+	}
+	if !(probs[Chipkill] >= probs[Synergy]) {
+		t.Errorf("Chipkill %.3e below Synergy %.3e", probs[Chipkill], probs[Synergy])
+	}
+	if probs[Synergy] > 0 {
+		ratio := probs[SECDED] / probs[Synergy]
+		if ratio < 10 {
+			t.Errorf("SECDED/Synergy ratio %.1f — expected a large gap (paper: 185x)", ratio)
+		}
+	}
+}
+
+func TestSECDEDToleratesLoneBitFault(t *testing.T) {
+	cfg := DefaultConfig()
+	f := []fault{{chip: 0, mode: Bit, start: 1, end: math.Inf(1),
+		bankLo: 0, bankHi: 0, rowLo: 5, rowHi: 5, colLo: 7, colHi: 7}}
+	if systemFails(SECDED, f, cfg) {
+		t.Fatal("SECDED failed on a single bit fault")
+	}
+	if !systemFails(NoECC, f, cfg) {
+		t.Fatal("NoECC survived a fault")
+	}
+}
+
+func TestSECDEDDiesOnRowFault(t *testing.T) {
+	cfg := DefaultConfig()
+	f := []fault{{chip: 0, mode: Row, start: 1, end: math.Inf(1),
+		bankLo: 0, bankHi: 0, rowLo: 5, rowHi: 5, colLo: 0, colHi: cfg.Geometry.Cols - 1}}
+	if !systemFails(SECDED, f, cfg) {
+		t.Fatal("SECDED survived a row fault")
+	}
+	if systemFails(Chipkill, f, cfg) || systemFails(Synergy, f, cfg) {
+		t.Fatal("chip-correcting policy failed on a single-chip fault")
+	}
+}
+
+func wholeChip(chip int, cfg Config, start, end float64) fault {
+	g := cfg.Geometry
+	return fault{chip: chip, mode: Bank, start: start, end: end,
+		bankLo: 0, bankHi: g.Banks - 1, rowLo: 0, rowHi: g.Rows - 1, colLo: 0, colHi: g.Cols - 1}
+}
+
+func TestTwoChipsSameRankKillSynergyNotChipkill(t *testing.T) {
+	cfg := DefaultConfig()
+	inf := math.Inf(1)
+	// Chips 0 and 1 are in rank 0 — same Synergy group; Chipkill groups
+	// rank 0 with rank 2 (18 chips), also containing both -> both fail.
+	f := []fault{wholeChip(0, cfg, 1, inf), wholeChip(1, cfg, 2, inf)}
+	if !systemFails(Synergy, f, cfg) {
+		t.Fatal("Synergy survived two faulty chips in one rank")
+	}
+	if !systemFails(Chipkill, f, cfg) {
+		t.Fatal("Chipkill survived two faulty chips in one group")
+	}
+}
+
+func TestTwoChipsDifferentRanksSurviveSynergy(t *testing.T) {
+	cfg := DefaultConfig()
+	inf := math.Inf(1)
+	// Chip 0 (rank 0) and chip 9 (rank 1): different Synergy groups.
+	f := []fault{wholeChip(0, cfg, 1, inf), wholeChip(cfg.ChipsPerRank, cfg, 2, inf)}
+	if systemFails(Synergy, f, cfg) {
+		t.Fatal("Synergy failed on chips in different ranks")
+	}
+}
+
+func TestChipkillGroupSpansRankPairs(t *testing.T) {
+	cfg := DefaultConfig() // 4 ranks: chipkill groups {0,2} and {1,3} by rank%2
+	inf := math.Inf(1)
+	// Rank 0 chip and rank 2 chip: same chipkill group -> fail.
+	f := []fault{wholeChip(0, cfg, 1, inf), wholeChip(2*cfg.ChipsPerRank, cfg, 2, inf)}
+	if !systemFails(Chipkill, f, cfg) {
+		t.Fatal("Chipkill survived two faulty chips in one lockstep group")
+	}
+	// Rank 0 and rank 1: different chipkill groups -> survive.
+	f = []fault{wholeChip(0, cfg, 1, inf), wholeChip(cfg.ChipsPerRank, cfg, 2, inf)}
+	if systemFails(Chipkill, f, cfg) {
+		t.Fatal("Chipkill failed across lockstep groups")
+	}
+}
+
+func TestScrubbingSeparatesTransients(t *testing.T) {
+	cfg := DefaultConfig()
+	// Two whole-chip transients on different chips of a rank, far apart
+	// in time: scrubbed before they coexist -> no failure.
+	f := []fault{
+		wholeChip(0, cfg, 100, 100+cfg.ScrubHours),
+		wholeChip(1, cfg, 10_000, 10_000+cfg.ScrubHours),
+	}
+	if systemFails(Synergy, f, cfg) {
+		t.Fatal("non-coexisting transients failed the system")
+	}
+	// Overlapping in time -> failure.
+	f[1].start = 110
+	f[1].end = 110 + cfg.ScrubHours
+	if !systemFails(Synergy, f, cfg) {
+		t.Fatal("coexisting transients survived")
+	}
+}
+
+func TestFootprintIntersection(t *testing.T) {
+	cfg := DefaultConfig()
+	inf := math.Inf(1)
+	g := cfg.Geometry
+	// A row fault on chip 0 (bank 0, row 5) and a column fault on chip
+	// 1 (bank 0, col 3): they share word (0,5,3) -> Synergy failure.
+	row := fault{chip: 0, mode: Row, start: 1, end: inf,
+		bankLo: 0, bankHi: 0, rowLo: 5, rowHi: 5, colLo: 0, colHi: g.Cols - 1}
+	col := fault{chip: 1, mode: Column, start: 2, end: inf,
+		bankLo: 0, bankHi: 0, rowLo: 0, rowHi: g.Rows - 1, colLo: 3, colHi: 3}
+	if !systemFails(Synergy, []fault{row, col}, cfg) {
+		t.Fatal("intersecting row+column on two chips survived")
+	}
+	// Different banks -> no intersection.
+	col.bankLo, col.bankHi = 1, 1
+	if systemFails(Synergy, []fault{row, col}, cfg) {
+		t.Fatal("non-intersecting faults failed")
+	}
+}
+
+func TestMultiRankSpawnsTwin(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := newTestRand()
+	fs := sampleFault(rng, 3, MultiRank, false, cfg)
+	if len(fs) != 2 {
+		t.Fatalf("multi-rank produced %d faults, want 2", len(fs))
+	}
+	if fs[1].chip != cfg.ChipsPerRank+3 {
+		t.Fatalf("twin on chip %d, want %d", fs[1].chip, cfg.ChipsPerRank+3)
+	}
+	// Twins on different ranks: Synergy survives (each group has one).
+	if systemFails(Synergy, fs, cfg) {
+		t.Fatal("Synergy failed on a multi-rank fault pair in different groups")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := quickCfg(20_000)
+	a, _ := Simulate(SECDED, cfg)
+	b, _ := Simulate(SECDED, cfg)
+	if a.Failures != b.Failures {
+		t.Fatalf("same seed, different failures: %d vs %d", a.Failures, b.Failures)
+	}
+	cfg.Seed = 2
+	c, _ := Simulate(SECDED, cfg)
+	if c.Failures == a.Failures {
+		t.Log("different seeds gave identical failures (possible but unlikely)")
+	}
+}
+
+func TestWilsonBoundsContainEstimate(t *testing.T) {
+	res, err := Simulate(SECDED, quickCfg(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probability < res.WilsonLo || res.Probability > res.WilsonHi {
+		t.Fatalf("estimate %.3e outside [%0.3e, %.3e]", res.Probability, res.WilsonLo, res.WilsonHi)
+	}
+}
+
+func TestSDCRate(t *testing.T) {
+	// Paper §IV-A: ~100 FIT of corrections, 16 attempts, 64-bit MAC
+	// gives an SDC FIT around 1e-16 or lower.
+	fit := SDCRate(100, 16, 64)
+	if fit > 1e-15 || fit <= 0 {
+		t.Fatalf("SDC FIT = %v, want tiny positive", fit)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := newTestRand()
+	const lambda = 0.5
+	const n = 200_000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.02 {
+		t.Fatalf("poisson mean %.3f, want %.2f", mean, lambda)
+	}
+}
+
+func TestModeAndPolicyStrings(t *testing.T) {
+	for m := FaultMode(0); m < numModes; m++ {
+		if m.String() == "unknown" {
+			t.Errorf("mode %d unnamed", m)
+		}
+	}
+	for _, p := range []Policy{NoECC, SECDED, Chipkill, Synergy} {
+		if p.String() == "unknown" {
+			t.Errorf("policy %d unnamed", p)
+		}
+	}
+}
+
+func BenchmarkSimulateSynergy(b *testing.B) {
+	cfg := quickCfg(1)
+	cfg.Trials = b.N
+	Simulate(Synergy, cfg)
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// §VII-A: IVEC (1 chip of 16 correctable) provides reliability of the
+// same class as Synergy (1 of 9), with Synergy at least as good — its
+// groups are smaller — and both far above SECDED.
+func TestIVECComparisonPoint(t *testing.T) {
+	trials := 300_000
+	syn := quickCfg(trials)
+	ivec := IVECConfig()
+	ivec.Trials = trials
+
+	synRes, err := Simulate(Synergy, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivecRes, err := Simulate(Synergy, ivec) // same policy, 16-chip groups
+	if err != nil {
+		t.Fatal(err)
+	}
+	secded, err := Simulate(SECDED, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Synergy %.3e, IVEC %.3e, SECDED %.3e",
+		synRes.Probability, ivecRes.Probability, secded.Probability)
+	if ivecRes.Probability > 0 && secded.Probability/ivecRes.Probability < 10 {
+		t.Errorf("IVEC not far above SECDED: %.1fx", secded.Probability/ivecRes.Probability)
+	}
+	// Synergy's smaller groups should not be worse than IVEC's.
+	if synRes.Probability > ivecRes.Probability*1.5 {
+		t.Errorf("Synergy %.3e unexpectedly above IVEC %.3e", synRes.Probability, ivecRes.Probability)
+	}
+}
+
+// Failure attribution: SECDED deaths are dominated by the large-
+// footprint single-fault modes; the chip-correcting schemes only die on
+// fault pairs, which large footprints dominate too.
+func TestFailureModeAttribution(t *testing.T) {
+	res, err := Simulate(SECDED, quickCfg(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.FailuresByMode {
+		total += n
+	}
+	if total != res.Failures {
+		t.Fatalf("attribution sums to %d, failures %d", total, res.Failures)
+	}
+	if res.FailuresByMode[Bit] > res.Failures/10 {
+		t.Fatalf("SECDED attributed %d/%d failures to bit faults", res.FailuresByMode[Bit], res.Failures)
+	}
+	// Permanent bank faults are the biggest SECDED killer in Table I.
+	if res.FailuresByMode[Bank] == 0 {
+		t.Fatal("no bank-fault failures attributed")
+	}
+}

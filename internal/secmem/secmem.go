@@ -1,0 +1,619 @@
+// Package secmem models the memory-traffic behaviour of the secure-
+// memory designs the paper evaluates (Table II): for every last-level
+// cache miss it expands the data access into the set of DRAM
+// transactions the design requires — counter fetches, integrity-tree
+// walk reads, MAC reads/writes, and Synergy parity updates — governed by
+// each design's metadata-caching policy.
+//
+// The designs:
+//
+//	NonSecure — no metadata at all (ECC rides in the ECC chip).
+//	SGX       — counters in a dedicated 128 KB metadata cache only;
+//	            MAC fetched from memory on every access.
+//	SGX_O     — SGX plus counter caching in the LLC (the paper's
+//	            optimized baseline).
+//	Synergy   — SGX_O counter handling; the MAC rides in the ECC chip
+//	            (no MAC traffic); one parity write per data writeback.
+//	IVEC      — non-Bonsai GMAC tree: data MACs are tree leaves, cached
+//	            in the LLC; split counters in the dedicated cache only;
+//	            parity write per data writeback.
+//	LOT-ECC   — SGX_O security traffic plus a tier-2 parity write per
+//	            data writeback (optionally write-coalesced).
+//
+// Chipkill is SGX_O traffic with the DRAM channels ganged in lockstep;
+// that is configured on the dram.System, not here.
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"synergy/internal/cache"
+)
+
+// Design selects a secure-memory organization.
+type Design int
+
+const (
+	// NonSecure issues only program data transactions.
+	NonSecure Design = iota
+	// SGX caches counters in the dedicated metadata cache only.
+	SGX
+	// SGXO additionally spills/looks up counters in the LLC.
+	SGXO
+	// Synergy co-locates MAC with data and writes parity on writebacks.
+	Synergy
+	// IVEC uses a non-Bonsai MAC tree cached in the LLC.
+	IVEC
+	// LOTECC adds tier-2 parity writes to SGX_O traffic.
+	LOTECC
+	// Synergy16 is the paper's §VI-B forward-looking organization: a
+	// custom DIMM with 16 bytes of metadata per 64-byte line co-locates
+	// BOTH the MAC and the parity with data, eliminating the separate
+	// parity-update accesses that Synergy still pays on writes.
+	Synergy16
+)
+
+func (d Design) String() string {
+	switch d {
+	case NonSecure:
+		return "NonSecure"
+	case SGX:
+		return "SGX"
+	case SGXO:
+		return "SGX_O"
+	case Synergy:
+		return "Synergy"
+	case IVEC:
+		return "IVEC"
+	case LOTECC:
+		return "LOT-ECC"
+	case Synergy16:
+		return "Synergy-16B"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Category classifies a DRAM transaction for the Fig. 9 traffic
+// breakdown.
+type Category int
+
+const (
+	// CatData is program data.
+	CatData Category = iota
+	// CatCounter is encryption-counter and integrity-tree traffic.
+	CatCounter
+	// CatMAC is MAC traffic (separate MAC region; absent in Synergy).
+	CatMAC
+	// CatParity is reliability parity traffic (Synergy, IVEC, LOT-ECC).
+	CatParity
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatData:
+		return "data"
+	case CatCounter:
+		return "counter"
+	case CatMAC:
+		return "mac"
+	case CatParity:
+		return "parity"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Tx is one DRAM transaction produced by an access expansion.
+type Tx struct {
+	Addr  uint64
+	Write bool
+	Cat   Category
+	// Critical marks reads the processor must wait for before using
+	// the data (the data itself and the counter path needed for
+	// decryption). Posted writes and off-critical-path reads are not.
+	Critical bool
+}
+
+// Metadata region bases, far above any realistic data footprint.
+const (
+	counterRegion = uint64(1) << 40
+	treeRegion    = uint64(1) << 41
+	macRegion     = uint64(1) << 42
+	parityRegion  = uint64(1) << 43
+	lotRegion     = uint64(1) << 44
+	macTreeRegion = uint64(1) << 45
+	regionMask    = uint64(0xFF) << 40
+	levelShift    = 32
+)
+
+// Traffic tallies transactions by category and direction.
+type Traffic struct {
+	Reads  [numCategories]uint64
+	Writes [numCategories]uint64
+}
+
+// Total returns the total transaction count.
+func (t Traffic) Total() uint64 {
+	var s uint64
+	for c := 0; c < int(numCategories); c++ {
+		s += t.Reads[c] + t.Writes[c]
+	}
+	return s
+}
+
+// TotalReads and TotalWrites sum one direction across categories.
+func (t Traffic) TotalReads() uint64 {
+	var s uint64
+	for c := 0; c < int(numCategories); c++ {
+		s += t.Reads[c]
+	}
+	return s
+}
+
+func (t Traffic) TotalWrites() uint64 {
+	var s uint64
+	for c := 0; c < int(numCategories); c++ {
+		s += t.Writes[c]
+	}
+	return s
+}
+
+// Config parameterizes a Hierarchy.
+type Config struct {
+	Design Design
+	// LLCLines/LLCWays: shared last-level cache (default 8 MB / 8-way).
+	LLCLines, LLCWays int
+	// MetaLines/MetaWays: dedicated metadata cache (default 128 KB / 8-way).
+	MetaLines, MetaWays int
+	// MemLines is the protected memory size in cachelines; it sets the
+	// integrity-tree depth (default 16 GB -> 2^28 lines, 9 levels).
+	MemLines uint64
+	// CounterShift is log2(data lines per counter line): 3 for the
+	// monolithic 56-bit counters, 6 for split counters (Fig. 13).
+	CounterShift uint
+	// CountersInLLC disables LLC counter caching when false (Fig. 14);
+	// meaningful for SGXO-style designs (SGX always false, IVEC always
+	// false by design).
+	CountersInLLC bool
+	// Speculative models PoisonIvy-style safe speculation (§VII-B):
+	// data is used while MAC verification completes off the critical
+	// path, so MAC fetches stop being latency-critical — but they
+	// still consume bandwidth, which is why the paper argues such
+	// designs still benefit from Synergy.
+	Speculative bool
+}
+
+// DefaultConfig returns the Table III cache hierarchy for the given
+// design with the paper's default policies.
+func DefaultConfig(d Design) Config {
+	cfg := Config{
+		Design:       d,
+		LLCLines:     (8 << 20) / 64,
+		LLCWays:      8,
+		MetaLines:    (128 << 10) / 64,
+		MetaWays:     8,
+		MemLines:     1 << 28, // 16 GB
+		CounterShift: 3,
+	}
+	switch d {
+	case SGXO, Synergy, LOTECC, Synergy16:
+		cfg.CountersInLLC = true
+	case IVEC:
+		cfg.CounterShift = 6 // split counters (Table II)
+	}
+	return cfg
+}
+
+// Hierarchy owns the cache hierarchy and performs access expansion for
+// one design. Not safe for concurrent use.
+type Hierarchy struct {
+	cfg        Config
+	llc        *cache.Cache
+	meta       *cache.Cache
+	treeLevels int
+	macLevels  int
+	buf        []Tx
+	traffic    Traffic
+	// lastCounterMissed records whether the most recent fetchCounter
+	// went to memory (IVEC fetches the counter line's MAC when so).
+	lastCounterMissed bool
+	lotSkew           bool // write-coalescing toggle for LOT-ECC
+	lotWC             bool
+}
+
+// New builds a Hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.MemLines == 0 {
+		return nil, errors.New("secmem: MemLines must be positive")
+	}
+	if cfg.CounterShift == 0 {
+		return nil, errors.New("secmem: CounterShift must be positive")
+	}
+	llc, err := cache.New(cfg.LLCLines, cfg.LLCWays)
+	if err != nil {
+		return nil, fmt.Errorf("secmem: llc: %w", err)
+	}
+	meta, err := cache.New(cfg.MetaLines, cfg.MetaWays)
+	if err != nil {
+		return nil, fmt.Errorf("secmem: meta: %w", err)
+	}
+	h := &Hierarchy{cfg: cfg, llc: llc, meta: meta}
+	h.treeLevels = levelsFor(cfg.MemLines >> cfg.CounterShift)
+	h.macLevels = levelsFor(cfg.MemLines >> 3) // MAC lines: 8 per line
+	return h, nil
+}
+
+// levelsFor returns the number of 8-ary tree levels needed above `leaves`
+// lines before the node count reaches 1 (the on-chip root).
+func levelsFor(leaves uint64) int {
+	levels := 0
+	for n := leaves; n > 1; n = (n + 7) / 8 {
+		levels++
+	}
+	return levels
+}
+
+// SetLOTWriteCoalescing enables LOT-ECC write coalescing, halving its
+// tier-2 parity write traffic (Fig. 17).
+func (h *Hierarchy) SetLOTWriteCoalescing(on bool) { h.lotWC = on }
+
+// Traffic returns a copy of the transaction tallies.
+func (h *Hierarchy) Traffic() Traffic { return h.traffic }
+
+// LLC and Meta expose the caches for instrumentation.
+func (h *Hierarchy) LLC() *cache.Cache  { return h.llc }
+func (h *Hierarchy) Meta() *cache.Cache { return h.meta }
+
+// Design returns the configured design.
+func (h *Hierarchy) Design() Design { return h.cfg.Design }
+
+// TreeLevels reports the integrity-tree depth (paper footnote 3: 9 for a
+// 16 GB memory with monolithic counters).
+func (h *Hierarchy) TreeLevels() int { return h.treeLevels }
+
+func (h *Hierarchy) emit(addr uint64, write bool, cat Category, critical bool) {
+	h.buf = append(h.buf, Tx{Addr: addr, Write: write, Cat: cat, Critical: critical})
+	if write {
+		h.traffic.Writes[cat]++
+	} else {
+		h.traffic.Reads[cat]++
+	}
+}
+
+// Read expands a core load of a data line. It returns whether the LLC
+// hit (no DRAM traffic) and, on a miss, the DRAM transactions required.
+// The returned slice is reused by the next call.
+func (h *Hierarchy) Read(line uint64) (hit bool, txs []Tx) {
+	if h.llc.Lookup(line) {
+		return true, nil
+	}
+	h.buf = h.buf[:0]
+	h.expandMiss(line)
+	h.insertLLC(line, false)
+	return false, h.buf
+}
+
+// Write expands a core store. Write-allocate: a miss fetches the line
+// (with all read-side metadata) and dirties it; the write traffic itself
+// materializes when the dirty line is evicted.
+func (h *Hierarchy) Write(line uint64) (hit bool, txs []Tx) {
+	if h.llc.Lookup(line) {
+		h.llc.MarkDirty(line)
+		return true, nil
+	}
+	h.buf = h.buf[:0]
+	h.expandMiss(line)
+	h.insertLLC(line, true)
+	return false, h.buf
+}
+
+// expandMiss emits the read-side transactions for a data-line fetch.
+func (h *Hierarchy) expandMiss(line uint64) {
+	h.emit(line, false, CatData, true)
+	switch h.cfg.Design {
+	case NonSecure:
+		return
+	case IVEC:
+		h.fetchCounter(line, false)
+		h.fetchIVECMac(line)
+		// Non-Bonsai: every entity in memory has a MAC (§VII-A
+		// footnote 4), so a counter-line fetch pulls the MAC
+		// protecting it as well.
+		if h.lastCounterMissed {
+			h.fetchIVECMac(ivecCounterProxy(line, h.cfg.CounterShift))
+		}
+	case Synergy, Synergy16:
+		h.fetchCounter(line, false)
+		// MAC arrives with the data from the ECC chip: no transaction.
+	case LOTECC:
+		h.fetchCounter(line, false)
+		h.emit(macLine(line), false, CatMAC, !h.cfg.Speculative)
+		// LOT-ECC's x8 tier-1 checksum needs more bits than the ECC
+		// chip supplies per burst (66 > 64), so local error detection
+		// costs an additional fetch on reads — the read-side overhead
+		// behind the paper's Fig. 17 slowdown.
+		h.emit(lotParityLine(line), false, CatParity, false)
+	default: // SGX, SGXO
+		h.fetchCounter(line, false)
+		h.emit(macLine(line), false, CatMAC, !h.cfg.Speculative)
+	}
+}
+
+// writebackData emits the write-side transactions for a dirty data line
+// leaving the LLC.
+func (h *Hierarchy) writebackData(line uint64) {
+	h.emit(line, true, CatData, false)
+	switch h.cfg.Design {
+	case NonSecure:
+		return
+	case Synergy:
+		h.fetchCounter(line, true)
+		h.emit(parityLine(line), true, CatParity, false)
+	case Synergy16:
+		// Parity rides in the custom DIMM's wider metadata channel: no
+		// separate transaction on writes either.
+		h.fetchCounter(line, true)
+	case IVEC:
+		h.fetchCounter(line, true)
+		h.dirtyIVECMac(line)
+		h.emit(parityLine(line), true, CatParity, false)
+	case LOTECC:
+		h.fetchCounter(line, true)
+		h.emit(macLine(line), true, CatMAC, false)
+		// The tier-2 error code packs checksums of many lines per
+		// T2EC line, so an update is a read-modify-write (LOT-ECC §4
+		// — the overhead Fig. 17 charges it for). Write coalescing
+		// merges adjacent updates, halving the traffic.
+		doUpdate := true
+		if h.lotWC {
+			h.lotSkew = !h.lotSkew
+			doUpdate = h.lotSkew
+		}
+		if doUpdate {
+			h.emit(lotParityLine(line), false, CatParity, false)
+			h.emit(lotParityLine(line), true, CatParity, false)
+		}
+	default: // SGX, SGXO
+		h.fetchCounter(line, true)
+		h.emit(macLine(line), true, CatMAC, false)
+	}
+}
+
+// --- metadata address map ---
+
+func (h *Hierarchy) counterLine(data uint64) uint64 {
+	return counterRegion | (data >> h.cfg.CounterShift)
+}
+
+func treeNode(level int, idx uint64) uint64 {
+	return treeRegion | uint64(level)<<levelShift | idx
+}
+
+func macLine(data uint64) uint64 { return macRegion | (data >> 3) }
+
+// ivecCounterProxy maps a data line's counter line into a disjoint
+// pseudo-data address so the non-Bonsai MAC tree also covers counter
+// lines (proxy base above any core's data region).
+func ivecCounterProxy(data uint64, shift uint) uint64 {
+	return 1<<39 | (data >> shift)
+}
+
+func macTreeNode(level int, idx uint64) uint64 {
+	return macTreeRegion | uint64(level)<<levelShift | idx
+}
+
+func parityLine(data uint64) uint64 { return parityRegion | (data >> 3) }
+
+func lotParityLine(data uint64) uint64 { return lotRegion | (data >> 3) }
+
+// regionCategory classifies an evicted line's address.
+func regionCategory(addr uint64) Category {
+	switch addr & regionMask {
+	case counterRegion, treeRegion:
+		return CatCounter
+	case macRegion, macTreeRegion:
+		return CatMAC
+	case parityRegion, lotRegion:
+		return CatParity
+	default:
+		return CatData
+	}
+}
+
+// --- counter / tree handling (Bonsai counter tree) ---
+
+// lookupCounterCaches probes the dedicated cache and, if enabled, the
+// LLC (promoting an LLC hit into the dedicated cache, victim-style).
+func (h *Hierarchy) lookupCounterCaches(addr uint64) bool {
+	if h.meta.Lookup(addr) {
+		return true
+	}
+	if h.cfg.CountersInLLC {
+		if h.llc.Contains(addr) {
+			wasDirty, _ := h.llc.Invalidate(addr)
+			h.insertMeta(addr, wasDirty)
+			return true
+		}
+	}
+	return false
+}
+
+// fetchCounter ensures the encryption-counter line for a data line is
+// cached, fetching it and walking the integrity tree on a miss. With
+// dirty=true the counter is updated in place (write-side RMW).
+func (h *Hierarchy) fetchCounter(data uint64, dirty bool) {
+	ctr := h.counterLine(data)
+	if h.lookupCounterCaches(ctr) {
+		if dirty {
+			h.meta.MarkDirty(ctr)
+		}
+		h.lastCounterMissed = false
+		return
+	}
+	h.lastCounterMissed = true
+	h.emit(ctr, false, CatCounter, true)
+	if h.cfg.Design == IVEC {
+		// IVEC has no counter tree; replay protection comes from the
+		// MAC tree, whose traffic fetchIVECMac accounts.
+		h.insertMeta(ctr, dirty)
+		return
+	}
+	// Walk the counter tree upward until a cached level (Fig. 7b); the
+	// root is on-chip, so the walk always terminates.
+	idx := (data >> h.cfg.CounterShift) >> 3
+	for level := 0; level < h.treeLevels; level++ {
+		node := treeNode(level, idx)
+		if h.lookupCounterCaches(node) {
+			break
+		}
+		h.emit(node, false, CatCounter, true)
+		h.insertMeta(node, false)
+		idx >>= 3
+	}
+	h.insertMeta(ctr, dirty)
+}
+
+// dirtyTreeParent propagates a counter/tree line writeback one level up:
+// the parent counter must be bumped (Bonsai lazy update on eviction).
+func (h *Hierarchy) dirtyTreeParent(addr uint64) {
+	var level int
+	var idx uint64
+	switch addr & regionMask {
+	case counterRegion:
+		level = 0
+		idx = (addr &^ regionMask) >> 3
+	case treeRegion:
+		level = int((addr>>levelShift)&0xFF) + 1
+		idx = (addr & (1<<levelShift - 1)) >> 3
+	default:
+		return
+	}
+	if level >= h.treeLevels {
+		return // parent is the on-chip root
+	}
+	node := treeNode(level, idx)
+	if h.lookupCounterCaches(node) {
+		h.meta.MarkDirty(node)
+		return
+	}
+	h.emit(node, false, CatCounter, false)
+	h.insertMeta(node, true)
+}
+
+// --- IVEC MAC tree (non-Bonsai Merkle tree of GMACs) ---
+
+func (h *Hierarchy) fetchIVECMac(data uint64) {
+	mac := macLine(data)
+	if h.llc.Lookup(mac) {
+		return
+	}
+	h.emit(mac, false, CatMAC, true)
+	idx := (data >> 3) >> 3
+	for level := 0; level < h.macLevels; level++ {
+		node := macTreeNode(level, idx)
+		if h.llc.Lookup(node) {
+			break
+		}
+		h.emit(node, false, CatMAC, true)
+		h.insertLLC(node, false)
+		idx >>= 3
+	}
+	h.insertLLC(mac, false)
+}
+
+func (h *Hierarchy) dirtyIVECMac(data uint64) {
+	mac := macLine(data)
+	if h.llc.Lookup(mac) {
+		h.llc.MarkDirty(mac)
+		return
+	}
+	// Updating an uncached MAC line is a verify-then-modify: the line
+	// and its path to a trusted node must be fetched first.
+	h.emit(mac, false, CatMAC, false)
+	idx := (data >> 3) >> 3
+	for level := 0; level < h.macLevels; level++ {
+		node := macTreeNode(level, idx)
+		if h.llc.Lookup(node) {
+			h.llc.MarkDirty(node)
+			break
+		}
+		h.emit(node, false, CatMAC, false)
+		h.insertLLC(node, true)
+		idx >>= 3
+	}
+	h.insertLLC(mac, true)
+}
+
+// dirtyMacTreeParent propagates a MAC-line writeback one level up the
+// Merkle tree (non-Bonsai: every data MAC is a tree leaf).
+func (h *Hierarchy) dirtyMacTreeParent(addr uint64) {
+	var level int
+	var idx uint64
+	switch addr & regionMask {
+	case macRegion:
+		level = 0
+		idx = (addr &^ regionMask) >> 3
+	case macTreeRegion:
+		level = int((addr>>levelShift)&0xFF) + 1
+		idx = (addr & (1<<levelShift - 1)) >> 3
+	default:
+		return
+	}
+	if level >= h.macLevels {
+		return
+	}
+	node := macTreeNode(level, idx)
+	if h.llc.Lookup(node) {
+		h.llc.MarkDirty(node)
+		return
+	}
+	h.emit(node, false, CatMAC, false)
+	h.insertLLC(node, true)
+}
+
+// --- insertion with eviction cascades ---
+
+// insertLLC places a line in the LLC and handles the displaced victim:
+// dirty data lines expand into full writebacks; dirty metadata lines
+// write back and (for tree lines) dirty their parent.
+func (h *Hierarchy) insertLLC(addr uint64, dirty bool) {
+	ev, evicted := h.llc.Insert(addr, dirty)
+	if !evicted || !ev.Dirty {
+		return
+	}
+	switch cat := regionCategory(ev.Addr); cat {
+	case CatData:
+		h.writebackData(ev.Addr)
+	case CatCounter:
+		h.emit(ev.Addr, true, cat, false)
+		h.dirtyTreeParent(ev.Addr)
+	case CatMAC:
+		h.emit(ev.Addr, true, cat, false)
+		if h.cfg.Design == IVEC {
+			h.dirtyMacTreeParent(ev.Addr)
+		}
+	default:
+		h.emit(ev.Addr, true, cat, false)
+	}
+}
+
+// insertMeta places a line in the dedicated metadata cache; victims
+// spill to the LLC when counter-LLC caching is enabled, else dirty
+// victims write back to DRAM directly.
+func (h *Hierarchy) insertMeta(addr uint64, dirty bool) {
+	ev, evicted := h.meta.Insert(addr, dirty)
+	if !evicted {
+		return
+	}
+	if h.cfg.CountersInLLC {
+		h.insertLLC(ev.Addr, ev.Dirty)
+		return
+	}
+	if ev.Dirty {
+		h.emit(ev.Addr, true, regionCategory(ev.Addr), false)
+		h.dirtyTreeParent(ev.Addr)
+	}
+}

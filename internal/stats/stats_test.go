@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("Geomean(5) = %v", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndNormalize(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	n := Normalize([]float64{2, 4}, 2)
+	if n[0] != 1 || n[1] != 2 {
+		t.Fatalf("Normalize = %v", n)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("workload", "ipc")
+	tb.AddRow("mcf", 1.25)
+	tb.AddRow("lbm", uint64(7))
+	s := tb.String()
+	if !strings.Contains(s, "workload") || !strings.Contains(s, "1.250") || !strings.Contains(s, "mcf") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("P50(nil) = %v", p)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] does not contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	// More trials tighten the interval.
+	lo2, hi2 := WilsonInterval(5000, 10000)
+	if hi2-lo2 >= hi-lo {
+		t.Fatal("interval did not tighten with more trials")
+	}
+	// Bounds clamp to [0,1].
+	lo, hi = WilsonInterval(0, 10)
+	if lo < 0 || hi > 1 {
+		t.Fatalf("interval [%v,%v] out of range", lo, hi)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow("with,comma", `quote"inside`)
+	csv := tb.CSV()
+	want := "a,b\nplain,1.500\n\"with,comma\",\"quote\"\"inside\"\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", csv, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRow("a", 2.0)
+	md := tb.Markdown()
+	want := "| x | y |\n| --- | --- |\n| a | 2.000 |\n"
+	if md != want {
+		t.Fatalf("Markdown:\n%q\nwant\n%q", md, want)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format: the paper's methodology slices benchmark traces
+// with Pin and feeds them to USIMM; this file format plays that role
+// for our simulator — synthetic streams can be recorded once and
+// replayed exactly, and externally captured access streams can be
+// converted and fed to the performance model.
+//
+// Layout (all multi-byte integers are uvarint unless noted):
+//
+//	magic   [8]byte  "SYNTRC\x01\x00"
+//	name    uvarint length + bytes
+//	count   uvarint  number of access records
+//	records count × { gap uvarint, addrDelta zigzag-uvarint, flags byte }
+//
+// Addresses are delta-encoded against the previous access (zigzag), so
+// streaming workloads compress to ~3 bytes per access.
+
+var traceMagic = [8]byte{'S', 'Y', 'N', 'T', 'R', 'C', 1, 0}
+
+const (
+	flagWrite     = 1 << 0
+	flagDependent = 1 << 1
+)
+
+// Source produces an access stream; *Stream and *Replay implement it.
+type Source interface {
+	Next() Access
+}
+
+// WriteTrace records n accesses from src to w.
+func WriteTrace(w io.Writer, name string, n int, src Source) error {
+	if n <= 0 {
+		return errors.New("trace: must record at least one access")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	if err := putUvarint(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		a := src.Next()
+		if err := putUvarint(a.Gap); err != nil {
+			return err
+		}
+		delta := int64(a.Addr) - int64(prev)
+		if err := putUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+		prev = a.Addr
+		var flags byte
+		if a.Write {
+			flags |= flagWrite
+		}
+		if a.Dependent {
+			flags |= flagDependent
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace loads a recorded trace fully into memory.
+func ReadTrace(r io.Reader) (name string, accs []Access, err error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return "", nil, errors.New("trace: not a synergy trace file (bad magic)")
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 4096 {
+		return "", nil, errors.New("trace: implausible name length")
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count == 0 {
+		return "", nil, errors.New("trace: empty trace")
+	}
+	if count > 1<<32 {
+		return "", nil, errors.New("trace: implausible record count")
+	}
+	accs = make([]Access, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: record %d gap: %w", i, err)
+		}
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		addr := uint64(int64(prev) + unzigzag(zz))
+		prev = addr
+		flags, err := br.ReadByte()
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: record %d flags: %w", i, err)
+		}
+		accs = append(accs, Access{
+			Gap:       gap,
+			Addr:      addr,
+			Write:     flags&flagWrite != 0,
+			Dependent: flags&flagDependent != 0,
+		})
+	}
+	return string(nameBytes), accs, nil
+}
+
+// Replay is a Source that cycles through a recorded access sequence
+// (simulations often need more accesses than were recorded; looping a
+// representative slice is exactly the paper's Pin-point methodology).
+type Replay struct {
+	name string
+	accs []Access
+	pos  int
+}
+
+// NewReplay wraps a loaded access sequence.
+func NewReplay(name string, accs []Access) (*Replay, error) {
+	if len(accs) == 0 {
+		return nil, errors.New("trace: replay needs at least one access")
+	}
+	return &Replay{name: name, accs: accs}, nil
+}
+
+// Name returns the recorded workload name.
+func (p *Replay) Name() string { return p.name }
+
+// Len returns the recorded sequence length.
+func (p *Replay) Len() int { return len(p.accs) }
+
+// Next returns the next access, looping at the end of the recording.
+func (p *Replay) Next() Access {
+	a := p.accs[p.pos]
+	p.pos++
+	if p.pos == len(p.accs) {
+		p.pos = 0
+	}
+	return a
+}
+
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+func unzigzag(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// Accesses returns the underlying recorded sequence (shared, do not
+// modify); useful for cloning replays.
+func (p *Replay) Accesses() []Access { return p.accs }

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("mcf")
+	src := NewStream(p, 0, 5)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, "mcf", n, src); err != nil {
+		t.Fatal(err)
+	}
+	name, accs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mcf" || len(accs) != n {
+		t.Fatalf("name=%q len=%d", name, len(accs))
+	}
+	// The same stream regenerated must match the recording exactly.
+	ref := NewStream(p, 0, 5)
+	for i, a := range accs {
+		if want := ref.Next(); a != want {
+			t.Fatalf("record %d = %+v, want %+v", i, a, want)
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, writes []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		accs := make([]Access, len(raw))
+		for i, r := range raw {
+			accs[i] = Access{
+				Gap:       uint64(r%1000) + 1,
+				Addr:      uint64(r) * 7,
+				Write:     i < len(writes) && writes[i],
+				Dependent: r%5 == 0,
+			}
+		}
+		rp, err := NewReplay("x", accs)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, "x", len(accs), rp); err != nil {
+			return false
+		}
+		_, got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(accs) {
+			return false
+		}
+		for i := range accs {
+			if got[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCompression(t *testing.T) {
+	// Streaming workloads should encode near 3 bytes/access.
+	p, _ := ByName("libquantum")
+	src := NewStream(p, 0, 1)
+	var buf bytes.Buffer
+	const n = 10000
+	if err := WriteTrace(&buf, "libquantum", n, src); err != nil {
+		t.Fatal(err)
+	}
+	perAccess := float64(buf.Len()) / n
+	if perAccess > 6 {
+		t.Fatalf("%.1f bytes/access — delta encoding broken", perAccess)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadTrace(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.WriteByte(3)
+	buf.WriteString("ab") // claims 3 name bytes, provides 2
+	if _, _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+}
+
+func TestWriteTraceValidation(t *testing.T) {
+	p, _ := ByName("mcf")
+	if err := WriteTrace(&bytes.Buffer{}, "x", 0, NewStream(p, 0, 1)); err == nil {
+		t.Fatal("accepted zero-length recording")
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	accs := []Access{
+		{Gap: 1, Addr: 10},
+		{Gap: 2, Addr: 20, Write: true},
+		{Gap: 3, Addr: 30, Dependent: true},
+	}
+	rp, err := NewReplay("loop", accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "loop" || rp.Len() != 3 {
+		t.Fatalf("name=%q len=%d", rp.Name(), rp.Len())
+	}
+	for round := 0; round < 4; round++ {
+		for i := range accs {
+			if got := rp.Next(); got != accs[i] {
+				t.Fatalf("round %d pos %d: %+v", round, i, got)
+			}
+		}
+	}
+}
+
+func TestNewReplayRejectsEmpty(t *testing.T) {
+	if _, err := NewReplay("x", nil); err == nil {
+		t.Fatal("accepted empty recording")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<62 - 1, -(1 << 62)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag round trip: %d -> %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace: arbitrary bytes must never panic the parser, and
+// anything it accepts must round-trip back to identical bytes'
+// semantics via WriteTrace.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a genuine trace.
+	p, _ := ByName("mcf")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "mcf", 64, NewStream(p, 0, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(traceMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, accs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: re-encoding must produce a parseable, equivalent trace.
+		rp, err := NewReplay(name, accs)
+		if err != nil {
+			t.Fatalf("accepted trace not replayable: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, name, len(accs), rp); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		name2, accs2, err := ReadTrace(&out)
+		if err != nil || name2 != name || len(accs2) != len(accs) {
+			t.Fatalf("round trip broke: %v", err)
+		}
+		for i := range accs {
+			if accs[i] != accs2[i] {
+				t.Fatalf("record %d changed", i)
+			}
+		}
+	})
+}

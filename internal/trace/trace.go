@@ -1,0 +1,278 @@
+// Package trace generates the synthetic workload address streams that
+// stand in for the paper's SPEC2006 and GAP Pin-point traces (see
+// DESIGN.md §3 for the substitution rationale). Each benchmark is a
+// profile — post-L2 accesses per kilo-instruction, read/write split,
+// footprint, and a locality mixture of streaming, pointer-chasing and
+// random components — calibrated to the published memory behaviour of
+// the benchmark it stands in for. The experiments measure how metadata
+// traffic interacts with bandwidth saturation, which these parameters
+// control.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Access is one post-L2 memory reference.
+type Access struct {
+	// Gap is the number of instructions since the previous access.
+	Gap uint64
+	// Addr is the 64-byte line address.
+	Addr uint64
+	// Write marks stores.
+	Write bool
+	// Dependent marks loads whose address depends on the previous load
+	// (pointer chasing): they cannot issue until it returns.
+	Dependent bool
+}
+
+// Profile describes one benchmark's memory behaviour.
+type Profile struct {
+	Name  string
+	Suite string // "SPECint", "SPECfp", "GAP", "MIX"
+
+	// APKI is post-L2 accesses per kilo-instruction (reads+writes).
+	APKI float64
+	// WriteFrac is the store fraction of accesses.
+	WriteFrac float64
+	// FootprintLines is the total touched region in cachelines.
+	FootprintLines uint64
+	// StreamFrac of accesses walk sequentially (high row-buffer hits).
+	StreamFrac float64
+	// PointerFrac of accesses are dependent random loads (no MLP).
+	PointerFrac float64
+	// HotFrac of the remaining random accesses fall in HotLines.
+	HotFrac  float64
+	HotLines uint64
+	// InstrScale multiplies the harness's per-core instruction budget;
+	// workloads whose footprint needs several traversals to reach
+	// steady state (the web graphs) set it above 1.
+	InstrScale float64
+}
+
+// Stream produces the access sequence of one core running a profile.
+type Stream struct {
+	p       Profile
+	rng     *rand.Rand
+	seqAddr uint64
+	base    uint64
+	mixes   []*Stream // non-nil for MIX workloads
+	mixIdx  int
+}
+
+// NewStream builds a deterministic generator for profile p. The base
+// offsets all addresses (rate mode gives each core a disjoint copy);
+// seed varies the stream per core.
+func NewStream(p Profile, base uint64, seed int64) *Stream {
+	if p.FootprintLines == 0 {
+		p.FootprintLines = 1
+	}
+	if p.HotLines == 0 || p.HotLines > p.FootprintLines {
+		p.HotLines = p.FootprintLines / 8
+		if p.HotLines == 0 {
+			p.HotLines = 1
+		}
+	}
+	return &Stream{
+		p:    p,
+		rng:  rand.New(rand.NewSource(seed ^ int64(hashName(p.Name)))),
+		base: base,
+	}
+}
+
+// NewMixStream interleaves several profiles round-robin, as the paper's
+// mixed workloads combine 4 benchmarks.
+func NewMixStream(name string, parts []Profile, base uint64, seed int64) *Stream {
+	s := &Stream{p: Profile{Name: name, Suite: "MIX"}}
+	for i, p := range parts {
+		// Spread the component footprints apart.
+		s.mixes = append(s.mixes, NewStream(p, base+uint64(i)<<34, seed+int64(i)))
+	}
+	return s
+}
+
+// Profile returns the stream's profile.
+func (s *Stream) Profile() Profile { return s.p }
+
+func hashName(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Next returns the stream's next access.
+func (s *Stream) Next() Access {
+	if s.mixes != nil {
+		a := s.mixes[s.mixIdx].Next()
+		s.mixIdx = (s.mixIdx + 1) % len(s.mixes)
+		return a
+	}
+	p := &s.p
+	// Geometric inter-access gap with mean 1000/APKI instructions.
+	mean := 1000.0 / p.APKI
+	gap := uint64(s.rng.ExpFloat64()*mean) + 1
+
+	a := Access{Gap: gap}
+	a.Write = s.rng.Float64() < p.WriteFrac
+
+	r := s.rng.Float64()
+	switch {
+	case r < p.StreamFrac:
+		s.seqAddr = (s.seqAddr + 1) % p.FootprintLines
+		a.Addr = s.base + s.seqAddr
+	case r < p.StreamFrac+p.PointerFrac:
+		a.Addr = s.base + uint64(s.rng.Int63n(int64(p.FootprintLines)))
+		a.Dependent = !a.Write
+	default:
+		if s.rng.Float64() < p.HotFrac {
+			a.Addr = s.base + uint64(s.rng.Int63n(int64(p.HotLines)))
+		} else {
+			a.Addr = s.base + uint64(s.rng.Int63n(int64(p.FootprintLines)))
+		}
+	}
+	return a
+}
+
+// Workload names one experiment workload: either a single benchmark in
+// rate mode (4 copies) or a mix of 4 different benchmarks.
+type Workload struct {
+	Name    string
+	Suite   string
+	Parts   []Profile // 1 for rate mode, 4 for mixes
+	RateRun bool
+}
+
+// Streams builds the per-core streams for the workload on `cores` cores.
+func (w Workload) Streams(cores int) []*Stream {
+	out := make([]*Stream, cores)
+	for c := 0; c < cores; c++ {
+		base := uint64(c) << 36 // disjoint address spaces per core
+		if w.RateRun {
+			out[c] = NewStream(w.Parts[0], base, int64(c)*7919)
+		} else {
+			out[c] = NewStream(w.Parts[c%len(w.Parts)], base, int64(c)*7919)
+		}
+	}
+	return out
+}
+
+const (
+	mb = 1 << 14 // lines in 1 MB
+)
+
+// profiles is the benchmark roster: 17 memory-intensive SPEC2006
+// workloads, 6 GAP kernels (pr/cc/bc × twitter/web). APKI and locality
+// parameters are calibrated to published characterizations; footprints
+// are scaled to the 8 MB LLC of Table III (131072 lines).
+var profiles = map[string]Profile{
+	// SPECint
+	"mcf":       {Name: "mcf", Suite: "SPECint", APKI: 55, WriteFrac: 0.25, FootprintLines: 24 * mb, StreamFrac: 0.10, PointerFrac: 0.55, HotFrac: 0.20},
+	"omnetpp":   {Name: "omnetpp", Suite: "SPECint", APKI: 18, WriteFrac: 0.30, FootprintLines: 10 * mb, StreamFrac: 0.10, PointerFrac: 0.45, HotFrac: 0.30},
+	"astar":     {Name: "astar", Suite: "SPECint", APKI: 9, WriteFrac: 0.25, FootprintLines: 6 * mb, StreamFrac: 0.10, PointerFrac: 0.50, HotFrac: 0.35},
+	"gcc":       {Name: "gcc", Suite: "SPECint", APKI: 10, WriteFrac: 0.35, FootprintLines: 8 * mb, StreamFrac: 0.30, PointerFrac: 0.20, HotFrac: 0.40},
+	"xalancbmk": {Name: "xalancbmk", Suite: "SPECint", APKI: 12, WriteFrac: 0.25, FootprintLines: 6 * mb, StreamFrac: 0.25, PointerFrac: 0.35, HotFrac: 0.35},
+	"bzip2":     {Name: "bzip2", Suite: "SPECint", APKI: 6, WriteFrac: 0.35, FootprintLines: 12 * mb, StreamFrac: 0.50, PointerFrac: 0.05, HotFrac: 0.40},
+	"gobmk":     {Name: "gobmk", Suite: "SPECint", APKI: 4, WriteFrac: 0.30, FootprintLines: 2 * mb, StreamFrac: 0.20, PointerFrac: 0.25, HotFrac: 0.50},
+
+	// SPECfp
+	"lbm":        {Name: "lbm", Suite: "SPECfp", APKI: 32, WriteFrac: 0.45, FootprintLines: 32 * mb, StreamFrac: 0.90, PointerFrac: 0.00, HotFrac: 0.10},
+	"libquantum": {Name: "libquantum", Suite: "SPECfp", APKI: 26, WriteFrac: 0.25, FootprintLines: 24 * mb, StreamFrac: 0.95, PointerFrac: 0.00, HotFrac: 0.05},
+	"milc":       {Name: "milc", Suite: "SPECfp", APKI: 22, WriteFrac: 0.35, FootprintLines: 28 * mb, StreamFrac: 0.60, PointerFrac: 0.05, HotFrac: 0.15},
+	"soplex":     {Name: "soplex", Suite: "SPECfp", APKI: 24, WriteFrac: 0.20, FootprintLines: 16 * mb, StreamFrac: 0.40, PointerFrac: 0.20, HotFrac: 0.25},
+	"bwaves":     {Name: "bwaves", Suite: "SPECfp", APKI: 19, WriteFrac: 0.30, FootprintLines: 28 * mb, StreamFrac: 0.80, PointerFrac: 0.00, HotFrac: 0.10},
+	"GemsFDTD":   {Name: "GemsFDTD", Suite: "SPECfp", APKI: 20, WriteFrac: 0.35, FootprintLines: 26 * mb, StreamFrac: 0.70, PointerFrac: 0.00, HotFrac: 0.15},
+	"leslie3d":   {Name: "leslie3d", Suite: "SPECfp", APKI: 15, WriteFrac: 0.30, FootprintLines: 20 * mb, StreamFrac: 0.75, PointerFrac: 0.00, HotFrac: 0.15},
+	"sphinx3":    {Name: "sphinx3", Suite: "SPECfp", APKI: 13, WriteFrac: 0.10, FootprintLines: 10 * mb, StreamFrac: 0.45, PointerFrac: 0.10, HotFrac: 0.35},
+	"cactusADM":  {Name: "cactusADM", Suite: "SPECfp", APKI: 8, WriteFrac: 0.35, FootprintLines: 14 * mb, StreamFrac: 0.65, PointerFrac: 0.00, HotFrac: 0.25},
+	"zeusmp":     {Name: "zeusmp", Suite: "SPECfp", APKI: 7, WriteFrac: 0.30, FootprintLines: 16 * mb, StreamFrac: 0.70, PointerFrac: 0.00, HotFrac: 0.20},
+
+	// GAP — pr/cc/bc on twitter (huge, poor locality) and web (smaller,
+	// better locality: data lives mostly in LLC so counter contention
+	// hurts, the paper's SGX_O-below-SGX anomaly).
+	"pr-twitter": {Name: "pr-twitter", Suite: "GAP", APKI: 42, WriteFrac: 0.15, FootprintLines: 48 * mb, StreamFrac: 0.15, PointerFrac: 0.45, HotFrac: 0.15},
+	"cc-twitter": {Name: "cc-twitter", Suite: "GAP", APKI: 36, WriteFrac: 0.20, FootprintLines: 40 * mb, StreamFrac: 0.15, PointerFrac: 0.40, HotFrac: 0.15},
+	"bc-twitter": {Name: "bc-twitter", Suite: "GAP", APKI: 30, WriteFrac: 0.20, FootprintLines: 36 * mb, StreamFrac: 0.20, PointerFrac: 0.40, HotFrac: 0.15},
+	// The web datasets' working sets nearly fit the LLC: data alone
+	// caches, data+counters does not, so SGX_O's LLC counter caching
+	// pushes the workload over the LRU capacity cliff (the paper's
+	// SGX_O-below-SGX anomaly, §VI-A).
+	"pr-web": {Name: "pr-web", Suite: "GAP", APKI: 24, WriteFrac: 0.15, FootprintLines: 30500, StreamFrac: 0.75, PointerFrac: 0.10, HotFrac: 0.40, HotLines: 2048, InstrScale: 8},
+	"cc-web": {Name: "cc-web", Suite: "GAP", APKI: 20, WriteFrac: 0.20, FootprintLines: 30000, StreamFrac: 0.75, PointerFrac: 0.10, HotFrac: 0.40, HotLines: 2048, InstrScale: 8},
+	"bc-web": {Name: "bc-web", Suite: "GAP", APKI: 17, WriteFrac: 0.20, FootprintLines: 29500, StreamFrac: 0.72, PointerFrac: 0.12, HotFrac: 0.40, HotLines: 2048, InstrScale: 10},
+}
+
+// mixRecipes are the 6 random 4-benchmark combinations.
+var mixRecipes = [][4]string{
+	{"mcf", "lbm", "sphinx3", "xalancbmk"},
+	{"libquantum", "omnetpp", "milc", "astar"},
+	{"soplex", "bwaves", "gcc", "bc-web"},
+	{"GemsFDTD", "mcf", "leslie3d", "bzip2"},
+	{"pr-twitter", "cactusADM", "soplex", "omnetpp"},
+	{"cc-twitter", "lbm", "zeusmp", "sphinx3"},
+}
+
+// ByName returns a single benchmark profile.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// Names lists all single-benchmark profiles.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Workloads returns the paper's 29-workload roster: 17 SPEC2006
+// memory-intensive benchmarks (rate mode), 6 GAP kernels (rate mode),
+// and 6 mixes.
+func Workloads() []Workload {
+	order := []string{
+		// SPECint
+		"mcf", "omnetpp", "astar", "gcc", "xalancbmk", "bzip2", "gobmk",
+		// SPECfp
+		"lbm", "libquantum", "milc", "soplex", "bwaves", "GemsFDTD",
+		"leslie3d", "sphinx3", "cactusADM", "zeusmp",
+		// GAP
+		"pr-twitter", "pr-web", "cc-twitter", "cc-web", "bc-twitter", "bc-web",
+	}
+	var out []Workload
+	for _, n := range order {
+		p := profiles[n]
+		out = append(out, Workload{Name: n, Suite: p.Suite, Parts: []Profile{p}, RateRun: true})
+	}
+	for i, recipe := range mixRecipes {
+		var parts []Profile
+		for _, n := range recipe {
+			parts = append(parts, profiles[n])
+		}
+		out = append(out, Workload{
+			Name:  fmt.Sprintf("mix%d", i+1),
+			Suite: "MIX",
+			Parts: parts,
+		})
+	}
+	return out
+}
+
+// InstrBudget returns the per-core instruction count for the workload
+// given a base budget, honoring the largest component InstrScale.
+func (w Workload) InstrBudget(base uint64) uint64 {
+	scale := 1.0
+	for _, p := range w.Parts {
+		if p.InstrScale > scale {
+			scale = p.InstrScale
+		}
+	}
+	return uint64(float64(base) * scale)
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadRoster(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 29 {
+		t.Fatalf("workload count = %d, want 29 (paper roster)", len(ws))
+	}
+	suites := map[string]int{}
+	for _, w := range ws {
+		suites[w.Suite]++
+	}
+	if suites["GAP"] != 6 {
+		t.Errorf("GAP workloads = %d, want 6", suites["GAP"])
+	}
+	if suites["MIX"] != 6 {
+		t.Errorf("MIX workloads = %d, want 6", suites["MIX"])
+	}
+	if suites["SPECint"]+suites["SPECfp"] != 17 {
+		t.Errorf("SPEC workloads = %d, want 17", suites["SPECint"]+suites["SPECfp"])
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Workloads() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("ByName accepted unknown benchmark")
+	}
+	if len(Names()) != 23 {
+		t.Fatalf("Names() = %d entries, want 23", len(Names()))
+	}
+}
+
+func TestAllWorkloadsMemoryIntensive(t *testing.T) {
+	// The paper selects workloads with >1 access per 1000 instructions.
+	for _, w := range Workloads() {
+		for _, p := range w.Parts {
+			if p.APKI <= 1 {
+				t.Errorf("%s/%s: APKI %.1f not memory-intensive", w.Name, p.Name, p.APKI)
+			}
+			if p.FootprintLines == 0 {
+				t.Errorf("%s/%s: zero footprint", w.Name, p.Name)
+			}
+			if p.StreamFrac+p.PointerFrac > 1 {
+				t.Errorf("%s/%s: mixture fractions exceed 1", w.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p, _ := ByName("mcf")
+	s1 := NewStream(p, 0, 1)
+	s2 := NewStream(p, 0, 1)
+	for i := 0; i < 1000; i++ {
+		if s1.Next() != s2.Next() {
+			t.Fatalf("streams diverged at access %d", i)
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	p, _ := ByName("mcf")
+	s1 := NewStream(p, 0, 1)
+	s2 := NewStream(p, 0, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Next().Addr == s2.Next().Addr {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d/100 identical addresses", same)
+	}
+}
+
+func TestStreamStatistics(t *testing.T) {
+	p, _ := ByName("lbm")
+	s := NewStream(p, 0, 3)
+	const n = 200000
+	var gaps, writes, deps float64
+	maxAddr := uint64(0)
+	for i := 0; i < n; i++ {
+		a := s.Next()
+		gaps += float64(a.Gap)
+		if a.Write {
+			writes++
+		}
+		if a.Dependent {
+			deps++
+		}
+		if a.Addr > maxAddr {
+			maxAddr = a.Addr
+		}
+	}
+	// Mean gap should be ~1000/APKI.
+	wantGap := 1000.0 / p.APKI
+	if got := gaps / n; math.Abs(got-wantGap)/wantGap > 0.1 {
+		t.Errorf("mean gap %.1f, want ≈%.1f", got, wantGap)
+	}
+	if got := writes / n; math.Abs(got-p.WriteFrac) > 0.02 {
+		t.Errorf("write fraction %.3f, want ≈%.2f", got, p.WriteFrac)
+	}
+	if maxAddr >= p.FootprintLines {
+		t.Errorf("address %d beyond footprint %d", maxAddr, p.FootprintLines)
+	}
+	// lbm has no pointer component.
+	if deps != 0 {
+		t.Errorf("lbm produced %v dependent accesses", deps)
+	}
+}
+
+func TestPointerWorkloadHasDependentLoads(t *testing.T) {
+	p, _ := ByName("mcf")
+	s := NewStream(p, 0, 4)
+	deps := 0
+	for i := 0; i < 10000; i++ {
+		if s.Next().Dependent {
+			deps++
+		}
+	}
+	if deps < 2000 {
+		t.Fatalf("mcf dependent loads = %d/10000, want ≳ pointer fraction", deps)
+	}
+}
+
+func TestStreamingLocality(t *testing.T) {
+	p, _ := ByName("libquantum")
+	s := NewStream(p, 0, 5)
+	sequential := 0
+	prev := s.Next().Addr
+	for i := 0; i < 10000; i++ {
+		a := s.Next()
+		if a.Addr == prev+1 {
+			sequential++
+		}
+		prev = a.Addr
+	}
+	if sequential < 8500 {
+		t.Fatalf("libquantum sequential pairs = %d/10000, want ≳ 0.9", sequential)
+	}
+}
+
+func TestRateModeStreamsDisjoint(t *testing.T) {
+	w := Workloads()[0]
+	streams := w.Streams(4)
+	if len(streams) != 4 {
+		t.Fatalf("got %d streams", len(streams))
+	}
+	bases := map[uint64]bool{}
+	for _, s := range streams {
+		a := s.Next()
+		base := a.Addr >> 36
+		if bases[base] {
+			t.Fatal("two cores share an address-space base in rate mode")
+		}
+		bases[base] = true
+	}
+}
+
+func TestMixStreamsUseDifferentProfiles(t *testing.T) {
+	var mix Workload
+	for _, w := range Workloads() {
+		if w.Suite == "MIX" {
+			mix = w
+			break
+		}
+	}
+	if len(mix.Parts) != 4 {
+		t.Fatalf("mix has %d parts, want 4", len(mix.Parts))
+	}
+	streams := mix.Streams(4)
+	names := map[string]bool{}
+	for _, s := range streams {
+		names[s.Profile().Name] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("mix cores run %d distinct profiles, want 4", len(names))
+	}
+}
+
+func TestNewMixStreamInterleaves(t *testing.T) {
+	p1, _ := ByName("mcf")
+	p2, _ := ByName("lbm")
+	s := NewMixStream("m", []Profile{p1, p2}, 0, 9)
+	// Alternating accesses come from alternating address bases.
+	a1 := s.Next()
+	a2 := s.Next()
+	if a1.Addr>>34 == a2.Addr>>34 {
+		t.Fatal("mix components share an address region")
+	}
+}
