@@ -3,16 +3,25 @@ package synergy
 // This file is the library's public surface: a curated facade over the
 // internal packages, so downstream users import just "synergy".
 //
-//	mem, _ := synergy.New(synergy.Config{DataLines: 1 << 20})
+//	mem, _ := synergy.New(synergy.Config{DataLines: 1 << 20, Ranks: 4})
 //	mem.Write(7, line)
 //	info, err := mem.Read(7, buf)   // err == synergy.ErrAttack on tampering
 //
+// New returns a multi-rank *Array — the concurrent serving surface.
+// Requests to different ranks proceed fully in parallel; ReadBatch and
+// WriteBatch group lines by rank and fan out. See the "Concurrency
+// contract" section of README.md for exactly what may be called from
+// multiple goroutines.
+//
 // The performance and reliability simulators are exposed through
-// convenience entry points (Experiments, SimulateReliability); the full
-// knob set lives in the commands (cmd/synergy-sim, cmd/synergy-faultsim)
-// and benchmarks.
+// convenience entry points (RunExperiment, SimulateReliability); the
+// full knob set lives in the commands (cmd/synergy-sim,
+// cmd/synergy-faultsim) and benchmarks.
 
 import (
+	"errors"
+	"fmt"
+
 	"synergy/internal/core"
 	"synergy/internal/experiments"
 	"synergy/internal/reliability"
@@ -22,39 +31,69 @@ import (
 const LineSize = core.LineSize
 
 // Config parameterizes a Synergy secure memory (see core.Config).
+// Config.Ranks selects the rank count of the Array New builds
+// (default 1; Table III uses 4).
 type Config = core.Config
 
-// Memory is a functional Synergy secure memory on a simulated 9-chip
+// Memory is one functional Synergy secure rank on a simulated 9-chip
 // ECC-DIMM: counter-mode encryption, MAC-in-ECC-chip integrity, Bonsai
 // counter tree replay protection, and chipkill-level error correction
-// via the 9-chip parity.
+// via the 9-chip parity. Array.Rank exposes it for fault injection,
+// stats and logs.
 type Memory = core.Memory
+
+// Array is a multi-rank memory (Table III: 4 ranks of 9 chips); each
+// rank is an independent protection domain, so one chip may fail in
+// every rank simultaneously. It is the concurrent serving surface:
+// accesses to different ranks proceed in parallel.
+type Array = core.Array
 
 // ReadInfo describes corrections performed during a Read.
 type ReadInfo = core.ReadInfo
 
-// ErrAttack is returned when a MAC mismatch cannot be corrected:
-// multi-chip corruption or tampering. The engine fails closed.
-var ErrAttack = core.ErrAttack
+// Sentinel errors. Internal errors wrap these, so errors.Is works
+// through any amount of context decoration.
+var (
+	// ErrAttack is returned when a MAC mismatch cannot be corrected:
+	// multi-chip corruption or tampering. The engine fails closed.
+	ErrAttack = core.ErrAttack
+	// ErrOutOfRange is returned for line indices beyond the configured
+	// capacity.
+	ErrOutOfRange = core.ErrOutOfRange
+	// ErrBadLineSize is returned when a buffer is not exactly LineSize
+	// bytes per line.
+	ErrBadLineSize = core.ErrBadLineSize
+	// ErrUnknownExperiment is returned by RunExperiment for an
+	// experiment identifier that names no figure.
+	ErrUnknownExperiment = errors.New("synergy: unknown experiment")
+)
 
-// New builds a Synergy memory.
-func New(cfg Config) (*Memory, error) { return core.New(cfg) }
+// New builds a Synergy memory: cfg.Ranks independent 9-chip ranks
+// (default 1) with cfg.DataLines total capacity interleaved across
+// them. The returned Array is safe for concurrent use.
+func New(cfg Config) (*Array, error) { return core.NewArray(cfg) }
 
-// Array is a multi-rank memory (Table III: 4 ranks of 9 chips); each
-// rank is an independent protection domain, so one chip may fail in
-// every rank simultaneously.
-type Array = core.Array
+// NewArray builds a multi-rank memory with an explicit rank count.
+//
+// Deprecated: set Config.Ranks and call New instead.
+func NewArray(cfg Config, ranks int) (*Array, error) {
+	cfg.Ranks = ranks
+	return core.NewArray(cfg)
+}
 
-// NewArray builds a multi-rank memory with cfg.DataLines total capacity
-// interleaved across ranks.
-func NewArray(cfg Config, ranks int) (*Array, error) { return core.NewArray(cfg, ranks) }
+// Store is the line read/write contract shared by Memory and Array.
+type Store = core.Store
 
-// Device adapts a Memory or Array to io.ReaderAt/io.WriterAt.
+// BatchStore is a Store that also serves rank-grouped batched I/O.
+type BatchStore = core.BatchStore
+
+// Device adapts a Memory or Array to io.ReaderAt/io.WriterAt. Aligned
+// multi-line spans use the store's batched entry points.
 type Device = core.Device
 
 // NewDevice wraps a store exposing `lines` cachelines as a byte-
 // addressable block device.
-func NewDevice(store core.Store, lines uint64) (*Device, error) {
+func NewDevice(store Store, lines uint64) (*Device, error) {
 	return core.NewDevice(store, lines)
 }
 
@@ -111,11 +150,51 @@ type ExperimentResult struct {
 	Summary map[string]float64
 }
 
+// experimentOptions collects the knobs ExperimentOption functions set.
+type experimentOptions struct {
+	baseInstr uint64
+	workers   int
+	progress  func(completed, total int)
+}
+
+// ExperimentOption configures RunExperiment.
+type ExperimentOption func(*experimentOptions)
+
+// WithInstructionBudget sets the per-core instruction budget (0 = the
+// default 1M used for the checked-in EXPERIMENTS.md).
+func WithInstructionBudget(n uint64) ExperimentOption {
+	return func(o *experimentOptions) { o.baseInstr = n }
+}
+
+// WithWorkers sets the number of goroutines pre-running the sweep's
+// (workload, spec) pairs (0 = one per CPU). Each pair is an independent
+// simulation, so the worker count never changes results.
+func WithWorkers(n int) ExperimentOption {
+	return func(o *experimentOptions) { o.workers = n }
+}
+
+// WithProgress installs a callback invoked after each (workload, spec)
+// pair of the sweep completes. Calls are serialized; keep the callback
+// fast.
+func WithProgress(fn func(completed, total int)) ExperimentOption {
+	return func(o *experimentOptions) { o.progress = fn }
+}
+
 // RunExperiment regenerates one figure of the paper's evaluation over
-// the full 29-workload roster. baseInstr is the per-core instruction
-// budget (0 = the default 1M used for the checked-in EXPERIMENTS.md).
-func RunExperiment(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
-	r := experiments.ParallelRunner(experiments.Options{BaseInstr: baseInstr})
+// the full 29-workload roster.
+func RunExperiment(exp Experiment, opts ...ExperimentOption) (ExperimentResult, error) {
+	var o experimentOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eopt := experiments.Options{BaseInstr: o.baseInstr, Progress: o.progress}
+	var r *experiments.Runner
+	if o.workers > 0 {
+		eopt.Parallelism = o.workers
+		r = experiments.NewRunner(eopt)
+	} else {
+		r = experiments.ParallelRunner(eopt)
+	}
 	fns := map[Experiment]func() (experiments.Figure, error){
 		Figure6:  r.Figure6,
 		Figure8:  r.Figure8,
@@ -129,7 +208,7 @@ func RunExperiment(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
 	}
 	fn, ok := fns[exp]
 	if !ok {
-		return ExperimentResult{}, errUnknownExperiment(exp)
+		return ExperimentResult{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, string(exp))
 	}
 	fig, err := fn()
 	if err != nil {
@@ -143,8 +222,10 @@ func RunExperiment(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
 	}, nil
 }
 
-type errUnknownExperiment Experiment
-
-func (e errUnknownExperiment) Error() string {
-	return "synergy: unknown experiment " + string(e)
+// RunExperimentWithBudget regenerates one figure with an explicit
+// per-core instruction budget — the pre-options signature.
+//
+// Deprecated: use RunExperiment with WithInstructionBudget.
+func RunExperimentWithBudget(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
+	return RunExperiment(exp, WithInstructionBudget(baseInstr))
 }

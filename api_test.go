@@ -30,6 +30,57 @@ func TestPublicMemoryRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPublicMultiRankAndBatch(t *testing.T) {
+	arr, err := synergy.New(synergy.Config{DataLines: 64, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Ranks() != 4 {
+		t.Fatalf("Ranks = %d, want 4", arr.Ranks())
+	}
+	lines := []uint64{3, 17, 42, 8}
+	src := bytes.Repeat([]byte{0xA5}, len(lines)*synergy.LineSize)
+	if err := arr.WriteBatch(lines, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if _, err := arr.ReadBatch(lines, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("batched round trip failed")
+	}
+
+	// Deprecated shim still constructs the same shape.
+	old, err := synergy.NewArray(synergy.Config{DataLines: 64}, 2)
+	if err != nil || old.Ranks() != 2 {
+		t.Fatalf("NewArray shim: %v, ranks %d", err, old.Ranks())
+	}
+}
+
+func TestPublicErrorTaxonomy(t *testing.T) {
+	arr, err := synergy.New(synergy.Config{DataLines: 32, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, synergy.LineSize)
+	if _, err := arr.Read(99, buf); !errors.Is(err, synergy.ErrOutOfRange) {
+		t.Fatalf("out-of-range read: %v, want wrapped ErrOutOfRange", err)
+	}
+	if err := arr.Write(99, buf); !errors.Is(err, synergy.ErrOutOfRange) {
+		t.Fatalf("out-of-range write: %v, want wrapped ErrOutOfRange", err)
+	}
+	if _, err := arr.Read(0, buf[:10]); !errors.Is(err, synergy.ErrBadLineSize) {
+		t.Fatalf("short buffer read: %v, want wrapped ErrBadLineSize", err)
+	}
+	if _, err := arr.ReadBatch([]uint64{0, 1}, buf); !errors.Is(err, synergy.ErrBadLineSize) {
+		t.Fatalf("short batch buffer: %v, want wrapped ErrBadLineSize", err)
+	}
+	if err := arr.WriteBatch([]uint64{0, 99}, make([]byte, 2*synergy.LineSize)); !errors.Is(err, synergy.ErrOutOfRange) {
+		t.Fatalf("out-of-range batch write: %v, want wrapped ErrOutOfRange", err)
+	}
+}
+
 func TestPublicCorrectionAndAttack(t *testing.T) {
 	mem, err := synergy.New(synergy.Config{DataLines: 64})
 	if err != nil {
@@ -37,16 +88,17 @@ func TestPublicCorrectionAndAttack(t *testing.T) {
 	}
 	want := bytes.Repeat([]byte{7}, synergy.LineSize)
 	mem.Write(9, want)
-	addr := mem.Layout().DataAddr(9)
-	mem.Module().InjectTransient(addr, 4, [8]byte{0xFF})
+	rank := mem.Rank(0)
+	addr := rank.Layout().DataAddr(9)
+	rank.Module().InjectTransient(addr, 4, [8]byte{0xFF})
 	buf := make([]byte, synergy.LineSize)
 	info, err := mem.Read(9, buf)
 	if err != nil || !info.Corrected || !bytes.Equal(buf, want) {
 		t.Fatalf("correction through facade failed: %v %+v", err, info)
 	}
 	// Two-chip corruption fails closed with the public sentinel error.
-	mem.Module().InjectTransient(addr, 1, [8]byte{1})
-	mem.Module().InjectTransient(addr, 6, [8]byte{2})
+	rank.Module().InjectTransient(addr, 1, [8]byte{1})
+	rank.Module().InjectTransient(addr, 6, [8]byte{2})
 	if _, err := mem.Read(9, buf); !errors.Is(err, synergy.ErrAttack) {
 		t.Fatalf("err = %v, want synergy.ErrAttack", err)
 	}
@@ -67,7 +119,10 @@ func TestPublicReliability(t *testing.T) {
 }
 
 func TestPublicExperiment(t *testing.T) {
-	res, err := synergy.RunExperiment(synergy.Figure13, 100_000)
+	var calls, lastTotal int
+	res, err := synergy.RunExperiment(synergy.Figure13,
+		synergy.WithInstructionBudget(100_000),
+		synergy.WithProgress(func(completed, total int) { calls, lastTotal = completed, total }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +132,15 @@ func TestPublicExperiment(t *testing.T) {
 	if res.Summary["monolithic"] <= 1.0 {
 		t.Fatalf("Synergy speedup %.3f through facade", res.Summary["monolithic"])
 	}
-	if _, err := synergy.RunExperiment("fig99", 0); err == nil {
-		t.Fatal("unknown experiment accepted")
+	if calls == 0 || calls != lastTotal {
+		t.Fatalf("progress callback saw %d/%d, want a complete sweep", calls, lastTotal)
+	}
+	if _, err := synergy.RunExperiment("fig99"); !errors.Is(err, synergy.ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment: %v, want wrapped ErrUnknownExperiment", err)
+	}
+	// The deprecated fixed-signature wrapper routes through the same
+	// taxonomy.
+	if _, err := synergy.RunExperimentWithBudget("fig99", 0); !errors.Is(err, synergy.ErrUnknownExperiment) {
+		t.Fatalf("deprecated wrapper: %v, want wrapped ErrUnknownExperiment", err)
 	}
 }

@@ -1,0 +1,104 @@
+package synergy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"synergy"
+)
+
+// BenchmarkConcurrentThroughput measures served lines/sec on a 4-rank
+// Array at 1, 4 and 16 client goroutines. Goroutine w is pinned to rank
+// w%4, so at 4 goroutines each rank's lock is uncontended and the
+// speedup over 1 goroutine is the rank-parallelism the sharded router
+// actually realizes (given ≥4 CPUs; on fewer cores the CPU-bound MAC
+// and AES work serializes regardless of locking).
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	const ranks = 4
+	const dataLines = 1024
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			arr, err := synergy.New(synergy.Config{DataLines: dataLines, Ranks: ranks})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Touch every line once so reads run against written state.
+			line := make([]byte, synergy.LineSize)
+			for i := uint64(0); i < dataLines; i++ {
+				if err := arr.Write(i, line); err != nil {
+					b.Fatal(err)
+				}
+			}
+			per := (b.N + g - 1) / g
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					buf := make([]byte, synergy.LineSize)
+					// Lines ≡ w (mod ranks) stay on one rank: disjoint
+					// goroutines hit disjoint locks.
+					i := uint64(w % ranks)
+					for k := 0; k < per; k++ {
+						if _, err := arr.Read(i, buf); err != nil {
+							b.Error(err)
+							return
+						}
+						i += ranks
+						if i >= dataLines {
+							i = uint64(w % ranks)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			lines := float64(g) * float64(per)
+			b.ReportMetric(lines/b.Elapsed().Seconds(), "lines/sec")
+		})
+	}
+}
+
+// BenchmarkBatchedThroughput compares line-at-a-time against batched
+// reads from a single client: the batch variant pays one lock
+// acquisition and one rank fan-out per 64 lines instead of one lock per
+// line.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	const ranks = 4
+	const dataLines = 1024
+	const batch = 64
+	arr, err := synergy.New(synergy.Config{DataLines: dataLines, Ranks: ranks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := make([]byte, synergy.LineSize)
+	for i := uint64(0); i < dataLines; i++ {
+		if err := arr.Write(i, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		buf := make([]byte, synergy.LineSize)
+		for k := 0; k < b.N; k++ {
+			if _, err := arr.Read(uint64(k)%dataLines, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lines/sec")
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		lines := make([]uint64, batch)
+		buf := make([]byte, batch*synergy.LineSize)
+		for k := 0; k < b.N; k += batch {
+			for j := range lines {
+				lines[j] = uint64(k+j) % dataLines
+			}
+			if _, err := arr.ReadBatch(lines, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lines/sec")
+	})
+}

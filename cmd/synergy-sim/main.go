@@ -27,9 +27,27 @@ func main() {
 	instr := flag.Uint64("instr", 1_000_000,
 		"base instructions per core (workloads with large footprints scale this up)")
 	format := flag.String("format", "table", "output format: table|csv")
+	workers := flag.Int("workers", 0,
+		"worker goroutines pre-running (workload, spec) pairs (0 = one per CPU)")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
-	runner := experiments.ParallelRunner(experiments.Options{BaseInstr: *instr})
+	opt := experiments.Options{BaseInstr: *instr}
+	if *progress {
+		opt.Progress = func(completed, total int) {
+			fmt.Fprintf(os.Stderr, "\rsynergy-sim: sweep %d/%d", completed, total)
+			if completed == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	var runner *experiments.Runner
+	if *workers > 0 {
+		opt.Parallelism = *workers
+		runner = experiments.NewRunner(opt)
+	} else {
+		runner = experiments.ParallelRunner(opt)
+	}
 	figures := map[string]func() (experiments.Figure, error){
 		"fig6":  runner.Figure6,
 		"fig8":  runner.Figure8,

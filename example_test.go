@@ -21,8 +21,10 @@ func Example() {
 		log.Fatal(err)
 	}
 
-	// A DRAM chip corrupts its slice of the line.
-	mem.Module().InjectTransient(mem.Layout().DataAddr(3), 5, [8]byte{0xFF})
+	// A DRAM chip corrupts its slice of the line. (Raw hardware access
+	// goes through the rank; a default Array has one.)
+	rank := mem.Rank(0)
+	rank.Module().InjectTransient(rank.Layout().DataAddr(3), 5, [8]byte{0xFF})
 
 	buf := make([]byte, synergy.LineSize)
 	info, err := mem.Read(3, buf)
@@ -36,19 +38,21 @@ func Example() {
 	// corrected: true, faulty chip: 5
 }
 
-// Multi-rank arrays tolerate one failed chip in every rank at once.
-func ExampleNewArray() {
-	arr, err := synergy.NewArray(synergy.Config{DataLines: 256}, 4)
+// Multi-rank arrays tolerate one failed chip in every rank at once and
+// serve different ranks in parallel; batched I/O groups lines by rank.
+func ExampleNew_multiRank() {
+	arr, err := synergy.New(synergy.Config{DataLines: 256, Ranks: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	line := make([]byte, synergy.LineSize)
-	copy(line, []byte("rank-striped"))
-	if err := arr.Write(10, line); err != nil {
+	lines := []uint64{10, 11, 12, 13} // one line per rank
+	src := make([]byte, len(lines)*synergy.LineSize)
+	copy(src, []byte("rank-striped"))
+	if err := arr.WriteBatch(lines, src); err != nil {
 		log.Fatal(err)
 	}
-	buf := make([]byte, synergy.LineSize)
-	if _, err := arr.Read(10, buf); err != nil {
+	buf := make([]byte, len(lines)*synergy.LineSize)
+	if _, err := arr.ReadBatch(lines, buf); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%q across %d ranks\n", buf[:12], arr.Ranks())

@@ -1,5 +1,6 @@
-// Quickstart: create a Synergy secure memory, write and read data, and
-// watch the engine transparently correct a chip error.
+// Quickstart: create a Synergy secure memory through the public facade,
+// write and read data, and watch the engine transparently correct a
+// chip error.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,14 +9,15 @@ import (
 	"fmt"
 	"log"
 
-	"synergy/internal/core"
+	"synergy"
 )
 
 func main() {
 	// A small Synergy memory: 256 cachelines (16 KB) of protected data
 	// on a simulated 9-chip ECC-DIMM. Encryption and MAC keys default
-	// for the demo; production use supplies 16-byte secrets.
-	mem, err := core.New(core.Config{DataLines: 256})
+	// for the demo; production use supplies 16-byte secrets. Config
+	// adds Ranks for multi-rank arrays; the default is a single rank.
+	mem, err := synergy.New(synergy.Config{DataLines: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func main() {
 	// GMAC is computed and stored in the ECC chip alongside the data,
 	// the integrity-tree path is resealed, and the 9-chip parity is
 	// updated.
-	line := make([]byte, core.LineSize)
+	line := make([]byte, synergy.LineSize)
 	copy(line, []byte("synergy: MAC in the ECC chip, parity for correction"))
 	if err := mem.Write(7, line); err != nil {
 		log.Fatal(err)
@@ -33,7 +35,7 @@ func main() {
 
 	// Read it back: the integrity tree is traversed and the MAC
 	// verified before the plaintext is returned.
-	buf := make([]byte, core.LineSize)
+	buf := make([]byte, synergy.LineSize)
 	info, err := mem.Read(7, buf)
 	if err != nil {
 		log.Fatal(err)
@@ -43,8 +45,11 @@ func main() {
 
 	// Now a DRAM chip corrupts its slice of the line (a multi-bit
 	// error confined to chip 3 — more than SECDED could ever fix).
-	addr := mem.Layout().DataAddr(7)
-	if err := mem.Module().InjectTransient(addr, 3, [8]byte{0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00}); err != nil {
+	// Raw hardware access goes through the rank; a default Array has
+	// one, and fault injection is caller-synchronized.
+	rank := mem.Rank(0)
+	addr := rank.Layout().DataAddr(7)
+	if err := rank.Module().InjectTransient(addr, 3, [8]byte{0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // Array is a multi-rank Synergy memory: the Table III system has 2
@@ -15,18 +17,30 @@ import (
 // Because ranks are independent, an Array survives one failed chip *per
 // rank* simultaneously — four concurrent chip failures on the default
 // system — where a single rank tolerates one.
+//
+// Array is safe for concurrent use and is the intended serving surface:
+// each rank carries its own lock, and the router holds no state of its
+// own, so requests to different ranks proceed fully in parallel. Within
+// one rank, accesses serialize the way a per-rank controller queue
+// would. ReadBatch/WriteBatch group lines by rank, acquire each rank
+// lock once, and fan the per-rank batches out concurrently.
 type Array struct {
 	ranks        []*Memory
 	linesPerRank uint64
 	dataLines    uint64
 }
 
-// NewArray builds an Array of `ranks` independent Synergy ranks, with
-// cfg.DataLines total capacity split across them. Keys are shared (one
-// memory controller); per-rank state is independent.
-func NewArray(cfg Config, ranks int) (*Array, error) {
-	if ranks <= 0 {
-		return nil, errors.New("core: Array needs at least one rank")
+// NewArray builds an Array of cfg.Ranks independent Synergy ranks
+// (default 1), with cfg.DataLines total capacity split across them.
+// Keys are shared (one memory controller); per-rank state is
+// independent.
+func NewArray(cfg Config) (*Array, error) {
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	if ranks < 0 {
+		return nil, errors.New("core: Config.Ranks must not be negative")
 	}
 	if cfg.DataLines == 0 {
 		return nil, errors.New("core: Config.DataLines must be positive")
@@ -35,6 +49,7 @@ func NewArray(cfg Config, ranks int) (*Array, error) {
 	a := &Array{linesPerRank: perRank, dataLines: cfg.DataLines}
 	for r := 0; r < ranks; r++ {
 		rcfg := cfg
+		rcfg.Ranks = 1
 		rcfg.DataLines = perRank
 		m, err := New(rcfg)
 		if err != nil {
@@ -57,7 +72,7 @@ func (a *Array) Rank(i int) *Memory { return a.ranks[i] }
 // route maps a global line to (rank, line-within-rank).
 func (a *Array) route(line uint64) (*Memory, uint64, error) {
 	if line >= a.dataLines {
-		return nil, 0, fmt.Errorf("core: data line %d out of range", line)
+		return nil, 0, fmt.Errorf("core: data line %d out of range [0,%d): %w", line, a.dataLines, ErrOutOfRange)
 	}
 	r := int(line % uint64(len(a.ranks)))
 	return a.ranks[r], line / uint64(len(a.ranks)), nil
@@ -81,16 +96,159 @@ func (a *Array) Write(i uint64, plain []byte) error {
 	return m.Write(inner, plain)
 }
 
-// Scrub scrubs every rank, summing corrections.
-func (a *Array) Scrub() (corrected int, err error) {
-	for r, m := range a.ranks {
-		c, err := m.Scrub()
-		corrected += c
-		if err != nil {
-			return corrected, fmt.Errorf("core: rank %d: %w", r, err)
+// batchPlan is a per-rank slice of one batched request: the rank-local
+// line addresses plus each line's position in the caller's order, so
+// results scatter back to the right offsets.
+type batchPlan struct {
+	inner []uint64
+	at    []int
+}
+
+// plan validates every line and groups the batch by rank.
+func (a *Array) plan(lines []uint64, buf []byte, perLine int) ([]batchPlan, error) {
+	if len(buf) != len(lines)*perLine {
+		return nil, fmt.Errorf("core: batch needs %d×%d bytes, got %d: %w",
+			len(lines), perLine, len(buf), ErrBadLineSize)
+	}
+	plans := make([]batchPlan, len(a.ranks))
+	for k, line := range lines {
+		if line >= a.dataLines {
+			return nil, fmt.Errorf("core: data line %d out of range [0,%d): %w", line, a.dataLines, ErrOutOfRange)
+		}
+		r := int(line % uint64(len(a.ranks)))
+		plans[r].inner = append(plans[r].inner, line/uint64(len(a.ranks)))
+		plans[r].at = append(plans[r].at, k)
+	}
+	return plans, nil
+}
+
+// ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
+// every k. Lines are grouped by rank, each rank's lock is acquired once
+// for its whole group, and the per-rank groups run concurrently — one
+// call saturates every rank the batch touches. Duplicate lines are
+// allowed. On error, infos and dst are valid only for the lines whose
+// rank group completed; the returned error joins one error per failed
+// rank.
+func (a *Array) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
+	plans, err := a.plan(lines, dst, LineSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.ranks) == 1 {
+		// Single rank preserves caller order (inner[k] == lines[k]), so
+		// the batch runs in place: no fan-out, no scatter copy.
+		return a.ranks[0].ReadBatch(plans[0].inner, dst)
+	}
+	infos := make([]ReadInfo, len(lines))
+	errs := make([]error, len(a.ranks))
+	runRank := func(r int) {
+		p := &plans[r]
+		buf := make([]byte, len(p.inner)*LineSize)
+		rinfos, rerr := a.ranks[r].ReadBatch(p.inner, buf)
+		for j, k := range p.at {
+			copy(dst[k*LineSize:(k+1)*LineSize], buf[j*LineSize:(j+1)*LineSize])
+			infos[k] = rinfos[j]
+		}
+		if rerr != nil {
+			errs[r] = fmt.Errorf("core: rank %d: %w", r, rerr)
 		}
 	}
-	return corrected, nil
+	fanOut(plans, runRank)
+	return infos, errors.Join(errs...)
+}
+
+// fanOut runs one worker per non-empty rank group, inline when the
+// batch lands on a single rank (no goroutine or scheduling cost for
+// rank-local batches).
+func fanOut(plans []batchPlan, runRank func(r int)) {
+	active := 0
+	for r := range plans {
+		if len(plans[r].inner) > 0 {
+			active++
+		}
+	}
+	if active <= 1 {
+		for r := range plans {
+			if len(plans[r].inner) > 0 {
+				runRank(r)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for r := range plans {
+		if len(plans[r].inner) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			runRank(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// WriteBatch stores src[k*LineSize:(k+1)*LineSize] at lines[k] for
+// every k, with the same rank grouping and fan-out as ReadBatch. Lines
+// must be distinct (concurrent rank groups give duplicate lines no
+// defined write order). On error, lines in failed rank groups are in an
+// unspecified but integrity-consistent state (old or new contents).
+func (a *Array) WriteBatch(lines []uint64, src []byte) error {
+	plans, err := a.plan(lines, src, LineSize)
+	if err != nil {
+		return err
+	}
+	if len(a.ranks) == 1 {
+		return a.ranks[0].WriteBatch(plans[0].inner, src)
+	}
+	errs := make([]error, len(a.ranks))
+	fanOut(plans, func(r int) {
+		p := &plans[r]
+		buf := make([]byte, len(p.inner)*LineSize)
+		for j, k := range p.at {
+			copy(buf[j*LineSize:(j+1)*LineSize], src[k*LineSize:(k+1)*LineSize])
+		}
+		if rerr := a.ranks[r].WriteBatch(p.inner, buf); rerr != nil {
+			errs[r] = fmt.Errorf("core: rank %d: %w", r, rerr)
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// Scrub scrubs every rank, summing corrections. Ranks are scrubbed in
+// parallel by a worker pool bounded by GOMAXPROCS — scrubbing is pure
+// CPU (MAC walks), so more workers than processors only adds
+// contention. Each rank's pass takes its lock per line, so foreground
+// traffic interleaves with the scrub. The returned error joins one
+// error per rank that hit an uncorrectable line.
+func (a *Array) Scrub() (corrected int, err error) {
+	workers := len(a.ranks)
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(a.ranks))
+	counts := make([]int, len(a.ranks))
+	var wg sync.WaitGroup
+	for r := range a.ranks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c, serr := a.ranks[r].Scrub()
+			counts[r] = c
+			if serr != nil {
+				errs[r] = fmt.Errorf("core: rank %d: %w", r, serr)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, c := range counts {
+		corrected += c
+	}
+	return corrected, errors.Join(errs...)
 }
 
 // Stats aggregates engine counters across ranks.
@@ -121,7 +279,16 @@ type Store interface {
 	Write(line uint64, plain []byte) error
 }
 
+// BatchStore is a Store that also serves batched line I/O. Memory and
+// Array both implement it; Device uses it to move aligned multi-line
+// spans in one call per rank lock instead of one call per line.
+type BatchStore interface {
+	Store
+	ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error)
+	WriteBatch(lines []uint64, src []byte) error
+}
+
 var (
-	_ Store = (*Memory)(nil)
-	_ Store = (*Array)(nil)
+	_ BatchStore = (*Memory)(nil)
+	_ BatchStore = (*Array)(nil)
 )

@@ -10,7 +10,7 @@ import (
 
 func newArray(t testing.TB, lines uint64, ranks int) *Array {
 	t.Helper()
-	a, err := NewArray(Config{DataLines: lines, FaultThreshold: 3}, ranks)
+	a, err := NewArray(Config{DataLines: lines, FaultThreshold: 3, Ranks: ranks})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,11 +18,15 @@ func newArray(t testing.TB, lines uint64, ranks int) *Array {
 }
 
 func TestNewArrayValidation(t *testing.T) {
-	if _, err := NewArray(Config{DataLines: 64}, 0); err == nil {
-		t.Fatal("accepted zero ranks")
+	if _, err := NewArray(Config{DataLines: 64, Ranks: -1}); err == nil {
+		t.Fatal("accepted negative ranks")
 	}
-	if _, err := NewArray(Config{}, 2); err == nil {
+	if _, err := NewArray(Config{Ranks: 2}); err == nil {
 		t.Fatal("accepted zero capacity")
+	}
+	// Ranks 0 defaults to a single rank.
+	if a, err := NewArray(Config{DataLines: 64}); err != nil || a.Ranks() != 1 {
+		t.Fatalf("default ranks: %v, %d", err, a.Ranks())
 	}
 	a := newArray(t, 256, 4)
 	if a.Ranks() != 4 || a.DataLines() != 256 {

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // This file implements the §IV-B denial-of-service countermeasure: the
 // memory controller logs every corrected error, and statistical
@@ -24,8 +27,11 @@ type ErrorEvent struct {
 
 // ErrorLog is a bounded ring of corrected-error events with the
 // aggregate statistics the §IV-B analysis needs. The zero value is not
-// usable; Memory owns one.
+// usable; Memory owns one. The log carries its own lock so the
+// platform's security apparatus can inspect and Analyze it while the
+// engine serves traffic.
 type ErrorLog struct {
+	mu     sync.Mutex
 	events []ErrorEvent
 	next   int
 	total  uint64
@@ -42,6 +48,8 @@ func newErrorLog(capacity int) *ErrorLog {
 }
 
 func (l *ErrorLog) add(e ErrorEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.events) < cap(l.events) {
 		l.events = append(l.events, e)
 	} else {
@@ -56,13 +64,23 @@ func (l *ErrorLog) add(e ErrorEvent) {
 
 // Total returns the number of corrections ever logged (not capped by
 // the ring capacity).
-func (l *ErrorLog) Total() uint64 { return l.total }
+func (l *ErrorLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
 
 // ByChip returns per-chip correction counts.
-func (l *ErrorLog) ByChip() [9]uint64 { return l.byChip }
+func (l *ErrorLog) ByChip() [9]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.byChip
+}
 
 // Events returns the retained events, oldest first.
 func (l *ErrorLog) Events() []ErrorEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]ErrorEvent, 0, len(l.events))
 	if len(l.events) == cap(l.events) {
 		out = append(out, l.events[l.next:]...)
@@ -127,6 +145,8 @@ type Analysis struct {
 // wherever the bus allows produces corrections across chips at rates
 // far beyond field FIT rates.
 func (l *ErrorLog) Analyze(accesses uint64) Analysis {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	a := Analysis{DominantChip: -1}
 	if accesses > 0 {
 		a.RatePerMAccess = float64(l.total) / float64(accesses) * 1e6

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"synergy/internal/ctrenc"
 	"synergy/internal/dimm"
@@ -26,10 +27,22 @@ const DefaultFaultThreshold = 4
 // two and, as the paper requires, fails closed (§III-B).
 var ErrAttack = errors.New("core: detected uncorrectable error or tampering — attack declared")
 
+// ErrOutOfRange is returned (wrapped, with the offending address) when a
+// line index falls outside the configured capacity.
+var ErrOutOfRange = errors.New("core: line address out of range")
+
+// ErrBadLineSize is returned (wrapped) when a caller-supplied buffer is
+// not exactly LineSize bytes per line.
+var ErrBadLineSize = errors.New("core: buffer must be exactly one cacheline per line")
+
 // Config parameterizes a Synergy memory.
 type Config struct {
 	// DataLines is the number of 64-byte program-data cachelines.
 	DataLines uint64
+	// Ranks is the number of independent 9-chip ranks an Array splits
+	// the capacity across (Table III: 4). 0 means 1. New (single-rank)
+	// ignores it; NewArray honors it.
+	Ranks int
 	// EncKey and MACKey are the 16-byte secret keys; zero-filled
 	// defaults are derived if nil (useful for tests and examples).
 	EncKey []byte
@@ -50,9 +63,19 @@ type Config struct {
 }
 
 // Memory is a functional Synergy secure memory on one 9-chip ECC-DIMM.
-// It is not safe for concurrent use (a memory controller serializes
-// command streams).
+//
+// Memory is safe for concurrent use: a rank-level mutex serializes the
+// command stream the way a per-rank memory controller queue would.
+// Read, Write and the batch variants take the exclusive lock — even a
+// read mutates engine state (node-cache fills, scoreboard updates,
+// stats, and the §IV-A pre-emptive correction commit write lines back)
+// — while pure observers (Stats, KnownBadChip) share a read lock.
+// Rank-level parallelism comes from Array, which routes disjoint ranks
+// to disjoint locks. Module and Layout expose raw hardware for fault
+// injection and are caller-synchronized: do not inject faults while
+// another goroutine is mid-access.
 type Memory struct {
+	mu     sync.RWMutex
 	layout Layout
 	geo    *integrity.Geometry
 	mod    *dimm.Module
@@ -284,20 +307,32 @@ func parity9(l *dimm.Line) [8]byte {
 }
 
 // Module exposes the underlying DIMM for fault injection in tests,
-// examples, and the reliability harness.
+// examples, and the reliability harness. The module itself is not
+// synchronized: callers must not inject faults concurrently with
+// Read/Write/Scrub on the same rank.
 func (m *Memory) Module() *dimm.Module { return m.mod }
 
-// Layout exposes the region map (for targeted fault injection).
+// Layout exposes the region map (for targeted fault injection). The
+// layout is immutable after New.
 func (m *Memory) Layout() Layout { return m.layout }
 
 // Stats returns a copy of the engine counters.
-func (m *Memory) Stats() Stats { return m.stats }
+func (m *Memory) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
 
 // KnownBadChip returns the chip the scoreboard has condemned, or -1.
-func (m *Memory) KnownBadChip() int { return m.knownBad }
+func (m *Memory) KnownBadChip() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.knownBad
+}
 
 // ErrorLog exposes the §IV-B corrected-error log for the platform's
-// security apparatus (see ErrorLog.Analyze).
+// security apparatus (see ErrorLog.Analyze). The log is internally
+// synchronized and safe to analyze while the engine serves traffic.
 func (m *Memory) ErrorLog() *ErrorLog { return m.log }
 
 // FlushNodeCache empties the on-chip trusted metadata cache (as a
@@ -305,6 +340,8 @@ func (m *Memory) ErrorLog() *ErrorLog { return m.log }
 // to memory. Correctness never depends on cache contents; flushing just
 // re-exposes the walk to DRAM state.
 func (m *Memory) FlushNodeCache() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.ncache = newNodeCache(m.ncache.cap)
 }
 
@@ -462,11 +499,43 @@ func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
 // correction (paper §III-B, Fig. 7). On an uncorrectable mismatch it
 // returns ErrAttack and leaves dst unspecified.
 func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readLocked(i, dst)
+}
+
+// ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
+// every k, acquiring the rank lock once for the whole batch. It stops
+// at the first failing line; infos for the lines served so far are
+// valid, the rest are zero.
+func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
+	if len(dst) != len(lines)*LineSize {
+		return nil, fmt.Errorf("core: ReadBatch needs %d×%d bytes, got %d: %w",
+			len(lines), LineSize, len(dst), ErrBadLineSize)
+	}
+	infos := make([]ReadInfo, len(lines))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, i := range lines {
+		info, err := m.readLocked(i, dst[k*LineSize:(k+1)*LineSize])
+		infos[k] = info
+		if err != nil {
+			return infos, fmt.Errorf("core: batch read %d (line %d): %w", k, i, err)
+		}
+	}
+	return infos, nil
+}
+
+// readLocked is Read with m.mu held. The read path mutates engine
+// state — node-cache fills, scoreboard/stats updates, and correction
+// commits write repaired lines back to the module — so it requires the
+// exclusive lock, not the read lock.
+func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
 	if len(dst) != LineSize {
-		return ReadInfo{}, fmt.Errorf("core: Read needs a %d-byte buffer", LineSize)
+		return ReadInfo{}, fmt.Errorf("core: Read needs a %d-byte buffer, got %d: %w", LineSize, len(dst), ErrBadLineSize)
 	}
 	if i >= m.layout.DataLines {
-		return ReadInfo{}, fmt.Errorf("core: data line %d out of range", i)
+		return ReadInfo{}, fmt.Errorf("core: data line %d out of range [0,%d): %w", i, m.layout.DataLines, ErrOutOfRange)
 	}
 	m.stats.Reads++
 	var info ReadInfo
@@ -619,11 +688,36 @@ func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, in
 // encryption counter and every tree counter on the path, resealing the
 // path MACs, and updating the Synergy parity (§III-A).
 func (m *Memory) Write(i uint64, plain []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeLocked(i, plain)
+}
+
+// WriteBatch stores src[k*LineSize:(k+1)*LineSize] at lines[k] for
+// every k, acquiring the rank lock once for the whole batch. It stops
+// at the first failing line.
+func (m *Memory) WriteBatch(lines []uint64, src []byte) error {
+	if len(src) != len(lines)*LineSize {
+		return fmt.Errorf("core: WriteBatch needs %d×%d bytes, got %d: %w",
+			len(lines), LineSize, len(src), ErrBadLineSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, i := range lines {
+		if err := m.writeLocked(i, src[k*LineSize:(k+1)*LineSize]); err != nil {
+			return fmt.Errorf("core: batch write %d (line %d): %w", k, i, err)
+		}
+	}
+	return nil
+}
+
+// writeLocked is Write with m.mu held.
+func (m *Memory) writeLocked(i uint64, plain []byte) error {
 	if len(plain) != LineSize {
-		return fmt.Errorf("core: Write needs a %d-byte buffer", LineSize)
+		return fmt.Errorf("core: Write needs a %d-byte buffer, got %d: %w", LineSize, len(plain), ErrBadLineSize)
 	}
 	if i >= m.layout.DataLines {
-		return fmt.Errorf("core: data line %d out of range", i)
+		return fmt.Errorf("core: data line %d out of range [0,%d): %w", i, m.layout.DataLines, ErrOutOfRange)
 	}
 	m.stats.Writes++
 
@@ -873,7 +967,9 @@ func (m *Memory) updateParity(i uint64, cipher, tag []byte) error {
 
 // Scrub walks the entire data region, reading (and thereby correcting)
 // every line. It reports the number of lines that needed correction and
-// stops at the first uncorrectable error.
+// stops at the first uncorrectable error. The rank lock is taken per
+// line, not for the whole pass, so concurrent clients interleave with a
+// background scrub instead of stalling behind it.
 func (m *Memory) Scrub() (corrected int, err error) {
 	buf := make([]byte, LineSize)
 	for i := uint64(0); i < m.layout.DataLines; i++ {

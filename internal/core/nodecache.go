@@ -16,6 +16,10 @@ import (
 // makes every walk reach the root.
 
 // nodeCache is a tiny fully-associative LRU of trusted path entries.
+// It has no lock of its own: every access happens with the owning
+// Memory's exclusive lock held (get mutates LRU state, so even the
+// read path needs exclusivity — one reason Memory.Read takes the write
+// lock).
 type nodeCache struct {
 	cap   int
 	clock uint64

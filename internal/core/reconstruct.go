@@ -13,6 +13,10 @@ import (
 // verifies. The MAC plays the role of the error-*detection* code; the
 // parity supplies *correction*; the combination gives chipkill-level
 // coverage from a single 9-chip DIMM.
+//
+// Every function here runs with the owning Memory's exclusive lock held
+// (reconstruction commits corrected lines back to the module and bumps
+// stats/scoreboard state), so none takes a lock of its own.
 
 // reconstructEntry repairs a counter/tree path line using its intra-line
 // parity (ParityC / ParityT, stored in the line's own ECC chip). A chip

@@ -50,6 +50,11 @@ type Options struct {
 	// (workload, spec) pairs. 0 or 1 runs sequentially; each pair is an
 	// independent simulation, so results are identical either way.
 	Parallelism int
+	// Progress, when non-nil, is called after each (workload, spec)
+	// pair of a figure's sweep completes, with the number done and the
+	// sweep's total. Calls are serialized; the callback must not block
+	// for long or it stalls the worker pool.
+	Progress func(completed, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -100,7 +105,7 @@ func ParallelRunner(opt Options) *Runner {
 // with its own caches and DRAM state, so concurrency cannot change any
 // result.
 func (r *Runner) warm(specs ...Spec) {
-	if r.opt.Parallelism <= 1 {
+	if r.opt.Parallelism <= 1 && r.opt.Progress == nil {
 		return
 	}
 	type job struct {
@@ -117,8 +122,14 @@ func (r *Runner) warm(specs ...Spec) {
 		}
 	}
 	r.mu.Unlock()
-	sem := make(chan struct{}, r.opt.Parallelism)
+	workers := r.opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	completed := 0
 	for _, j := range jobs {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -127,6 +138,12 @@ func (r *Runner) warm(specs ...Spec) {
 			defer func() { <-sem }()
 			// Errors surface when the figure re-runs the pair.
 			r.Run(j.w, j.s) //nolint:errcheck
+			if r.opt.Progress != nil {
+				pmu.Lock()
+				completed++
+				r.opt.Progress(completed, len(jobs))
+				pmu.Unlock()
+			}
 		}(j)
 	}
 	wg.Wait()
