@@ -6,6 +6,7 @@
 //	synergy-sim -experiment fig8            # one figure
 //	synergy-sim -experiment all             # every performance figure
 //	synergy-sim -experiment fig8 -instr 4e6 # larger instruction budget
+//	synergy-sim -experiment fig8 -cpuprofile cpu.out
 //
 // Each figure prints the same rows/series the paper reports, normalized
 // to the SGX_O baseline, with the gmean summary the paper quotes.
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -22,6 +25,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole program so profile-flushing defers execute
+// before the process exits (os.Exit skips defers in main).
+func run() int {
 	exp := flag.String("experiment", "all",
 		"figure to regenerate: fig6|fig8|fig9|fig10|fig12|fig13|fig14|fig16|fig17|all")
 	instr := flag.Uint64("instr", 1_000_000,
@@ -30,7 +39,40 @@ func main() {
 	workers := flag.Int("workers", 0,
 		"worker goroutines pre-running (workload, spec) pairs (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-sim: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-sim: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synergy-sim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "synergy-sim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{BaseInstr: *instr}
 	if *progress {
@@ -72,7 +114,7 @@ func main() {
 	} else {
 		if _, ok := figures[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "synergy-sim: unknown experiment %q (reliability lives in synergy-faultsim)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		order = []string{*exp}
 	}
@@ -81,7 +123,7 @@ func main() {
 		fig, err := figures[k]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "synergy-sim: %s: %v\n", k, err)
-			os.Exit(1)
+			return 1
 		}
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", fig.ID, fig.Title, fig.Table.CSV())
@@ -91,6 +133,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+	return 0
 }
 
 func figNum(s string) int {

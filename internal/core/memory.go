@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -91,6 +92,15 @@ type Memory struct {
 	ncache *nodeCache
 	log    *ErrorLog
 	stats  Stats
+
+	// Reusable scratch for the zero-allocation hot paths. All of it is
+	// guarded by mu (exclusive): loadPath fills pathBuf, the preemptive
+	// and trusted-path candidates use pcandBuf, and writes stage
+	// plaintext/ciphertext in lineBufs. Nothing here survives an
+	// operation; pooling only avoids per-access garbage.
+	pathBuf  []pathEntry
+	pcandBuf []pathEntry
+	lineBufs [2][LineSize]byte
 }
 
 // Stats counts the engine's observable activity, in the units the
@@ -441,9 +451,12 @@ func (m *Memory) leafCounter(e *pathEntry, slot int) uint64 {
 // the on-chip trusted node cache (Fig. 7b); otherwise it continues to
 // the root (writes must update every level). No verification of
 // memory-sourced entries is performed here.
-func (m *Memory) loadPath(i uint64, stopAtCache bool) ([]pathEntry, error) {
+func (m *Memory) loadPath(i uint64, stopAtCache bool) (entries []pathEntry, err error) {
 	addr, _ := m.layout.CounterAddr(i)
-	entries := make([]pathEntry, 0, m.geo.Levels()+1)
+	// The path scratch is reused across accesses (mu is held exclusively
+	// on every path that gets here); keep whatever capacity it grew to.
+	entries = m.pathBuf[:0]
+	defer func() { m.pathBuf = entries }()
 	level, index := -1, addr-m.layout.counterBase
 	for {
 		var e pathEntry
@@ -501,23 +514,75 @@ func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
 func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.readLocked(i, dst)
+	return m.readLocked(i, dst, nil, 0)
+}
+
+// batchScratch pools the per-batch address/counter/pad buffers so the
+// steady-state batched read path allocates nothing but the returned
+// infos slice.
+type batchScratch struct {
+	addrs []uint64
+	ctrs  []uint64
+	pads  []byte
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (b *batchScratch) grow(n int) (addrs, ctrs []uint64, pads []byte) {
+	if cap(b.addrs) < n {
+		b.addrs = make([]uint64, n)
+		b.ctrs = make([]uint64, n)
+		b.pads = make([]byte, n*LineSize)
+	}
+	return b.addrs[:n], b.ctrs[:n], b.pads[: n*LineSize : n*LineSize]
 }
 
 // ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
 // every k, acquiring the rank lock once for the whole batch. It stops
 // at the first failing line; infos for the lines served so far are
 // valid, the rest are zero.
+//
+// ReadBatch pipelines the crypto the way the paper's controller does
+// (§III, Fig. 6: the OTP is computed while the data access is in
+// flight): it snapshots each line's encryption counter under the shared
+// lock, generates every one-time pad for the batch outside the
+// exclusive section, and only then takes the rank lock to verify and
+// XOR. A pad whose counter turns out stale (a racing write, or a
+// counter corrected during verification) is discarded and recomputed
+// inline, so the optimism is invisible to correctness.
 func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 	if len(dst) != len(lines)*LineSize {
 		return nil, fmt.Errorf("core: ReadBatch needs %d×%d bytes, got %d: %w",
 			len(lines), LineSize, len(dst), ErrBadLineSize)
 	}
 	infos := make([]ReadInfo, len(lines))
+	bs := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(bs)
+	addrs, ctrs, pads := bs.grow(len(lines))
+
+	// Phase 1 (shared lock): unverified peek of each line's effective
+	// encryption counter from the raw stored leaf. Out-of-range lines
+	// keep counter 0; they fail range checks in phase 3 before any pad
+	// is consulted.
+	m.mu.RLock()
+	for k, i := range lines {
+		addrs[k], ctrs[k] = m.peekCounter(i)
+	}
+	m.mu.RUnlock()
+
+	// Phase 2 (no lock): generate the whole batch's one-time pads.
+	havePads := m.enc.PadBatch(pads, addrs, ctrs) == nil
+
+	// Phase 3 (exclusive lock): serve the reads, using each precomputed
+	// pad when the trusted counter matches the peeked one.
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for k, i := range lines {
-		info, err := m.readLocked(i, dst[k*LineSize:(k+1)*LineSize])
+		var pad []byte
+		if havePads {
+			pad = pads[k*LineSize : (k+1)*LineSize]
+		}
+		info, err := m.readLocked(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k])
 		infos[k] = info
 		if err != nil {
 			return infos, fmt.Errorf("core: batch read %d (line %d): %w", k, i, err)
@@ -526,11 +591,39 @@ func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 	return infos, nil
 }
 
+// peekCounter returns data line i's address and an unverified snapshot
+// of its effective encryption counter, read from raw cells (no fault
+// model, no verification). Callers must hold at least the read lock.
+// A snapshot that is wrong for any reason — concurrent write, stored
+// corruption, out-of-range line — only wastes one precomputed pad.
+func (m *Memory) peekCounter(i uint64) (addr, ctr uint64) {
+	if i >= m.layout.DataLines {
+		return 0, 0
+	}
+	ca, slot := m.layout.CounterAddr(i)
+	raw, ok := m.mod.PeekLine(ca)
+	if !ok {
+		return m.layout.DataAddr(i), 0
+	}
+	if m.split {
+		var n integrity.SplitNode
+		n.Unpack(raw.Data[:])
+		return m.layout.DataAddr(i), n.Counter(slot)
+	}
+	var n integrity.Node
+	n.Unpack(raw.Data[:])
+	return m.layout.DataAddr(i), n.Counters[slot]
+}
+
 // readLocked is Read with m.mu held. The read path mutates engine
 // state — node-cache fills, scoreboard/stats updates, and correction
 // commits write repaired lines back to the module — so it requires the
 // exclusive lock, not the read lock.
-func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
+//
+// pad, when non-nil, is a precomputed one-time pad generated for
+// padCtr; it is used in place of inline pad generation iff the line's
+// trusted counter equals padCtr.
+func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (ReadInfo, error) {
 	if len(dst) != LineSize {
 		return ReadInfo{}, fmt.Errorf("core: Read needs a %d-byte buffer, got %d: %w", LineSize, len(dst), ErrBadLineSize)
 	}
@@ -563,7 +656,7 @@ func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
 		} else if ok {
 			info.Preemptive = true
 			m.stats.PreemptiveFixes++
-			if err := m.enc.Decrypt(dst, dl.Data[:], dataAddr, ctr); err != nil {
+			if err := m.decryptLine(dst, dl.Data[:], dataAddr, ctr, pad, padCtr); err != nil {
 				return info, err
 			}
 			return info, nil
@@ -572,7 +665,6 @@ func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
 
 	// Upward traversal: verify leaf-to-root, logging mismatches rather
 	// than declaring an attack immediately (Fig. 7b).
-	mismatch := make([]bool, len(path))
 	anyMismatch := false
 	for k := 0; k < len(path); k++ {
 		if path[k].trusted {
@@ -581,7 +673,6 @@ func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
 		parentCtr := parentCounterOf(path, k, m.root)
 		m.stats.MACComputations++
 		if !m.entryVerify(&path[k], parentCtr) {
-			mismatch[k] = true
 			anyMismatch = true
 			m.stats.MismatchesSeen++
 		}
@@ -645,16 +736,27 @@ func (m *Memory) readLocked(i uint64, dst []byte) (ReadInfo, error) {
 	// cache it so subsequent walks stop early.
 	m.cachePath(path)
 
-	if err := m.enc.Decrypt(dst, dl.Data[:], dataAddr, ctr); err != nil {
+	if err := m.decryptLine(dst, dl.Data[:], dataAddr, ctr, pad, padCtr); err != nil {
 		return info, err
 	}
 	return info, nil
 }
 
+// decryptLine XORs the precomputed pad when it was generated for the
+// trusted counter, and falls back to inline pad generation otherwise
+// (stale peek, corrected counter, or no precompute at all).
+func (m *Memory) decryptLine(dst, cipher []byte, addr, ctr uint64, pad []byte, padCtr uint64) error {
+	if pad != nil && ctr == padCtr {
+		subtle.XORBytes(dst, cipher, pad)
+		return nil
+	}
+	return m.enc.Decrypt(dst, cipher, addr, ctr)
+}
+
 // verifyData checks the data-line MAC (stored in the ECC chip) against a
 // MAC computed over the ciphertext with the line's encryption counter.
 func (m *Memory) verifyData(addr, ctr uint64, l *dimm.Line) bool {
-	return m.mac.Sum(addr, ctr, l.Data[:]) == binary.BigEndian.Uint64(l.ECC[:])
+	return m.mac.SumLine(addr, ctr, &l.Data) == binary.BigEndian.Uint64(l.ECC[:])
 }
 
 func regionOfLevel(level int) Region {
@@ -773,18 +875,19 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 
 	// Encrypt, MAC, store the data line.
 	dataAddr := m.layout.DataAddr(i)
-	cipher := make([]byte, LineSize)
-	if err := m.enc.Encrypt(cipher, plain, dataAddr, newCtr); err != nil {
+	cipher := &m.lineBufs[0]
+	if err := m.enc.Encrypt(cipher[:], plain, dataAddr, newCtr); err != nil {
 		return err
 	}
-	tag := m.mac.SumBytes(dataAddr, newCtr, cipher)
+	var tag [gmac.TagSize]byte
+	binary.BigEndian.PutUint64(tag[:], m.mac.SumLine(dataAddr, newCtr, cipher))
 	m.stats.MACComputations++
-	if err := m.mod.WriteLine(dataAddr, cipher, tag); err != nil {
+	if err := m.mod.WriteLine(dataAddr, cipher[:], tag[:]); err != nil {
 		return err
 	}
 
 	// Update the parity line slot for this data line and ParityP.
-	return m.updateParity(i, cipher, tag)
+	return m.updateParity(i, cipher[:], tag[:])
 }
 
 // tryPreemptive applies the condemned chip's parity fix to copies of the
@@ -792,7 +895,8 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 // full success. On success it returns the trusted encryption counter.
 func (m *Memory) tryPreemptive(i uint64, dl *dimm.Line, path []pathEntry) (uint64, bool, error) {
 	cand := *dl
-	pcand := append([]pathEntry(nil), path...)
+	pcand := append(m.pcandBuf[:0], path...)
+	m.pcandBuf = pcand
 	m.preemptNode(pcand)
 	if err := m.preemptData(i, &cand); err != nil {
 		return 0, false, err
@@ -844,7 +948,8 @@ func (m *Memory) loadTrustedPath(i uint64) ([]pathEntry, error) {
 	// copy of the path; on failure fall back to full correction on the
 	// original lines.
 	if m.knownBad >= 0 {
-		pcand := append([]pathEntry(nil), path...)
+		pcand := append(m.pcandBuf[:0], path...)
+		m.pcandBuf = pcand
 		m.preemptNode(pcand)
 		allOK := true
 		for k := 0; k < len(pcand); k++ {
@@ -887,8 +992,9 @@ func (m *Memory) loadTrustedPath(i uint64) ([]pathEntry, error) {
 func (m *Memory) reencryptGroup(target uint64, oldLeaf *integrity.SplitNode, newMajor uint64) error {
 	m.stats.GroupReencryptions++
 	group := (target / integrity.SplitCountersPerLine) * integrity.SplitCountersPerLine
-	plain := make([]byte, LineSize)
-	cipher := make([]byte, LineSize)
+	// lineBufs[0] is free here: writeLocked stages its own ciphertext
+	// only after the re-encryption completes.
+	plain, cipher := m.lineBufs[1][:], &m.lineBufs[0]
 	for slot := 0; slot < integrity.SplitCountersPerLine; slot++ {
 		j := group + uint64(slot)
 		if j == target || j >= m.layout.DataLines {
@@ -915,15 +1021,16 @@ func (m *Memory) reencryptGroup(target uint64, oldLeaf *integrity.SplitNode, new
 			return err
 		}
 		newCtr := newMajor << 8 // minor reset to 0
-		if err := m.enc.Encrypt(cipher, plain, addr, newCtr); err != nil {
+		if err := m.enc.Encrypt(cipher[:], plain, addr, newCtr); err != nil {
 			return err
 		}
-		tag := m.mac.SumBytes(addr, newCtr, cipher)
+		var tag [gmac.TagSize]byte
+		binary.BigEndian.PutUint64(tag[:], m.mac.SumLine(addr, newCtr, cipher))
 		m.stats.MACComputations++
-		if err := m.mod.WriteLine(addr, cipher, tag); err != nil {
+		if err := m.mod.WriteLine(addr, cipher[:], tag[:]); err != nil {
 			return err
 		}
-		if err := m.updateParity(j, cipher, tag); err != nil {
+		if err := m.updateParity(j, cipher[:], tag[:]); err != nil {
 			return err
 		}
 		m.stats.GroupLinesReencrypted++

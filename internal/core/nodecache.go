@@ -64,7 +64,14 @@ func (c *nodeCache) put(addr uint64, n cachedNode) {
 	}
 	c.clock++
 	n.used = c.clock
-	if _, ok := c.nodes[addr]; !ok && len(c.nodes) >= c.cap {
+	if old, ok := c.nodes[addr]; ok {
+		// Refresh in place: the steady-state read path re-caches its
+		// whole (already cached) walk on every access, and reusing the
+		// entry keeps that path allocation-free.
+		*old = n
+		return
+	}
+	if len(c.nodes) >= c.cap {
 		var victim uint64
 		var oldest uint64 = ^uint64(0)
 		for a, e := range c.nodes {

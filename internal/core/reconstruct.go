@@ -77,7 +77,7 @@ func (m *Memory) reconstructData(i uint64, ctr uint64, raw *dimm.Line) (fixed di
 
 	// The MAC over the as-read data is computed once and reused for
 	// both MAC-chip reconstruction attempts.
-	dataMAC := m.mac.Sum(dataAddr, ctr, raw.Data[:])
+	dataMAC := m.mac.SumLine(dataAddr, ctr, &raw.Data)
 	m.stats.MACComputations++
 
 	try := func(p [8]byte) (dimm.Line, int, bool) {

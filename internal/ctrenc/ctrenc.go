@@ -11,14 +11,18 @@
 // the pad; binding the address gives spatial uniqueness. Decryption is
 // the same XOR. Because the pad depends only on (addr, ctr), it can be
 // precomputed while the data access is in flight — the property that
-// makes counter caching performance-critical in the paper's evaluation.
+// makes counter caching performance-critical in the paper's evaluation,
+// and that PadBatch models for the engine's batched read pipeline.
 package ctrenc
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"sync"
 )
 
 // LineSize is the cacheline granularity of memory encryption in bytes.
@@ -40,6 +44,10 @@ const CounterMax = 1<<CounterBits - 1
 // CounterBits bits.
 var ErrCounterOverflow = errors.New("ctrenc: encryption counter overflow (region must be re-keyed)")
 
+// ErrBadLength is returned (wrapped, with the offending size) when a
+// caller-supplied buffer is not exactly LineSize bytes per line.
+var ErrBadLength = errors.New("ctrenc: buffer must be exactly LineSize bytes per line")
+
 // Engine encrypts and decrypts cachelines in counter mode. It is safe
 // for concurrent use: all state is read-only after construction.
 type Engine struct {
@@ -58,17 +66,68 @@ func New(key []byte) (*Engine, error) {
 	return &Engine{block: b}, nil
 }
 
+// scratch holds the AES input block and one line-sized pad. Both are
+// pooled rather than stack-allocated because buffers passed through the
+// cipher.Block interface escape, and pad generation runs once per memory
+// access on the hot path.
+type scratch struct {
+	in  [aes.BlockSize]byte
+	pad [LineSize]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Pad writes the 64-byte one-time pad for (addr, counter) into dst.
-// dst must be LineSize bytes.
-func (e *Engine) Pad(dst []byte, addr, counter uint64) {
+// dst must be LineSize bytes and counter at most CounterMax; violations
+// return ErrBadLength / ErrCounterOverflow (the Encrypt/Decrypt error
+// contract).
+func (e *Engine) Pad(dst []byte, addr, counter uint64) error {
 	if len(dst) != LineSize {
-		panic("ctrenc: pad buffer must be 64 bytes")
+		return fmt.Errorf("ctrenc: pad buffer must be %d bytes, got %d: %w", LineSize, len(dst), ErrBadLength)
 	}
-	var in [16]byte
+	if counter > CounterMax {
+		return ErrCounterOverflow
+	}
+	s := scratchPool.Get().(*scratch)
+	e.padInto(&s.in, dst, addr, counter)
+	scratchPool.Put(s)
+	return nil
+}
+
+// PadBatch fills dst with the concatenated one-time pads for every
+// (addrs[k], ctrs[k]) pair: dst[k*LineSize:(k+1)*LineSize] receives pad
+// k. The whole batch shares one AES-input serialization buffer, so a
+// controller can generate all pads for a read burst in a single pass
+// before the data arrives.
+func (e *Engine) PadBatch(dst []byte, addrs, ctrs []uint64) error {
+	if len(addrs) != len(ctrs) {
+		return fmt.Errorf("ctrenc: PadBatch needs matching addr/counter slices, got %d/%d", len(addrs), len(ctrs))
+	}
+	if len(dst) != len(addrs)*LineSize {
+		return fmt.Errorf("ctrenc: PadBatch needs %d×%d bytes, got %d: %w", len(addrs), LineSize, len(dst), ErrBadLength)
+	}
+	for _, c := range ctrs {
+		if c > CounterMax {
+			return ErrCounterOverflow
+		}
+	}
+	s := scratchPool.Get().(*scratch)
+	for k := range addrs {
+		e.padInto(&s.in, dst[k*LineSize:(k+1)*LineSize], addrs[k], ctrs[k])
+	}
+	scratchPool.Put(s)
+	return nil
+}
+
+// padInto fills dst (LineSize bytes) with the pad for (addr, counter),
+// using in as the AES input block. Address and counter are serialized
+// once; across the 4 blocks only the counter word's top byte changes
+// (counters are 56-bit, so the block index rides there).
+func (e *Engine) padInto(in *[aes.BlockSize]byte, dst []byte, addr, counter uint64) {
 	binary.BigEndian.PutUint64(in[:8], addr)
+	binary.BigEndian.PutUint64(in[8:], counter)
 	for blk := 0; blk < LineSize/aes.BlockSize; blk++ {
-		// counter occupies 56 bits; the block index rides in the top byte.
-		binary.BigEndian.PutUint64(in[8:], counter|uint64(blk)<<CounterBits)
+		in[8] = byte(blk)
 		e.block.Encrypt(dst[blk*aes.BlockSize:(blk+1)*aes.BlockSize], in[:])
 	}
 }
@@ -79,8 +138,7 @@ func (e *Engine) Encrypt(dst, src []byte, addr, counter uint64) error {
 	if counter > CounterMax {
 		return ErrCounterOverflow
 	}
-	e.xorPad(dst, src, addr, counter)
-	return nil
+	return e.xorPad(dst, src, addr, counter)
 }
 
 // Decrypt XORs a 64-byte ciphertext line with the pad for (addr, counter),
@@ -90,19 +148,50 @@ func (e *Engine) Decrypt(dst, src []byte, addr, counter uint64) error {
 	if counter > CounterMax {
 		return ErrCounterOverflow
 	}
-	e.xorPad(dst, src, addr, counter)
+	return e.xorPad(dst, src, addr, counter)
+}
+
+// EncryptBatch encrypts lines[k] = src[k*LineSize:(k+1)*LineSize] under
+// (addrs[k], ctrs[k]) into the same span of dst. dst and src may alias.
+// Pad generation for the whole batch reuses one scratch, so the batch
+// costs no allocations beyond the caller's buffers.
+func (e *Engine) EncryptBatch(dst, src []byte, addrs, ctrs []uint64) error {
+	if len(addrs) != len(ctrs) {
+		return fmt.Errorf("ctrenc: EncryptBatch needs matching addr/counter slices, got %d/%d", len(addrs), len(ctrs))
+	}
+	if len(dst) != len(addrs)*LineSize || len(src) != len(addrs)*LineSize {
+		return fmt.Errorf("ctrenc: EncryptBatch needs %d×%d bytes, got %d/%d: %w",
+			len(addrs), LineSize, len(dst), len(src), ErrBadLength)
+	}
+	for _, c := range ctrs {
+		if c > CounterMax {
+			return ErrCounterOverflow
+		}
+	}
+	s := scratchPool.Get().(*scratch)
+	for k := range addrs {
+		e.padInto(&s.in, s.pad[:], addrs[k], ctrs[k])
+		subtle.XORBytes(dst[k*LineSize:(k+1)*LineSize], src[k*LineSize:(k+1)*LineSize], s.pad[:])
+	}
+	scratchPool.Put(s)
 	return nil
 }
 
-func (e *Engine) xorPad(dst, src []byte, addr, counter uint64) {
+// DecryptBatch is EncryptBatch for ciphertext: counter-mode decryption
+// is the same XOR.
+func (e *Engine) DecryptBatch(dst, src []byte, addrs, ctrs []uint64) error {
+	return e.EncryptBatch(dst, src, addrs, ctrs)
+}
+
+func (e *Engine) xorPad(dst, src []byte, addr, counter uint64) error {
 	if len(dst) != LineSize || len(src) != LineSize {
-		panic("ctrenc: lines must be 64 bytes")
+		return fmt.Errorf("ctrenc: lines must be %d bytes, got %d/%d: %w", LineSize, len(dst), len(src), ErrBadLength)
 	}
-	var pad [LineSize]byte
-	e.Pad(pad[:], addr, counter)
-	for i := range pad {
-		dst[i] = src[i] ^ pad[i]
-	}
+	s := scratchPool.Get().(*scratch)
+	e.padInto(&s.in, s.pad[:], addr, counter)
+	subtle.XORBytes(dst, src, s.pad[:])
+	scratchPool.Put(s)
+	return nil
 }
 
 // NextCounter returns counter+1, or ErrCounterOverflow when the 56-bit

@@ -2,6 +2,7 @@ package ctrenc
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -92,7 +93,9 @@ func TestCiphertextVariesWithAddress(t *testing.T) {
 func TestPadBlocksDistinct(t *testing.T) {
 	e := testEngine(t)
 	pad := make([]byte, LineSize)
-	e.Pad(pad, 0, 0)
+	if err := e.Pad(pad, 0, 0); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
 		for j := i + 1; j < 4; j++ {
 			if bytes.Equal(pad[i*16:(i+1)*16], pad[j*16:(j+1)*16]) {
@@ -137,14 +140,130 @@ func TestDecryptWithWrongCounterGarbles(t *testing.T) {
 	}
 }
 
-func TestPanicsOnShortLine(t *testing.T) {
+func TestShortLineError(t *testing.T) {
 	e := testEngine(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for short line")
+	for _, n := range []int{0, 32, 63, 65, 128} {
+		if err := e.Encrypt(make([]byte, n), make([]byte, n), 0, 0); !errors.Is(err, ErrBadLength) {
+			t.Errorf("Encrypt with %d-byte line: err = %v, want ErrBadLength", n, err)
 		}
-	}()
-	_ = e.Encrypt(make([]byte, 32), make([]byte, 32), 0, 0)
+		if err := e.Decrypt(make([]byte, n), make([]byte, n), 0, 0); !errors.Is(err, ErrBadLength) {
+			t.Errorf("Decrypt with %d-byte line: err = %v, want ErrBadLength", n, err)
+		}
+	}
+	// Mismatched dst/src must also be rejected.
+	if err := e.Encrypt(make([]byte, LineSize), make([]byte, 32), 0, 0); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Encrypt with short src: err = %v, want ErrBadLength", err)
+	}
+}
+
+// Pad follows the same error contract as Encrypt/Decrypt: ErrBadLength
+// for a wrong-sized buffer (it used to panic), ErrCounterOverflow for an
+// unrepresentable counter.
+func TestPadErrorContract(t *testing.T) {
+	e := testEngine(t)
+	for _, n := range []int{0, 16, 63, 65} {
+		if err := e.Pad(make([]byte, n), 0, 0); !errors.Is(err, ErrBadLength) {
+			t.Errorf("Pad with %d-byte buffer: err = %v, want ErrBadLength", n, err)
+		}
+	}
+	if err := e.Pad(make([]byte, LineSize), 0, CounterMax+1); !errors.Is(err, ErrCounterOverflow) {
+		t.Errorf("Pad past CounterMax: err = %v, want ErrCounterOverflow", err)
+	}
+	if err := e.Pad(make([]byte, LineSize), 0, CounterMax); err != nil {
+		t.Errorf("Pad at CounterMax: %v", err)
+	}
+}
+
+// The pad is what Encrypt XORs in: plain XOR Pad == ciphertext.
+func TestPadMatchesEncrypt(t *testing.T) {
+	e := testEngine(t)
+	rng := rand.New(rand.NewSource(4))
+	plain := make([]byte, LineSize)
+	rng.Read(plain)
+	ct := make([]byte, LineSize)
+	if err := e.Encrypt(ct, plain, 0x7c0, 99); err != nil {
+		t.Fatal(err)
+	}
+	pad := make([]byte, LineSize)
+	if err := e.Pad(pad, 0x7c0, 99); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pad {
+		if plain[i]^pad[i] != ct[i] {
+			t.Fatalf("byte %d: pad does not reproduce the cipher stream", i)
+		}
+	}
+}
+
+func TestPadBatchMatchesPad(t *testing.T) {
+	e := testEngine(t)
+	const n = 9
+	addrs := make([]uint64, n)
+	ctrs := make([]uint64, n)
+	for k := range addrs {
+		addrs[k] = uint64(k) * 0x40
+		ctrs[k] = uint64(k * 31 % 7)
+	}
+	batch := make([]byte, n*LineSize)
+	if err := e.PadBatch(batch, addrs, ctrs); err != nil {
+		t.Fatal(err)
+	}
+	single := make([]byte, LineSize)
+	for k := range addrs {
+		if err := e.Pad(single, addrs[k], ctrs[k]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, batch[k*LineSize:(k+1)*LineSize]) {
+			t.Fatalf("pad %d differs between Pad and PadBatch", k)
+		}
+	}
+}
+
+func TestPadBatchErrors(t *testing.T) {
+	e := testEngine(t)
+	if err := e.PadBatch(make([]byte, LineSize), []uint64{0, 1}, []uint64{0, 1}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short dst: err = %v, want ErrBadLength", err)
+	}
+	if err := e.PadBatch(make([]byte, 2*LineSize), []uint64{0, 1}, []uint64{0}); err == nil {
+		t.Error("mismatched addr/counter slices accepted")
+	}
+	if err := e.PadBatch(make([]byte, LineSize), []uint64{0}, []uint64{CounterMax + 1}); !errors.Is(err, ErrCounterOverflow) {
+		t.Errorf("overflow counter: err = %v, want ErrCounterOverflow", err)
+	}
+}
+
+func TestEncryptBatchMatchesEncrypt(t *testing.T) {
+	e := testEngine(t)
+	const n = 7
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, n*LineSize)
+	rng.Read(src)
+	addrs := make([]uint64, n)
+	ctrs := make([]uint64, n)
+	for k := range addrs {
+		addrs[k] = uint64(k+1) * 0x40
+		ctrs[k] = uint64(k)
+	}
+	batch := make([]byte, n*LineSize)
+	if err := e.EncryptBatch(batch, src, addrs, ctrs); err != nil {
+		t.Fatal(err)
+	}
+	single := make([]byte, LineSize)
+	for k := range addrs {
+		if err := e.Encrypt(single, src[k*LineSize:(k+1)*LineSize], addrs[k], ctrs[k]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, batch[k*LineSize:(k+1)*LineSize]) {
+			t.Fatalf("line %d differs between Encrypt and EncryptBatch", k)
+		}
+	}
+	// Round trip through DecryptBatch, in place.
+	if err := e.DecryptBatch(batch, batch, addrs, ctrs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch, src) {
+		t.Fatal("EncryptBatch/DecryptBatch round trip failed")
+	}
 }
 
 func BenchmarkEncryptLine(b *testing.B) {

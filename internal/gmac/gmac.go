@@ -15,7 +15,11 @@
 // analysis (§IV-A) rely on.
 //
 // Everything is implemented with the standard library only; the GF(2^64)
-// carry-less multiplication is done in pure Go.
+// carry-less multiplication is done in pure Go. Multiplication by the
+// fixed hash point H — the only multiply the MAC ever performs — uses a
+// per-key 4-bit windowed table (the standard GHASH acceleration), so
+// each field multiply is 16 table lookups instead of a 64-iteration
+// shift-and-add; see mulTable.
 package gmac
 
 import (
@@ -23,6 +27,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"errors"
+	"sync"
 )
 
 // TagBits is the width of the authentication tag in bits.
@@ -36,11 +41,15 @@ const TagSize = 8
 // KeySize is the size of the secret MAC key in bytes (an AES-128 key).
 const KeySize = 16
 
+// LineSize is the cacheline granularity of the SumLine fast path.
+const LineSize = 64
+
 // Mac computes 64-bit Carter–Wegman tags bound to an (address, counter)
 // pair. It is safe for concurrent use by multiple goroutines after
 // construction: all state is read-only.
 type Mac struct {
 	h     uint64       // secret GF(2^64) evaluation point
+	tab   *mulTable    // 4-bit windowed multiply-by-h table
 	block cipher.Block // AES for the one-time pad
 }
 
@@ -48,7 +57,9 @@ type Mac struct {
 //
 // The key is expanded with AES: the hash point H is AES_K(0^16) truncated
 // to 64 bits (mirroring how GCM derives its GHASH key), and the same AES
-// instance whitens each tag with an address/counter-dependent pad.
+// instance whitens each tag with an address/counter-dependent pad. New
+// also precomputes the 2 KB windowed multiplication table for H that the
+// hot path uses in place of bit-serial field multiplication.
 func New(key []byte) (*Mac, error) {
 	if len(key) != KeySize {
 		return nil, errors.New("gmac: key must be 16 bytes")
@@ -65,17 +76,16 @@ func New(key []byte) (*Mac, error) {
 		// unreachable (probability 2^-64) but trivially avoidable.
 		h = 1
 	}
-	return &Mac{h: h, block: b}, nil
+	return &Mac{h: h, tab: newMulTable(h), block: b}, nil
 }
 
 // Sum returns the 64-bit tag for data stored at the given cacheline
 // address with the given encryption counter. len(data) may be anything;
-// it is processed in 8-byte words (zero-padded) with the length folded
-// into the polynomial so that messages of different lengths cannot
-// collide trivially.
+// it is processed in 8-byte words (zero-padded) with the total bit
+// length folded into the polynomial so that messages of different
+// lengths cannot collide trivially.
 func (m *Mac) Sum(addr uint64, counter uint64, data []byte) uint64 {
-	acc := polyHash(m.h, data)
-	return acc ^ m.pad(addr, counter)
+	return m.polyHash(data) ^ m.pad(addr, counter)
 }
 
 // Verify reports whether tag authenticates data at (addr, counter).
@@ -90,30 +100,75 @@ func (m *Mac) SumBytes(addr uint64, counter uint64, data []byte) []byte {
 	return out[:]
 }
 
+// SumLine is the fixed-size fast path for whole 64-byte cachelines: the
+// tag equals Sum(addr, counter, line[:]) but the polynomial is evaluated
+// with the word loop fully unrolled and no slice bookkeeping. This is
+// the form the engine's per-access verify/seal paths use.
+func (m *Mac) SumLine(addr uint64, counter uint64, line *[LineSize]byte) uint64 {
+	t := m.tab
+	acc := t.mul(binary.BigEndian.Uint64(line[0:8]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[8:16]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[16:24]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[24:32]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[32:40]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[40:48]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[48:56]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(line[56:64]))
+	acc = t.mul(acc ^ LineSize<<3 ^ lenMixin)
+	return acc ^ m.pad(addr, counter)
+}
+
+// Sum56 is the fixed-size fast path for 56-byte node payloads (the MACed
+// content of counter/tree lines: eight 7-byte counters, or a split
+// node's major + minors). The tag equals Sum(addr, counter, buf[:]).
+func (m *Mac) Sum56(addr uint64, counter uint64, buf *[56]byte) uint64 {
+	t := m.tab
+	acc := t.mul(binary.BigEndian.Uint64(buf[0:8]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[8:16]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[16:24]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[24:32]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[32:40]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[40:48]))
+	acc = t.mul(acc ^ binary.BigEndian.Uint64(buf[48:56]))
+	acc = t.mul(acc ^ 56<<3 ^ lenMixin)
+	return acc ^ m.pad(addr, counter)
+}
+
+// aesScratch holds the AES input/output blocks for pad computation. The
+// blocks are pooled rather than stack-allocated because slices passed
+// through the cipher.Block interface escape, and the verify path runs
+// once per memory access.
+type aesScratch struct{ in, out [16]byte }
+
+var padPool = sync.Pool{New: func() any { return new(aesScratch) }}
+
 // pad computes AES_K(addr || counter) truncated to 64 bits.
 func (m *Mac) pad(addr, counter uint64) uint64 {
-	var in, out [16]byte
-	binary.BigEndian.PutUint64(in[:8], addr)
-	binary.BigEndian.PutUint64(in[8:], counter)
-	m.block.Encrypt(out[:], in[:])
-	return binary.BigEndian.Uint64(out[:8])
+	s := padPool.Get().(*aesScratch)
+	binary.BigEndian.PutUint64(s.in[:8], addr)
+	binary.BigEndian.PutUint64(s.in[8:], counter)
+	m.block.Encrypt(s.out[:], s.in[:])
+	p := binary.BigEndian.Uint64(s.out[:8])
+	padPool.Put(s)
+	return p
 }
 
 // polyHash evaluates the GF(2^64) polynomial whose coefficients are the
-// 8-byte words of data (zero padded), followed by the bit length, at
-// point h: ((w0·h + w1)·h + ... + len)·h.
-func polyHash(h uint64, data []byte) uint64 {
+// 8-byte words of data (zero padded), followed by the total bit length,
+// at point h: ((w0·h + w1)·h + ... + len)·h.
+func (m *Mac) polyHash(data []byte) uint64 {
+	total := uint64(len(data))
 	var acc uint64
 	for len(data) >= 8 {
-		acc = gfMul(acc^binary.BigEndian.Uint64(data[:8]), h)
+		acc = m.tab.mul(acc ^ binary.BigEndian.Uint64(data[:8]))
 		data = data[8:]
 	}
 	if len(data) > 0 {
 		var last [8]byte
 		copy(last[:], data)
-		acc = gfMul(acc^binary.BigEndian.Uint64(last[:]), h)
+		acc = m.tab.mul(acc ^ binary.BigEndian.Uint64(last[:]))
 	}
-	return gfMul(acc^uint64(len(data))<<3^uint64(lenMixin), h)
+	return m.tab.mul(acc ^ total<<3 ^ lenMixin)
 }
 
 // lenMixin separates the final length block from data blocks.
@@ -123,8 +178,47 @@ const lenMixin = 0xa5a5a5a5a5a5a5a5
 // x^64 + x^4 + x^3 + x + 1 (a standard irreducible pentanomial).
 const gfPoly = 0x1b
 
+// mulTable accelerates multiplication by a fixed field element h with
+// 4-bit windows: tab[i][w] = (w·x^(4i))·h, so a·h is the XOR of 16
+// lookups, one per nibble of a. 16×16 uint64 = 2 KB per key, L1-resident.
+type mulTable [16][16]uint64
+
+// newMulTable precomputes the windowed table for h using the reference
+// shift-and-add multiply (256 multiplies, key-setup only).
+func newMulTable(h uint64) *mulTable {
+	t := new(mulTable)
+	for i := 0; i < 16; i++ {
+		for w := 1; w < 16; w++ {
+			t[i][w] = gfMul(uint64(w)<<(4*i), h)
+		}
+	}
+	return t
+}
+
+// mul returns a·h, fully unrolled: 16 loads and 15 XORs.
+func (t *mulTable) mul(a uint64) uint64 {
+	return t[0][a&0xF] ^
+		t[1][a>>4&0xF] ^
+		t[2][a>>8&0xF] ^
+		t[3][a>>12&0xF] ^
+		t[4][a>>16&0xF] ^
+		t[5][a>>20&0xF] ^
+		t[6][a>>24&0xF] ^
+		t[7][a>>28&0xF] ^
+		t[8][a>>32&0xF] ^
+		t[9][a>>36&0xF] ^
+		t[10][a>>40&0xF] ^
+		t[11][a>>44&0xF] ^
+		t[12][a>>48&0xF] ^
+		t[13][a>>52&0xF] ^
+		t[14][a>>56&0xF] ^
+		t[15][a>>60&0xF]
+}
+
 // gfMul multiplies two elements of GF(2^64) (carry-less multiply reduced
-// modulo gfPoly). Pure Go, constant 64-iteration shift-and-add.
+// modulo gfPoly). Pure Go, constant 64-iteration shift-and-add. This is
+// the reference implementation: the hot path multiplies through mulTable
+// instead, and the differential tests pin the table against this.
 func gfMul(a, b uint64) uint64 {
 	var p uint64
 	for i := 0; i < 64; i++ {

@@ -143,6 +143,82 @@ func TestDifferentLengthsDiffer(t *testing.T) {
 	}
 }
 
+// Regression test for the length-fold bug: the fold must cover the true
+// total length, not total mod 8, so zero-extension by whole words must
+// change the tag too (the empty message used to collide with 8, 16, 24…
+// zero bytes).
+func TestWholeWordZeroExtensionDiffers(t *testing.T) {
+	m := testKey(t)
+	seen := map[uint64]int{m.Sum(0, 0, nil): 0}
+	for n := 8; n <= 64; n += 8 {
+		tag := m.Sum(0, 0, make([]byte, n))
+		if prev, dup := seen[tag]; dup {
+			t.Fatalf("%d zero bytes collide with %d zero bytes", n, prev)
+		}
+		seen[tag] = n
+	}
+}
+
+func TestSumLineMatchesSum(t *testing.T) {
+	m := testKey(t)
+	f := func(seed int64, addr, ctr uint64) bool {
+		var line [LineSize]byte
+		rand.New(rand.NewSource(seed)).Read(line[:])
+		return m.SumLine(addr, ctr, &line) == m.Sum(addr, ctr, line[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum56MatchesSum(t *testing.T) {
+	m := testKey(t)
+	f := func(seed int64, addr, ctr uint64) bool {
+		var buf [56]byte
+		rand.New(rand.NewSource(seed)).Read(buf[:])
+		return m.Sum56(addr, ctr, &buf) == m.Sum(addr, ctr, buf[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGFMulTableVsReference pins the table-driven multiply-by-H against
+// the shift-and-add reference that built it.
+func TestGFMulTableVsReference(t *testing.T) {
+	for _, h := range []uint64{1, 2, 0x1b, 1 << 63, 0xdeadbeefcafef00d} {
+		tab := newMulTable(h)
+		f := func(a uint64) bool { return tab.mul(a) == gfMul(a, h) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("h=%#x: %v", h, err)
+		}
+	}
+	// And for a real key-derived point.
+	m := testKey(t)
+	f := func(a uint64) bool { return m.tab.mul(a) == gfMul(a, m.h) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mac.Sum and Hasher.Sum64 must agree for every length, including the
+// whole-word tails where the two length folds used to diverge from the
+// specification.
+func TestSumVsHasherAllLengths(t *testing.T) {
+	m := testKey(t)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 130)
+	rng.Read(data)
+	for n := 0; n <= len(data); n++ {
+		want := m.Sum(11, 13, data[:n])
+		h := m.NewHasher(11, 13)
+		h.Write(data[:n])
+		if got := h.Sum64(); got != want {
+			t.Fatalf("len %d: Hasher.Sum64 = %x, Mac.Sum = %x", n, got, want)
+		}
+	}
+}
+
 // --- GF(2^64) field properties (property-based) ---
 
 func TestGFMulCommutative(t *testing.T) {

@@ -35,12 +35,12 @@ func (h *Hasher) Write(p []byte) (int, error) {
 		h.nbuf += k
 		p = p[k:]
 		if h.nbuf == 8 {
-			h.acc = gfMul(h.acc^binary.BigEndian.Uint64(h.buf[:]), h.m.h)
+			h.acc = h.m.tab.mul(h.acc ^ binary.BigEndian.Uint64(h.buf[:]))
 			h.nbuf = 0
 		}
 	}
 	for len(p) >= 8 {
-		h.acc = gfMul(h.acc^binary.BigEndian.Uint64(p[:8]), h.m.h)
+		h.acc = h.m.tab.mul(h.acc ^ binary.BigEndian.Uint64(p[:8]))
 		p = p[8:]
 	}
 	if len(p) > 0 {
@@ -57,10 +57,9 @@ func (h *Hasher) Sum64() uint64 {
 	if h.nbuf > 0 {
 		var last [8]byte
 		copy(last[:], h.buf[:h.nbuf])
-		acc = gfMul(acc^binary.BigEndian.Uint64(last[:]), h.m.h)
+		acc = h.m.tab.mul(acc ^ binary.BigEndian.Uint64(last[:]))
 	}
-	tail := h.total % 8
-	acc = gfMul(acc^uint64(tail)<<3^uint64(lenMixin), h.m.h)
+	acc = h.m.tab.mul(acc ^ uint64(h.total)<<3 ^ uint64(lenMixin))
 	return acc ^ h.m.pad(h.addr, h.counter)
 }
 

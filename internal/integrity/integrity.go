@@ -86,8 +86,9 @@ func (n *Node) Unpack(src []byte) {
 // counterBytes serializes only the counters (the MACed content — the MAC
 // bytes themselves are excluded, so a corrupted MAC byte is detected as
 // a stored-vs-computed mismatch rather than changing the computation).
-func (n *Node) counterBytes() []byte {
-	buf := make([]byte, 56)
+// The buffer stays on the caller's stack, keeping node verification
+// allocation-free on the per-access hot path.
+func (n *Node) counterBytes(buf *[56]byte) {
 	for i := 0; i < CountersPerLine; i++ {
 		c := n.Counters[i] & CounterMask
 		b := buf[i*7 : i*7+7]
@@ -99,13 +100,14 @@ func (n *Node) counterBytes() []byte {
 		b[5] = byte(c >> 8)
 		b[6] = byte(c)
 	}
-	return buf
 }
 
 // ComputeMAC computes the node's 64-bit MAC over its counters, keyed by
 // the node's line address and the parent counter that authenticates it.
 func (n *Node) ComputeMAC(m *gmac.Mac, addr, parentCtr uint64) uint64 {
-	return m.Sum(addr, parentCtr, n.counterBytes())
+	var buf [56]byte
+	n.counterBytes(&buf)
+	return m.Sum56(addr, parentCtr, &buf)
 }
 
 // Seal recomputes and stores the node MAC.

@@ -106,20 +106,21 @@ func (n *SplitNode) Unpack(src []byte) {
 }
 
 // macContent serializes the MACed content: major then minors (56 bytes;
-// the MAC bytes themselves are excluded).
-func (n *SplitNode) macContent() []byte {
-	buf := make([]byte, 8+SplitCountersPerLine)
+// the MAC bytes themselves are excluded). The buffer stays on the
+// caller's stack, keeping node verification allocation-free.
+func (n *SplitNode) macContent(buf *[56]byte) {
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(n.Major >> (8 * (7 - i)))
 	}
 	copy(buf[8:], n.Minors[:])
-	return buf
 }
 
 // ComputeMAC computes the node's 64-bit MAC keyed by line address and
 // parent counter.
 func (n *SplitNode) ComputeMAC(m *gmac.Mac, addr, parentCtr uint64) uint64 {
-	return m.Sum(addr, parentCtr, n.macContent())
+	var buf [56]byte
+	n.macContent(&buf)
+	return m.Sum56(addr, parentCtr, &buf)
 }
 
 // Seal recomputes and stores the node MAC.

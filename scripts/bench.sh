@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Run the crypto hot-path benchmarks and capture machine-readable
+# results in BENCH_crypto.json at the repo root.
+#
+# Usage: scripts/bench.sh [count]
+#   count  -count value per benchmark (default 5)
+set -eu
+
+cd "$(dirname "$0")/.."
+COUNT="${1:-5}"
+OUT="BENCH_crypto.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench='BenchmarkGFMul|BenchmarkSumLine|BenchmarkSum56|BenchmarkPadGen|BenchmarkReadHotPath|BenchmarkReadBatchHotPath|BenchmarkWriteHotPath' \
+    -benchmem -count="$COUNT" \
+    ./internal/gmac/ ./internal/ctrenc/ ./internal/core/ | tee "$RAW"
+
+go run ./scripts/benchjson <"$RAW" >"$OUT"
+echo "wrote $OUT"

@@ -1,0 +1,73 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON array on stdout, one object per benchmark result line:
+//
+//	go test -bench=. -benchmem ./... | go run ./scripts/benchjson
+//
+// Repeated runs of the same benchmark (from -count=N) stay separate
+// entries; downstream tools aggregate as they see fit. Non-benchmark
+// lines (pass/fail banners, package headers) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	results := parse(os.Stdin)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r *os.File) []result {
+	results := []result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: Name  runs  N ns/op
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		runs, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		res := result{Name: fields[0], Runs: runs, NsPerOp: ns}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 4; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "MB/s":
+				res.MBPerS, _ = strconv.ParseFloat(fields[i], 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
