@@ -113,15 +113,38 @@ const (
 // failure over the configured lifetime).
 type ReliabilityResult = reliability.Result
 
+// ReliabilityConfig parameterizes the Monte Carlo engine: trials,
+// lifetime, scrub interval, ranks, worker-pool size, early stopping
+// (TargetCIWidth) and a Progress callback. Per-trial deterministic
+// seeding makes results bit-identical for any Workers value.
+type ReliabilityConfig = reliability.Config
+
 // SimulateReliability runs the Fig. 11 Monte Carlo for one policy with
 // the paper's defaults (Table I rates, 7-year lifetime, 4 ranks × 9
-// chips) at the given trial count.
+// chips) at the given trial count. The engine parallelizes across
+// GOMAXPROCS workers; results do not depend on the worker count.
 func SimulateReliability(policy reliability.Policy, trials int) (ReliabilityResult, error) {
 	cfg := reliability.DefaultConfig()
 	if trials > 0 {
 		cfg.Trials = trials
 	}
 	return reliability.Simulate(policy, cfg)
+}
+
+// SimulateReliabilityAll runs the full Fig. 11 policy sweep (NoECC,
+// SECDED, Chipkill, Synergy) under one configuration; all policies are
+// evaluated against the same deterministic fault histories, so the
+// reported ratios use common random numbers. Start from
+// DefaultReliabilityConfig and override the knobs you need.
+func SimulateReliabilityAll(cfg ReliabilityConfig) ([]ReliabilityResult, error) {
+	return reliability.SimulateAll(cfg)
+}
+
+// DefaultReliabilityConfig returns the paper's Fig. 11 evaluation
+// setup (Table I rates, 7-year lifetime, 4 ranks × 9 chips, 200k
+// trials).
+func DefaultReliabilityConfig() ReliabilityConfig {
+	return reliability.DefaultConfig()
 }
 
 // Experiment identifies one of the paper's figures.

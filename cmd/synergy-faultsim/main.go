@@ -1,78 +1,189 @@
 // Command synergy-faultsim regenerates the paper's reliability figure
 // (Fig. 11): the probability of system failure over a 7-year lifetime
 // under SECDED, Chipkill and Synergy protection, via FAULTSIM-style
-// Monte Carlo with the Table I fault model.
+// Monte Carlo with the Table I fault model. The Monte Carlo runs on a
+// parallel engine with per-trial deterministic seeding: the numbers
+// are bit-identical for any -workers setting.
 //
 // Usage:
 //
-//	synergy-faultsim                 # default 200k trials
-//	synergy-faultsim -trials 2000000 # tighter confidence intervals
+//	synergy-faultsim                    # default 200k trials
+//	synergy-faultsim -trials 2000000    # tighter confidence intervals
 //	synergy-faultsim -years 5 -scrub 12
+//	synergy-faultsim -workers 8 -target-ci 1e-3   # stop when CI tight
+//	synergy-faultsim -json              # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"synergy/internal/experiments"
 	"synergy/internal/reliability"
-	"synergy/internal/stats"
 )
 
-func main() {
-	trials := flag.Int("trials", 200_000, "Monte Carlo trials (device lifetimes)")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	years := flag.Float64("years", 7, "system lifetime in years")
-	scrub := flag.Float64("scrub", 24, "scrub interval in hours (transient fault lifetime)")
-	ranks := flag.Int("ranks", 4, "ranks in the system (9 chips each)")
-	ivec := flag.Bool("ivec", false, "also evaluate the §VII-A IVEC point (1 chip of 16, x4 DIMMs)")
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	trials   int
+	seed     int64
+	years    float64
+	scrub    float64
+	ranks    int
+	workers  int
+	targetCI float64
+	ivec     bool
+	jsonOut  bool
+	progress bool
+}
 
-	if *years == 7 && *scrub == 24 && *ranks == 4 {
-		fig, err := experiments.Figure11(*trials, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "synergy-faultsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(fig)
-	} else {
-		cfg := reliability.DefaultConfig()
-		cfg.Trials = *trials
-		cfg.Seed = *seed
-		cfg.LifetimeHours = *years * 365.25 * 24
-		cfg.ScrubHours = *scrub
-		cfg.Ranks = *ranks
-		tbl := stats.NewTable("policy", "P(fail)", "failures", "trials")
-		for _, p := range []reliability.Policy{reliability.NoECC, reliability.SECDED,
-			reliability.Chipkill, reliability.Synergy} {
-			res, err := reliability.Simulate(p, cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "synergy-faultsim: %v\n", err)
-				os.Exit(1)
+func parseOptions(args []string, stderr io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("synergy-faultsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.IntVar(&o.trials, "trials", 200_000, "Monte Carlo trials (device lifetimes)")
+	fs.Int64Var(&o.seed, "seed", 1, "RNG seed (per-trial streams derive from it)")
+	fs.Float64Var(&o.years, "years", 7, "system lifetime in years")
+	fs.Float64Var(&o.scrub, "scrub", 24, "scrub interval in hours (transient fault lifetime)")
+	fs.IntVar(&o.ranks, "ranks", 4, "ranks in the system (9 chips each)")
+	fs.IntVar(&o.workers, "workers", 0, "Monte Carlo worker goroutines (0 = GOMAXPROCS); results are identical for any value")
+	fs.Float64Var(&o.targetCI, "target-ci", 0, "stop early once the 95% Wilson interval on P(fail) is at most this wide (0 = run all trials)")
+	fs.BoolVar(&o.ivec, "ivec", false, "also evaluate the §VII-A IVEC point (1 chip of 16, x4 DIMMs)")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	fs.BoolVar(&o.progress, "progress", false, "report Monte Carlo progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// configFor applies every command-line knob onto a base config, so the
+// main table and the -ivec comparison point (which differ only in
+// their base) always agree on lifetime, scrub, ranks, workers, seed
+// and stopping rule.
+func configFor(base reliability.Config, o options) reliability.Config {
+	base.Trials = o.trials
+	base.Seed = o.seed
+	base.LifetimeHours = o.years * 365.25 * 24
+	base.ScrubHours = o.scrub
+	base.Ranks = o.ranks
+	base.Workers = o.workers
+	base.TargetCIWidth = o.targetCI
+	return base
+}
+
+// jsonConfig echoes the effective configuration in JSON output.
+type jsonConfig struct {
+	Trials        int     `json:"trials"`
+	Seed          int64   `json:"seed"`
+	Years         float64 `json:"years"`
+	ScrubHours    float64 `json:"scrub_hours"`
+	Ranks         int     `json:"ranks"`
+	Workers       int     `json:"workers"`
+	TargetCIWidth float64 `json:"target_ci_width,omitempty"`
+}
+
+// jsonReport is the -json output: the policy sweep, the optional IVEC
+// point, and engine throughput (the reliability bench trajectory feeds
+// on elapsed_sec / trials_per_sec).
+type jsonReport struct {
+	Config       jsonConfig           `json:"config"`
+	Results      []reliability.Result `json:"results"`
+	IVEC         *reliability.Result  `json:"ivec,omitempty"`
+	SDCFIT       float64              `json:"sdc_fit"`
+	ElapsedSec   float64              `json:"elapsed_sec"`
+	TrialsPerSec float64              `json:"trials_per_sec"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	o, err := parseOptions(args, stderr)
+	if err != nil {
+		return err
+	}
+	cfg := configFor(reliability.DefaultConfig(), o)
+	ivecCfg := configFor(reliability.IVECConfig(), o)
+	if o.progress {
+		total := cfg.Trials
+		cfg.Progress = func(done, failures int) {
+			if done%(1<<18) == 0 || done == total {
+				fmt.Fprintf(stderr, "\r%d/%d trials, %d failures", done, total, failures)
+				if done == total {
+					fmt.Fprintln(stderr)
+				}
 			}
-			tbl.AddRow(p.String(), fmt.Sprintf("%.3e", res.Probability), res.Failures, res.Trials)
 		}
-		fmt.Printf("Reliability over %.1f years, scrub %.0fh, %d ranks:\n%s",
-			*years, *scrub, *ranks, tbl)
 	}
 
-	if *ivec {
-		cfg := reliability.IVECConfig()
-		cfg.Trials = *trials
-		cfg.Seed = *seed
-		res, err := reliability.Simulate(reliability.Synergy, cfg)
+	start := time.Now()
+	if o.jsonOut {
+		results, err := reliability.SimulateAll(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synergy-faultsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("\nIVEC (§VII-A, 1 chip of 16 on x4 DIMMs): P(fail) = %.3e (%d/%d)\n",
+		var ivecRes *reliability.Result
+		if o.ivec {
+			res, err := reliability.Simulate(reliability.Synergy, ivecCfg)
+			if err != nil {
+				return err
+			}
+			ivecRes = &res
+		}
+		elapsed := time.Since(start)
+		trialsRun := 0
+		for _, r := range results {
+			trialsRun += r.Trials
+		}
+		if ivecRes != nil {
+			trialsRun += ivecRes.Trials
+		}
+		rep := jsonReport{
+			Config: jsonConfig{
+				Trials: o.trials, Seed: o.seed, Years: o.years,
+				ScrubHours: o.scrub, Ranks: o.ranks, Workers: o.workers,
+				TargetCIWidth: o.targetCI,
+			},
+			Results:      results,
+			IVEC:         ivecRes,
+			SDCFIT:       reliability.SDCRate(100, 16, 64),
+			ElapsedSec:   elapsed.Seconds(),
+			TrialsPerSec: float64(trialsRun) / elapsed.Seconds(),
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+
+	fig, err := experiments.Figure11Cfg(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, fig)
+
+	if o.ivec {
+		res, err := reliability.Simulate(reliability.Synergy, ivecCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nIVEC (§VII-A, 1 chip of 16 on x4 DIMMs): P(fail) = %.3e (%d/%d)\n",
 			res.Probability, res.Failures, res.Trials)
 	}
 
 	// The §IV-A analytical SDC bound for Synergy's reconstruction
 	// engine: ≤16 MAC recomputations against a 64-bit MAC.
-	fmt.Printf("\nAnalytical Synergy SDC rate (§IV-A): %.2e FIT "+
+	fmt.Fprintf(stdout, "\nAnalytical Synergy SDC rate (§IV-A): %.2e FIT "+
 		"(100 FIT of corrections x 16 attempts x 2^-64)\n",
 		reliability.SDCRate(100, 16, 64))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "synergy-faultsim: %v\n", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -424,7 +424,7 @@ func (r *Runner) Figure10() (Figure, error) {
 
 // Figure11 is the reliability comparison (SECDED vs Chipkill vs
 // Synergy probability of system failure over 7 years; paper: 37x and
-// 185x reductions vs SECDED).
+// 185x reductions vs SECDED) at the paper's default configuration.
 func Figure11(trials int, seed int64) (Figure, error) {
 	cfg := reliability.DefaultConfig()
 	if trials > 0 {
@@ -433,33 +433,43 @@ func Figure11(trials int, seed int64) (Figure, error) {
 	if seed != 0 {
 		cfg.Seed = seed
 	}
-	tbl := stats.NewTable("policy", "P(fail, 7y)", "95% CI low", "95% CI high", "vs SECDED")
+	return Figure11Cfg(cfg)
+}
+
+// Figure11Cfg regenerates Fig. 11 under an explicit Monte Carlo config
+// (lifetime, scrub, ranks, workers, early stop). It runs on the
+// parallel reliability engine; per-trial deterministic seeding makes
+// the table identical for any worker count, and early stopping
+// (cfg.TargetCIWidth) is reflected in the trial counts of the results.
+func Figure11Cfg(cfg reliability.Config) (Figure, error) {
+	results, err := reliability.SimulateAll(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	years := cfg.LifetimeHours / (365.25 * 24)
+	tbl := stats.NewTable("policy", fmt.Sprintf("P(fail, %gy)", years),
+		"95% CI low", "95% CI high", "trials", "vs SECDED")
 	summary := map[string]float64{}
 	var secded float64
-	policies := []reliability.Policy{reliability.NoECC, reliability.SECDED,
-		reliability.Chipkill, reliability.Synergy}
-	for _, p := range policies {
-		res, err := reliability.Simulate(p, cfg)
-		if err != nil {
-			return Figure{}, err
-		}
-		if p == reliability.SECDED {
+	for _, res := range results {
+		if res.Policy == reliability.SECDED {
 			secded = res.Probability
 		}
 		improvement := 0.0
 		if res.Probability > 0 && secded > 0 {
 			improvement = secded / res.Probability
 		}
-		tbl.AddRow(p.String(),
+		tbl.AddRow(res.Policy.String(),
 			fmt.Sprintf("%.3e", res.Probability),
 			fmt.Sprintf("%.3e", res.WilsonLo),
 			fmt.Sprintf("%.3e", res.WilsonHi),
+			res.Trials,
 			fmt.Sprintf("%.1fx", improvement))
-		summary[p.String()] = res.Probability
+		summary[res.Policy.String()] = res.Probability
 	}
 	return Figure{
 		ID:      "fig11",
-		Title:   "Probability of system failure over 7 years (FAULTSIM-style Monte Carlo)",
+		Title:   fmt.Sprintf("Probability of system failure over %g years (FAULTSIM-style Monte Carlo)", years),
 		Table:   tbl,
 		Summary: summary,
 	}, nil

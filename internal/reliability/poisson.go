@@ -1,0 +1,61 @@
+package reliability
+
+import "math"
+
+// Poisson sampling valid for every λ ≥ 0.
+//
+// Knuth inversion compares a product of uniforms against exp(-λ),
+// which underflows to zero once λ ≳ 745. The previous sampler then
+// could exit its loop only through an arbitrary k > 1000 backstop and
+// returned a draw unrelated to λ — silently, and exactly in the
+// configurations users scale to (long lifetimes, many ranks). The
+// replacement keeps inversion where it is exact and cheap, and covers
+// large λ two ways:
+//
+//   - λ ≤ poissonNormalCutoff: exact chunking via additivity —
+//     Poisson(a+b) = Poisson(a) + Poisson(b) for independent draws, so
+//     the mass is sampled in inversion-safe chunks of poissonChunk
+//     (exp(-500) ≈ 7e-218, far above double underflow).
+//   - λ > poissonNormalCutoff: normal approximation with continuity
+//     correction. Skewness is 1/sqrt(λ) ≤ 0.01 there, below anything a
+//     Monte Carlo at feasible trial counts can resolve, and it keeps
+//     the cost O(1) instead of O(λ).
+const (
+	poissonChunk        = 500
+	poissonNormalCutoff = 10_000
+)
+
+// poisson draws from Poisson(lambda). There is no iteration cap: the
+// inversion loop terminates with probability one, shrinking the product
+// by e^-1 per draw on average.
+func poisson(r *rng, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > poissonNormalCutoff {
+		k := math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64())
+		if k < 0 {
+			return 0
+		}
+		return int(k)
+	}
+	n := 0
+	for lambda > poissonChunk {
+		n += poissonInv(r, poissonChunk)
+		lambda -= poissonChunk
+	}
+	return n + poissonInv(r, lambda)
+}
+
+// poissonInv is Knuth inversion, exact for lambda ≤ poissonChunk.
+func poissonInv(r *rng, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

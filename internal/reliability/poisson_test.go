@@ -1,0 +1,113 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoissonMoments pins the sampler's mean and variance at small,
+// moderate, large (exact chunked path — where the old Knuth sampler's
+// exp(-λ) underflowed and the k > 1000 backstop returned garbage) and
+// huge (normal-approximation path) λ. The RNG is deterministic, so the
+// tolerances are safe margins around a fixed outcome.
+func TestPoissonMoments(t *testing.T) {
+	cases := []struct {
+		lambda float64
+		n      int
+	}{
+		{0.1, 200_000},
+		{10, 100_000},
+		{1000, 20_000},  // > 745: impossible for the pre-fix sampler
+		{20000, 50_000}, // normal-approximation branch
+	}
+	for _, c := range cases {
+		r := newTestRand()
+		var sum, sumSq float64
+		for i := 0; i < c.n; i++ {
+			k := float64(poisson(r, c.lambda))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / float64(c.n)
+		variance := sumSq/float64(c.n) - mean*mean
+		// Poisson: mean = variance = λ. Allow 5 standard errors on the
+		// mean and a 10% band on the variance.
+		seMean := math.Sqrt(c.lambda / float64(c.n))
+		if math.Abs(mean-c.lambda) > 5*seMean {
+			t.Errorf("λ=%g: mean %.4f, want %.4f ± %.4f", c.lambda, mean, c.lambda, 5*seMean)
+		}
+		if math.Abs(variance-c.lambda) > 0.10*c.lambda {
+			t.Errorf("λ=%g: variance %.4f, want %.4f ± 10%%", c.lambda, variance, c.lambda)
+		}
+	}
+}
+
+// TestPoissonEdgeCases: λ ≤ 0 yields zero, and the sampler is safe at
+// the chunk boundary.
+func TestPoissonEdgeCases(t *testing.T) {
+	r := newTestRand()
+	if k := poisson(r, 0); k != 0 {
+		t.Fatalf("poisson(0) = %d", k)
+	}
+	if k := poisson(r, -1); k != 0 {
+		t.Fatalf("poisson(-1) = %d", k)
+	}
+	// Exactly at the chunk size: single inversion, must not hang or
+	// return the old cap value.
+	sum := 0
+	const n = 2_000
+	for i := 0; i < n; i++ {
+		sum += poisson(r, poissonChunk)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-poissonChunk)/poissonChunk > 0.05 {
+		t.Fatalf("poisson(%d) mean %.1f", poissonChunk, mean)
+	}
+}
+
+// TestPoissonLargeLambdaReachable reproduces the configuration that
+// triggered the original bug: enough ranks and years that the system
+// arrival rate λ crosses exp-underflow territory, where the old
+// sampler silently returned its iteration cap. The engine must still
+// produce a sane MeanFaults (≈ λ-scaled, not capped).
+func TestPoissonLargeLambdaReachable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 200
+	// 7e5 chip-lifetimes of rate: λ_sys ≈ 0.00406 * 9 * ranks * years/7.
+	// Push it over 745 with a deliberately extreme sweep point.
+	cfg.Ranks = 4096
+	cfg.LifetimeHours *= 8
+	res, err := Simulate(NoECC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildModel(cfg)
+	if m.sysLambda < 745 {
+		t.Fatalf("test config λ=%.0f does not reach underflow territory", m.sysLambda)
+	}
+	// MeanFaults ≥ sampled arrivals ≈ λ; the old sampler capped trials
+	// at ~1000 arrivals regardless of λ.
+	if res.MeanFaults < 0.9*m.sysLambda {
+		t.Fatalf("MeanFaults %.0f far below λ %.0f — sampler breakdown", res.MeanFaults, m.sysLambda)
+	}
+}
+
+// TestRNGStreamsDecorrelated: per-trial streams from adjacent trial
+// indices must not produce correlated uniforms.
+func TestRNGStreamsDecorrelated(t *testing.T) {
+	var a, b rng
+	const n = 10_000
+	var dot, sa, sb float64
+	for trial := uint64(0); trial < n; trial++ {
+		a.reseed(1, trial)
+		b.reseed(1, trial+1)
+		x, y := a.Float64()-0.5, b.Float64()-0.5
+		dot += x * y
+		sa += x * x
+		sb += y * y
+	}
+	corr := dot / math.Sqrt(sa*sb)
+	if math.Abs(corr) > 0.05 {
+		t.Fatalf("adjacent trial streams correlate: r = %.3f", corr)
+	}
+}

@@ -24,9 +24,12 @@ package reliability
 
 import (
 	"errors"
+	"fmt"
 	"math"
-	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"synergy/internal/stats"
 )
@@ -51,6 +54,21 @@ const (
 	MultiRank
 	numModes
 )
+
+// MarshalText renders the mode name, so JSON maps keyed by FaultMode
+// (Result.FailuresByMode) serialize with readable keys.
+func (m FaultMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a mode name (inverse of MarshalText).
+func (m *FaultMode) UnmarshalText(b []byte) error {
+	for c := FaultMode(0); c < numModes; c++ {
+		if string(b) == c.String() {
+			*m = c
+			return nil
+		}
+	}
+	return fmt.Errorf("reliability: unknown fault mode %q", b)
+}
 
 func (m FaultMode) String() string {
 	switch m {
@@ -105,6 +123,20 @@ const (
 	Synergy
 )
 
+// MarshalText renders the policy name for JSON output.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a policy name (inverse of MarshalText).
+func (p *Policy) UnmarshalText(b []byte) error {
+	for _, c := range Policies {
+		if string(b) == c.String() {
+			*p = c
+			return nil
+		}
+	}
+	return fmt.Errorf("reliability: unknown policy %q", b)
+}
+
 func (p Policy) String() string {
 	switch p {
 	case NoECC:
@@ -131,7 +163,8 @@ type Geometry struct {
 // Config parameterizes the Monte Carlo.
 type Config struct {
 	// Ranks in the system; each rank has ChipsPerRank chips (9 for
-	// ECC-DIMMs). Chipkill groups rank pairs.
+	// ECC-DIMMs). Chipkill groups rank pairs; with an odd rank count
+	// the last rank runs as its own degraded group.
 	Ranks        int
 	ChipsPerRank int
 	// LifetimeHours is the evaluation window (paper: 7 years).
@@ -143,6 +176,22 @@ type Config struct {
 	Rates      map[FaultMode]ModeRate
 	Trials     int
 	Seed       int64
+	// Workers bounds the Monte Carlo worker pool; 0 (or negative)
+	// means GOMAXPROCS. Every trial's RNG is derived from
+	// (Seed, trial index), so the Result is bit-identical for any
+	// worker count.
+	Workers int
+	// TargetCIWidth, when positive, stops the run early once the 95%
+	// Wilson interval on P(fail) is at most this wide. The check runs
+	// on block boundaries in trial order, so the stopping point — and
+	// therefore the Result, including Trials actually run — is
+	// deterministic for a given seed regardless of Workers.
+	TargetCIWidth float64
+	// Progress, when non-nil, is called after each merged block of
+	// trials with the cumulative trials completed and failures seen.
+	// Calls are serialized and arrive in trial order; keep the
+	// callback fast.
+	Progress func(trialsDone, failures int)
 }
 
 // IVECConfig returns the §VII-A comparison point: IVEC on commodity x4
@@ -208,22 +257,153 @@ func secdedFatal(m FaultMode) bool {
 	}
 }
 
-// Result summarizes a Monte Carlo run.
+// Result summarizes a Monte Carlo run. With early stopping enabled,
+// Trials reports the trials actually run, and every other field is
+// computed over exactly those trials.
 type Result struct {
-	Policy      Policy
-	Trials      int
-	Failures    int
-	Probability float64
-	WilsonLo    float64
-	WilsonHi    float64
-	MeanFaults  float64 // average faults per system lifetime
+	Policy      Policy  `json:"policy"`
+	Trials      int     `json:"trials"`
+	Failures    int     `json:"failures"`
+	Probability float64 `json:"probability"`
+	WilsonLo    float64 `json:"wilson_lo"`
+	WilsonHi    float64 `json:"wilson_hi"`
+	// MeanFaults is the average number of injected faults per system
+	// lifetime — injected, so a MultiRank arrival's twin-chip pair
+	// counts as two.
+	MeanFaults float64 `json:"mean_faults"`
 	// FailuresByMode attributes each failed trial to the fault mode
 	// that triggered the uncorrectable condition — which failure modes
 	// a protection scheme is actually vulnerable to.
-	FailuresByMode map[FaultMode]int
+	FailuresByMode map[FaultMode]int `json:"failures_by_mode"`
 }
 
-// Simulate runs the Monte Carlo for one policy.
+// trialBlock is the unit of work handed to workers and the granularity
+// of streaming aggregation, Progress reporting and the early-stop
+// check. Blocks are merged strictly in trial order, so the early-stop
+// point depends only on (seed, config), never on scheduling.
+const trialBlock = 4096
+
+// model is the precomputed sampling distribution for one Config.
+type model struct {
+	entries    []modeEntry
+	chipLambda float64
+	sysLambda  float64
+	chips      int
+}
+
+func buildModel(cfg Config) model {
+	m := model{chips: cfg.Ranks * cfg.ChipsPerRank}
+	for mode := FaultMode(0); mode < numModes; mode++ {
+		r, ok := cfg.Rates[mode]
+		if !ok {
+			continue
+		}
+		tr := r.Transient * 1e-9 * cfg.LifetimeHours
+		pr := r.Permanent * 1e-9 * cfg.LifetimeHours
+		m.entries = append(m.entries,
+			modeEntry{mode, true, tr}, modeEntry{mode, false, pr})
+		m.chipLambda += tr + pr
+	}
+	m.sysLambda = m.chipLambda * float64(m.chips)
+	return m
+}
+
+// blockStats is one block's commutative aggregate.
+type blockStats struct {
+	idx      int
+	trials   int
+	failures int
+	faults   int
+	byMode   [numModes]int
+}
+
+// simBlock runs trials [lo, hi) of the Monte Carlo. Each trial reseeds
+// its RNG from (cfg.Seed, global trial index); fault sampling consumes
+// randomness identically under every policy, so one seed exposes every
+// policy to the same fault histories.
+func simBlock(policy Policy, cfg Config, m *model, idx, lo, hi int) blockStats {
+	s := blockStats{idx: idx, trials: hi - lo}
+	var r rng
+	var active []fault
+	for trial := lo; trial < hi; trial++ {
+		r.reseed(cfg.Seed, uint64(trial))
+		n := poisson(&r, m.sysLambda)
+		if n == 0 {
+			continue
+		}
+		active = active[:0]
+		for i := 0; i < n; i++ {
+			chip := r.Intn(m.chips)
+			me := pick(&r, m.entries, m.chipLambda)
+			active = append(active, sampleFault(&r, chip, me.mode, me.transient, cfg)...)
+		}
+		// Injected faults, not sampled arrivals: a MultiRank arrival
+		// expands into a twin-chip pair and both count.
+		s.faults += len(active)
+		sort.Slice(active, func(i, j int) bool { return active[i].start < active[j].start })
+		if fails, mode := systemFailsMode(policy, active, cfg); fails {
+			s.failures++
+			s.byMode[mode]++
+		}
+	}
+	return s
+}
+
+// aggregator folds blocks, in trial order, into the running totals and
+// applies the Progress callback and early-stop rule.
+type aggregator struct {
+	cfg      Config
+	trials   int
+	failures int
+	faults   int
+	byMode   [numModes]int
+	done     bool
+}
+
+func (a *aggregator) merge(s blockStats) {
+	a.trials += s.trials
+	a.failures += s.failures
+	a.faults += s.faults
+	for m, n := range s.byMode {
+		a.byMode[m] += n
+	}
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(a.trials, a.failures)
+	}
+	if a.cfg.TargetCIWidth > 0 &&
+		stats.WilsonWidth(uint64(a.failures), uint64(a.trials)) <= a.cfg.TargetCIWidth {
+		a.done = true
+	}
+}
+
+func (a *aggregator) result(policy Policy) Result {
+	p := float64(a.failures) / float64(a.trials)
+	lo, hi := stats.WilsonInterval(uint64(a.failures), uint64(a.trials))
+	byMode := map[FaultMode]int{}
+	for m, n := range a.byMode {
+		if n > 0 {
+			byMode[FaultMode(m)] = n
+		}
+	}
+	return Result{
+		Policy:         policy,
+		Trials:         a.trials,
+		Failures:       a.failures,
+		Probability:    p,
+		WilsonLo:       lo,
+		WilsonHi:       hi,
+		MeanFaults:     float64(a.faults) / float64(a.trials),
+		FailuresByMode: byMode,
+	}
+}
+
+// Simulate runs the Monte Carlo for one policy across a
+// GOMAXPROCS-bounded worker pool. Trials are sharded into fixed blocks
+// claimed from an atomic cursor; each trial's RNG derives from
+// (Seed, trial index), and block aggregates merge in trial order, so
+// the Result — failures, per-mode attribution, mean faults, and the
+// TargetCIWidth stopping point — is bit-identical for any Workers
+// setting. With early stop, Result.Trials reports trials actually run.
 func Simulate(policy Policy, cfg Config) (Result, error) {
 	if cfg.Trials <= 0 || cfg.Ranks <= 0 || cfg.ChipsPerRank <= 0 {
 		return Result{}, errors.New("reliability: Trials, Ranks, ChipsPerRank must be positive")
@@ -231,60 +411,106 @@ func Simulate(policy Policy, cfg Config) (Result, error) {
 	if cfg.LifetimeHours <= 0 || cfg.Geometry.Banks <= 0 {
 		return Result{}, errors.New("reliability: lifetime and geometry must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	chips := cfg.Ranks * cfg.ChipsPerRank
-
-	// Per-chip total rate and cumulative mode weights.
-	var entries []modeEntry
-	var chipLambda float64
-	for m := FaultMode(0); m < numModes; m++ {
-		r, ok := cfg.Rates[m]
-		if !ok {
-			continue
+	m := buildModel(cfg)
+	numBlocks := (cfg.Trials + trialBlock - 1) / trialBlock
+	bounds := func(b int) (lo, hi int) {
+		lo = b * trialBlock
+		hi = lo + trialBlock
+		if hi > cfg.Trials {
+			hi = cfg.Trials
 		}
-		tr := r.Transient * 1e-9 * cfg.LifetimeHours
-		pr := r.Permanent * 1e-9 * cfg.LifetimeHours
-		entries = append(entries,
-			modeEntry{m, true, tr}, modeEntry{m, false, pr})
-		chipLambda += tr + pr
+		return lo, hi
 	}
-	sysLambda := chipLambda * float64(chips)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numBlocks {
+		workers = numBlocks
+	}
 
-	failures := 0
-	totalFaults := 0
-	byMode := map[FaultMode]int{}
-	var active []fault
-	for trial := 0; trial < cfg.Trials; trial++ {
-		n := poisson(rng, sysLambda)
-		if n == 0 {
-			continue
+	agg := aggregator{cfg: cfg}
+	if workers == 1 {
+		// Serial fast path: same block walk, no pool.
+		for b := 0; b < numBlocks && !agg.done; b++ {
+			lo, hi := bounds(b)
+			agg.merge(simBlock(policy, cfg, &m, b, lo, hi))
 		}
-		totalFaults += n
-		active = active[:0]
-		for i := 0; i < n; i++ {
-			chip := rng.Intn(chips)
-			me := pick(rng, entries, chipLambda)
-			fs := sampleFault(rng, chip, me.mode, me.transient, cfg)
-			active = append(active, fs...)
+		return agg.result(policy), nil
+	}
+
+	var (
+		cursor int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+		out    = make(chan blockStats, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				b := int(atomic.AddInt64(&cursor, 1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				lo, hi := bounds(b)
+				out <- simBlock(policy, cfg, &m, b, lo, hi)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+
+	// Blocks complete out of order; buffer them and merge strictly in
+	// index order so aggregation, Progress and the stop decision are
+	// scheduling-independent. Blocks past the stopping point are
+	// discarded.
+	pending := make(map[int]blockStats, workers)
+	next := 0
+	for s := range out {
+		if agg.done {
+			continue // drain until workers exit
 		}
-		sort.Slice(active, func(i, j int) bool { return active[i].start < active[j].start })
-		if fails, mode := systemFailsMode(policy, active, cfg); fails {
-			failures++
-			byMode[mode]++
+		pending[s.idx] = s
+		for {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			agg.merge(b)
+			if agg.done {
+				stop.Store(true)
+				break
+			}
 		}
 	}
-	p := float64(failures) / float64(cfg.Trials)
-	lo, hi := stats.WilsonInterval(uint64(failures), uint64(cfg.Trials))
-	return Result{
-		Policy:         policy,
-		Trials:         cfg.Trials,
-		Failures:       failures,
-		Probability:    p,
-		WilsonLo:       lo,
-		WilsonHi:       hi,
-		MeanFaults:     float64(totalFaults) / float64(cfg.Trials),
-		FailuresByMode: byMode,
-	}, nil
+	return agg.result(policy), nil
+}
+
+// Policies is the Fig. 11 sweep order.
+var Policies = []Policy{NoECC, SECDED, Chipkill, Synergy}
+
+// SimulateAll runs the Monte Carlo for each policy (default: the
+// Fig. 11 sweep NoECC, SECDED, Chipkill, Synergy) under one Config.
+// Because fault sampling is policy-independent and per-trial seeded,
+// every policy is evaluated against the same fault histories — the
+// paper's ratios (Chipkill/SECDED, Synergy/SECDED) are measured on
+// common random numbers rather than independent noise.
+func SimulateAll(cfg Config, policies ...Policy) ([]Result, error) {
+	if len(policies) == 0 {
+		policies = Policies
+	}
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		res, err := Simulate(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 // modeEntry is one (mode, transience) sampling bucket.
@@ -295,7 +521,7 @@ type modeEntry struct {
 }
 
 // pick selects a mode entry proportionally to weight.
-func pick(rng *rand.Rand, entries []modeEntry, total float64) modeEntry {
+func pick(rng *rng, entries []modeEntry, total float64) modeEntry {
 	r := rng.Float64() * total
 	for _, e := range entries {
 		if r < e.weight {
@@ -309,7 +535,7 @@ func pick(rng *rand.Rand, entries []modeEntry, total float64) modeEntry {
 // sampleFault instantiates a fault's footprint and lifetime. MultiRank
 // faults expand to whole-chip faults on the same chip position of the
 // partner rank as well.
-func sampleFault(rng *rand.Rand, chip int, m FaultMode, transient bool, cfg Config) []fault {
+func sampleFault(rng *rng, chip int, m FaultMode, transient bool, cfg Config) []fault {
 	g := cfg.Geometry
 	f := fault{chip: chip, mode: m, transient: transient}
 	f.start = rng.Float64() * cfg.LifetimeHours
@@ -382,6 +608,14 @@ func groupOf(policy Policy, chip int, cfg Config) int {
 		if half == 0 {
 			return 0
 		}
+		// An odd rank count leaves the last rank without a lockstep
+		// partner; it runs as its own degraded single-rank group.
+		// (rank % half with the rounded-down half used to collapse
+		// every rank of a 3-rank system into one group, inflating
+		// failure correlation.)
+		if cfg.Ranks%2 == 1 && rank == cfg.Ranks-1 {
+			return half
+		}
 		return rank % half
 	default:
 		return rank
@@ -433,23 +667,6 @@ func systemFailsMode(policy Policy, faults []fault, cfg Config) (bool, FaultMode
 		}
 	}
 	return false, 0
-}
-
-// poisson draws from Poisson(lambda) by inversion (lambda is small).
-func poisson(rng *rand.Rand, lambda float64) int {
-	l := math.Exp(-lambda)
-	k := 0
-	p := 1.0
-	for {
-		p *= rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-		if k > 1000 {
-			return k
-		}
-	}
 }
 
 // SDCRate returns the analytical silent-data-corruption FIT of

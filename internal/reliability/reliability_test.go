@@ -2,7 +2,6 @@ package reliability
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -31,11 +30,17 @@ func TestMeanFaultRateMatchesTableI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Expected sampled faults/system/lifetime: sum of Table I rates x
-	// chips x hours (multi-rank twins are derived, not sampled).
+	// Expected injected faults/system/lifetime: sum of Table I rates x
+	// chips x hours, with each MultiRank arrival counting twice — the
+	// sampled fault plus its derived twin on the partner rank (every
+	// rank has a partner in the default 4-rank config).
 	var perChip float64
-	for _, r := range cfg.Rates {
-		perChip += (r.Transient + r.Permanent) * 1e-9 * cfg.LifetimeHours
+	for m, r := range cfg.Rates {
+		rate := (r.Transient + r.Permanent) * 1e-9 * cfg.LifetimeHours
+		perChip += rate
+		if m == MultiRank {
+			perChip += rate
+		}
 	}
 	want := perChip * float64(cfg.Ranks*cfg.ChipsPerRank)
 	if math.Abs(res.MeanFaults-want)/want > 0.05 {
@@ -229,12 +234,12 @@ func TestSDCRate(t *testing.T) {
 }
 
 func TestPoissonMean(t *testing.T) {
-	rng := newTestRand()
+	r := newTestRand()
 	const lambda = 0.5
 	const n = 200_000
 	sum := 0
 	for i := 0; i < n; i++ {
-		sum += poisson(rng, lambda)
+		sum += poisson(r, lambda)
 	}
 	mean := float64(sum) / n
 	if math.Abs(mean-lambda) > 0.02 {
@@ -261,7 +266,11 @@ func BenchmarkSimulateSynergy(b *testing.B) {
 	Simulate(Synergy, cfg)
 }
 
-func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+func newTestRand() *rng {
+	r := &rng{}
+	r.reseed(42, 0)
+	return r
+}
 
 // §VII-A: IVEC (1 chip of 16 correctable) provides reliability of the
 // same class as Synergy (1 of 9), with Synergy at least as good — its

@@ -206,3 +206,11 @@ func WilsonInterval(k, n uint64) (lo, hi float64) {
 	}
 	return lo, hi
 }
+
+// WilsonWidth returns the width of the 95% Wilson interval for k
+// successes in n trials — the reliability engine's early-stop
+// criterion (stop once the estimate is pinned down this tightly).
+func WilsonWidth(k, n uint64) float64 {
+	lo, hi := WilsonInterval(k, n)
+	return hi - lo
+}

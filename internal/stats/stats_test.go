@@ -119,6 +119,27 @@ func TestWilsonInterval(t *testing.T) {
 	}
 }
 
+func TestWilsonWidth(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if w := WilsonWidth(50, 100); w != hi-lo {
+		t.Fatalf("width %v, want %v", w, hi-lo)
+	}
+	// Width shrinks monotonically with more trials at fixed p — the
+	// property the reliability early-stop rule relies on.
+	prev := WilsonWidth(1, 10)
+	for n := uint64(100); n <= 1_000_000; n *= 10 {
+		w := WilsonWidth(n/10, n)
+		if w >= prev {
+			t.Fatalf("width did not shrink at n=%d: %v >= %v", n, w, prev)
+		}
+		prev = w
+	}
+	// Zero failures still tighten: the k=0 interval narrows as n grows.
+	if WilsonWidth(0, 100_000) >= WilsonWidth(0, 1_000) {
+		t.Fatal("k=0 interval did not tighten with n")
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tb := NewTable("a", "b")
 	tb.AddRow("plain", 1.5)

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Run the crypto hot-path benchmarks and capture machine-readable
-# results in BENCH_crypto.json at the repo root.
+# Run the crypto hot-path benchmarks and the reliability-engine
+# throughput comparison, capturing machine-readable results in
+# BENCH_crypto.json and BENCH_reliability.json at the repo root.
 #
 # Usage: scripts/bench.sh [count]
-#   count  -count value per benchmark (default 5)
+#   count        -count value per crypto benchmark (default 5)
+#   REL_TRIALS   Monte Carlo trials per reliability run (default 2000000)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +20,17 @@ go test -run='^$' -bench='BenchmarkGFMul|BenchmarkSumLine|BenchmarkSum56|Benchma
 
 go run ./scripts/benchjson <"$RAW" >"$OUT"
 echo "wrote $OUT"
+
+# Reliability engine: same seed and trial budget serially and with an
+# 8-worker pool. Per-trial deterministic seeding guarantees identical
+# results; the JSON records trials_per_sec for the bench trajectory.
+REL_TRIALS="${REL_TRIALS:-2000000}"
+REL_OUT="BENCH_reliability.json"
+{
+    printf '[\n'
+    go run ./cmd/synergy-faultsim -json -trials "$REL_TRIALS" -workers 1
+    printf ',\n'
+    go run ./cmd/synergy-faultsim -json -trials "$REL_TRIALS" -workers 8
+    printf ']\n'
+} >"$REL_OUT"
+echo "wrote $REL_OUT"
