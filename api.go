@@ -19,6 +19,7 @@ package synergy
 // cmd/synergy-faultsim) and benchmarks.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -51,12 +52,28 @@ type Array = core.Array
 // ReadInfo describes corrections performed during a Read.
 type ReadInfo = core.ReadInfo
 
+// ScrubReport summarizes a scrub pass: lines scanned, lines corrected,
+// and the lines found uncorrectable (poisoned) — the pass logs and
+// continues past those instead of aborting.
+type ScrubReport = core.ScrubReport
+
+// Scrubber is a background patrol scrubber started by
+// Array.StartScrubber; an interrupted pass resumes from per-rank
+// cursors on the next tick.
+type Scrubber = core.Scrubber
+
 // Sentinel errors. Internal errors wrap these, so errors.Is works
 // through any amount of context decoration.
 var (
 	// ErrAttack is returned when a MAC mismatch cannot be corrected:
 	// multi-chip corruption or tampering. The engine fails closed.
 	ErrAttack = core.ErrAttack
+	// ErrPoisoned is returned by reads of a line that previously
+	// declared ErrAttack and has not been repaired since. The engine
+	// fails fast instead of re-running reconstruction on every access;
+	// a successful Write to the line — or RepairChip after a chip
+	// replacement — clears the state.
+	ErrPoisoned = core.ErrPoisoned
 	// ErrOutOfRange is returned for line indices beyond the configured
 	// capacity.
 	ErrOutOfRange = core.ErrOutOfRange
@@ -67,6 +84,13 @@ var (
 	// experiment identifier that names no figure.
 	ErrUnknownExperiment = errors.New("synergy: unknown experiment")
 )
+
+// IsFailClosed reports whether err is one of the fail-closed outcomes
+// (ErrAttack or ErrPoisoned) — reads that refused to return data rather
+// than risk returning wrong data. Callers that only need to distinguish
+// "fail closed, data withheld" from "infrastructure error" can branch
+// on this instead of testing both sentinels.
+func IsFailClosed(err error) bool { return core.IsFailClosed(err) }
 
 // New builds a Synergy memory: cfg.Ranks independent 9-chip ranks
 // (default 1) with cfg.DataLines total capacity interleaved across
@@ -131,6 +155,17 @@ func SimulateReliability(policy reliability.Policy, trials int) (ReliabilityResu
 	return reliability.Simulate(policy, cfg)
 }
 
+// SimulateReliabilityContext is SimulateReliability with cancellation:
+// when ctx is cancelled the Monte Carlo stops at the next block
+// boundary and returns the partial result with ctx's error.
+func SimulateReliabilityContext(ctx context.Context, policy reliability.Policy, trials int) (ReliabilityResult, error) {
+	cfg := reliability.DefaultConfig()
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	return reliability.SimulateContext(ctx, policy, cfg)
+}
+
 // SimulateReliabilityAll runs the full Fig. 11 policy sweep (NoECC,
 // SECDED, Chipkill, Synergy) under one configuration; all policies are
 // evaluated against the same deterministic fault histories, so the
@@ -138,6 +173,13 @@ func SimulateReliability(policy reliability.Policy, trials int) (ReliabilityResu
 // DefaultReliabilityConfig and override the knobs you need.
 func SimulateReliabilityAll(cfg ReliabilityConfig) ([]ReliabilityResult, error) {
 	return reliability.SimulateAll(cfg)
+}
+
+// SimulateReliabilityAllContext is SimulateReliabilityAll with
+// cancellation: the sweep stops at the first interrupted policy and
+// returns the policies completed before it with ctx's error.
+func SimulateReliabilityAllContext(ctx context.Context, cfg ReliabilityConfig) ([]ReliabilityResult, error) {
+	return reliability.SimulateAllContext(ctx, cfg)
 }
 
 // DefaultReliabilityConfig returns the paper's Fig. 11 evaluation
@@ -178,6 +220,7 @@ type experimentOptions struct {
 	baseInstr uint64
 	workers   int
 	progress  func(completed, total int)
+	ctx       context.Context
 }
 
 // ExperimentOption configures RunExperiment.
@@ -203,6 +246,13 @@ func WithProgress(fn func(completed, total int)) ExperimentOption {
 	return func(o *experimentOptions) { o.progress = fn }
 }
 
+// WithContext makes the sweep cancellable: once ctx is done, pending
+// (workload, spec) pairs are skipped and RunExperiment returns ctx's
+// error (wrapped). Pairs already simulating finish first.
+func WithContext(ctx context.Context) ExperimentOption {
+	return func(o *experimentOptions) { o.ctx = ctx }
+}
+
 // RunExperiment regenerates one figure of the paper's evaluation over
 // the full 29-workload roster.
 func RunExperiment(exp Experiment, opts ...ExperimentOption) (ExperimentResult, error) {
@@ -210,7 +260,7 @@ func RunExperiment(exp Experiment, opts ...ExperimentOption) (ExperimentResult, 
 	for _, opt := range opts {
 		opt(&o)
 	}
-	eopt := experiments.Options{BaseInstr: o.baseInstr, Progress: o.progress}
+	eopt := experiments.Options{BaseInstr: o.baseInstr, Progress: o.progress, Context: o.ctx}
 	var r *experiments.Runner
 	if o.workers > 0 {
 		eopt.Parallelism = o.workers

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"synergy/internal/experiments"
@@ -98,7 +101,7 @@ type jsonReport struct {
 	TrialsPerSec float64              `json:"trials_per_sec"`
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	o, err := parseOptions(args, stderr)
 	if err != nil {
 		return err
@@ -119,13 +122,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	start := time.Now()
 	if o.jsonOut {
-		results, err := reliability.SimulateAll(cfg)
+		results, err := reliability.SimulateAllContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		var ivecRes *reliability.Result
 		if o.ivec {
-			res, err := reliability.Simulate(reliability.Synergy, ivecCfg)
+			res, err := reliability.SimulateContext(ctx, reliability.Synergy, ivecCfg)
 			if err != nil {
 				return err
 			}
@@ -156,14 +159,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return enc.Encode(rep)
 	}
 
-	fig, err := experiments.Figure11Cfg(cfg)
+	fig, err := experiments.Figure11CfgContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout, fig)
 
 	if o.ivec {
-		res, err := reliability.Simulate(reliability.Synergy, ivecCfg)
+		res, err := reliability.SimulateContext(ctx, reliability.Synergy, ivecCfg)
 		if err != nil {
 			return err
 		}
@@ -180,7 +183,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C cancels the Monte Carlo at the next block boundary instead
+	// of killing the process mid-write; a second signal kills it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if err != flag.ErrHelp {
 			fmt.Fprintf(os.Stderr, "synergy-faultsim: %v\n", err)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"strings"
@@ -50,7 +51,7 @@ func TestFlagPlumbing(t *testing.T) {
 
 func TestRunTextOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.Fields("-trials 5000 -years 5 -scrub 12 -ranks 2 -ivec"), &out, io.Discard)
+	err := run(context.Background(), strings.Fields("-trials 5000 -years 5 -scrub 12 -ranks 2 -ivec"), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRunTextOutput(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.Fields("-json -trials 5000 -workers 2 -ivec"), &out, io.Discard)
+	err := run(context.Background(), strings.Fields("-json -trials 5000 -workers 2 -ivec"), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunJSONDeterministicAcrossWorkers(t *testing.T) {
 	decode := func(workers string) jsonReport {
 		var out bytes.Buffer
-		if err := run(strings.Fields("-json -trials 9000 -workers "+workers), &out, io.Discard); err != nil {
+		if err := run(context.Background(), strings.Fields("-json -trials 9000 -workers "+workers), &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		var rep jsonReport

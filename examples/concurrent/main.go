@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -90,7 +91,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := arr.Scrub(); err != nil {
+		if _, err := arr.Scrub(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 	}()

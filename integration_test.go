@@ -5,6 +5,7 @@
 package synergy_test
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"math/rand"
@@ -185,7 +186,7 @@ func TestEndToEndSoakWithScrubbing(t *testing.T) {
 			faulted[line] = chip
 		}
 		if op%1000 == 999 {
-			if _, err := mem.Scrub(); err != nil {
+			if _, err := mem.Scrub(context.Background()); err != nil {
 				t.Fatalf("op %d scrub: %v", op, err)
 			}
 			faulted = map[uint64]int{}

@@ -1,0 +1,544 @@
+// Package chaos is a deterministic fault-injection stress harness for
+// the Synergy engine: seeded concurrent read/write/scrub traffic
+// against a live Array, with transient and permanent faults injected
+// mid-flight, checking two invariants the design promises:
+//
+//   - No silent data corruption. Every read either returns exactly the
+//     bytes the shadow model expects or fails closed (ErrAttack /
+//     ErrPoisoned). Wrong data is recorded as an SDC and fails the run.
+//   - Error-log consistency. After the run quiesces, every rank's
+//     ErrorLog.Total() equals its Stats().CorrectionEvents — no
+//     correction goes unlogged and none is double-logged.
+//
+// Determinism: every actor (worker or fault conductor) draws its whole
+// decision stream from its own seeded RNG, and decisions never depend
+// on racy outcomes — so the sequence of events each actor emits is a
+// pure function of (Seed, Config). Run reports a digest over all event
+// streams; two runs with the same seed and a fixed Rounds budget
+// produce identical digests even under -race scheduling jitter. (With
+// a Duration budget instead, stream *lengths* depend on wall clock, so
+// only per-actor prefixes are reproducible.)
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/dimm"
+)
+
+// Config parameterizes a chaos run.
+type Config struct {
+	// Seed drives every random decision. Same seed + same Rounds =
+	// identical event streams.
+	Seed int64
+	// Workers is the number of concurrent traffic goroutines. Line i is
+	// owned by worker i%Workers, so write sets are disjoint and each
+	// worker can keep an exact shadow of its lines. Default 4.
+	Workers int
+	// Lines is the Array data capacity. Default 256.
+	Lines uint64
+	// Ranks is the Array rank count. Default 2.
+	Ranks int
+	// Rounds fixes the per-worker operation budget — the deterministic
+	// mode. Default 64 when Duration is also zero.
+	Rounds int
+	// Duration, when non-zero, bounds the run by wall clock instead of
+	// Rounds (the CI smoke mode). Event content stays seeded but stream
+	// lengths vary run to run.
+	Duration time.Duration
+	// Permanent enables the fault conductor: a goroutine that installs
+	// whole-chip read-path faults, lets traffic grind through the
+	// degraded rank, then clears the fault and runs RepairChip.
+	Permanent bool
+	// ScrubInterval is the background patrol scrubber tick. Default
+	// 500µs (aggressive on purpose: the point is racing scrubs against
+	// traffic and injection).
+	ScrubInterval time.Duration
+	// KeepEvents retains the full event list in the Report (tests, or
+	// the CLI's -events flag). The digest is computed either way.
+	KeepEvents bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Lines == 0 {
+		c.Lines = 256
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 2
+	}
+	if c.Rounds <= 0 && c.Duration <= 0 {
+		c.Rounds = 64
+	}
+	if c.ScrubInterval <= 0 {
+		c.ScrubInterval = 500 * time.Microsecond
+	}
+	return c
+}
+
+// Event is one decision an actor made. The stream of events per actor
+// is deterministic in the seed; outcomes (corrected? failed closed?)
+// are deliberately NOT part of the event, because they may depend on
+// how the scrubber raced the access — they are tallied in the Report
+// counters instead.
+type Event struct {
+	Actor string // "w0".."wN", or "conductor"
+	Seq   int    // per-actor sequence number
+	Op    string // write | read | inject1 | inject2 | perm-inject | perm-clear | repair
+	Line  uint64 // global line (traffic ops)
+	Rank  int    // conductor ops
+	Chip  int    // first faulted chip, -1 when n/a
+	Chip2 int    // second faulted chip (inject2), -1 otherwise
+	Arg   byte   // write pattern byte or fault mask byte
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s#%d %s line=%d rank=%d chip=%d chip2=%d arg=%#02x",
+		e.Actor, e.Seq, e.Op, e.Line, e.Rank, e.Chip, e.Chip2, e.Arg)
+}
+
+// Report is the outcome of a chaos run.
+type Report struct {
+	Seed    int64
+	Workers int
+	Rounds  int
+
+	// EventDigest is a SHA-256 over every actor's event stream (actors
+	// hashed independently, combined in actor-name order). Identical
+	// for identical (Seed, Config) in Rounds mode.
+	EventDigest string
+	// Events is the retained event list (KeepEvents only), ordered by
+	// (actor, seq).
+	Events []Event
+	// EventCount is the total number of events emitted.
+	EventCount int
+
+	// Traffic tallies.
+	Reads      uint64 // verified reads that returned data
+	Writes     uint64
+	FailClosed uint64 // reads that returned ErrAttack / ErrPoisoned
+	Injected   uint64 // transient injection events
+	PermCycles uint64 // conductor inject→clear→repair cycles completed
+
+	// ScrubPasses is how many full patrol passes the background
+	// scrubber completed.
+	ScrubPasses uint64
+
+	// SDCs lists every read that returned wrong data — the invariant
+	// the whole design exists to prevent. Must be empty.
+	SDCs []string
+	// Violations lists every other broken invariant (unexpected read
+	// errors, failed writes, log/stat mismatches, leftover poison).
+	Violations []string
+
+	// Stats is the quiesced aggregate engine view.
+	Stats core.Stats
+}
+
+// Failed reports whether any invariant broke.
+func (r *Report) Failed() bool { return len(r.SDCs) > 0 || len(r.Violations) > 0 }
+
+// lineState is the worker's belief about one of its lines.
+type lineState int
+
+const (
+	stateClean   lineState = iota // must read back exactly
+	stateSingle                   // one injected chip fault: correctable
+	stateSuspect                  // poisoned while single-faulted under a permanent
+	// fault; a RepairChip may heal it, so reads may fail closed OR
+	// serve correct data
+	stateDegraded // two stored faults: must fail closed, always
+)
+
+// actor collects one goroutine's deterministic event stream, digesting
+// it incrementally so even hours-long runs stay O(1) in memory.
+type actor struct {
+	name   string
+	rng    *rand.Rand
+	seq    int
+	hash   hash.Hash
+	events []Event
+	keep   bool
+}
+
+func newActor(name string, seed int64, keep bool) *actor {
+	return &actor{name: name, rng: rand.New(rand.NewSource(seed)), hash: sha256.New(), keep: keep}
+}
+
+func (a *actor) emit(e Event) {
+	e.Actor, e.Seq = a.name, a.seq
+	a.seq++
+	fmt.Fprintf(a.hash, "%s\n", e.String())
+	if a.keep {
+		a.events = append(a.events, e)
+	}
+}
+
+// harness is the shared state of one run.
+type harness struct {
+	cfg      Config
+	arr      *core.Array
+	deadline time.Time
+
+	mu         sync.Mutex
+	sdcs       []string
+	violations []string
+	reads      uint64
+	writes     uint64
+	failClosed uint64
+	injected   uint64
+	permCycles uint64
+}
+
+func (h *harness) sdc(format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sdcs = append(h.sdcs, fmt.Sprintf(format, args...))
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+}
+
+func (h *harness) add(reads, writes, failClosed, injected uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reads += reads
+	h.writes += writes
+	h.failClosed += failClosed
+	h.injected += injected
+}
+
+func (h *harness) expired(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	return !h.deadline.IsZero() && time.Now().After(h.deadline)
+}
+
+// fill builds the 64-byte payload for pattern byte b: position-salted
+// so a slice swapped between lines can never masquerade as correct.
+func fill(line uint64, b byte) []byte {
+	buf := make([]byte, core.LineSize)
+	for i := range buf {
+		buf[i] = b ^ byte(i) ^ byte(line*7)
+	}
+	return buf
+}
+
+// Run executes one chaos run. The returned error covers setup problems
+// only; invariant breaks are reported in Report.SDCs / Violations so
+// the caller sees the full picture (use Report.Failed). Cancelling ctx
+// stops traffic promptly; the quiesce-and-verify epilogue still runs
+// (it is bounded by the line count, not the duration).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arr, err := core.NewArray(core.Config{DataLines: cfg.Lines, Ranks: cfg.Ranks})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	h := &harness{cfg: cfg, arr: arr}
+	// Seed every line with its pattern-0 payload before any concurrency
+	// starts, so the workers' shadow models are exact from round one.
+	for i := uint64(0); i < cfg.Lines; i++ {
+		if err := arr.Write(i, fill(i, 0)); err != nil {
+			return nil, fmt.Errorf("chaos: seeding line %d: %w", i, err)
+		}
+	}
+	if cfg.Duration > 0 {
+		h.deadline = time.Now().Add(cfg.Duration)
+	}
+
+	// Background patrol scrubber, racing everything below.
+	scrubCtx, stopScrub := context.WithCancel(context.Background())
+	scrubber := arr.StartScrubber(scrubCtx, cfg.ScrubInterval)
+
+	actors := make([]*actor, cfg.Workers)
+	shadows := make([]map[uint64]byte, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		actors[w] = newActor(fmt.Sprintf("w%d", w), cfg.Seed+int64(w)*0x9E3779B9, cfg.KeepEvents)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			shadows[id] = h.worker(ctx, id, actors[id])
+		}(w)
+	}
+
+	var conductor *actor
+	condDone := make(chan struct{})
+	if cfg.Permanent {
+		conductor = newActor("conductor", cfg.Seed^0x5DEECE66D, cfg.KeepEvents)
+		go func() {
+			defer close(condDone)
+			h.conduct(ctx, conductor)
+		}()
+	} else {
+		close(condDone)
+	}
+
+	wg.Wait()
+	<-condDone // the conductor always clears + repairs before exiting
+
+	// Heal-and-verify epilogue, strictly after the conductor's last
+	// RepairChip: with no fault active anywhere, a write followed by a
+	// read must round-trip on every line, no excuses. (It cannot run
+	// while a permanent fault is still live — the engine's documented
+	// §III-B caveat lets even healthy lines fail closed then.) The
+	// scrubber keeps racing it on purpose.
+	buf := make([]byte, core.LineSize)
+	for w, shadow := range shadows {
+		for line, b := range shadow {
+			b ^= 0xA5
+			if err := arr.Write(line, fill(line, b)); err != nil {
+				h.violate("w%d: heal write(%d): %v", w, line, err)
+				continue
+			}
+			h.writes++
+			if _, err := arr.Read(line, buf); err != nil {
+				h.violate("w%d: final read(%d): %v", w, line, err)
+				continue
+			}
+			h.reads++
+			if !bytes.Equal(buf, fill(line, b)) {
+				h.sdc("w%d: line %d: wrong data after heal", w, line)
+			}
+		}
+	}
+	stopScrub()
+	scrubber.Stop()
+
+	// Quiesced global checks.
+	if left := arr.Poisoned(); len(left) != 0 {
+		h.violate("poisoned lines survived the heal pass: %v", left)
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		m := arr.Rank(r)
+		s := m.Stats()
+		if total := m.ErrorLog().Total(); total != s.CorrectionEvents {
+			h.violate("rank %d: error log holds %d corrections, stats say %d",
+				r, total, s.CorrectionEvents)
+		}
+	}
+
+	rep := &Report{
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		Rounds:      cfg.Rounds,
+		Reads:       h.reads,
+		Writes:      h.writes,
+		FailClosed:  h.failClosed,
+		Injected:    h.injected,
+		PermCycles:  h.permCycles,
+		ScrubPasses: scrubber.Passes(),
+		SDCs:        h.sdcs,
+		Violations:  h.violations,
+		Stats:       arr.Stats(),
+	}
+	if conductor != nil {
+		actors = append(actors, conductor)
+	}
+	sort.Slice(actors, func(i, j int) bool { return actors[i].name < actors[j].name })
+	sum := sha256.New()
+	for _, a := range actors {
+		fmt.Fprintf(sum, "%s:%x\n", a.name, a.hash.Sum(nil))
+		rep.EventCount += a.seq
+		if cfg.KeepEvents {
+			rep.Events = append(rep.Events, a.events...)
+		}
+	}
+	rep.EventDigest = hex.EncodeToString(sum.Sum(nil))
+	return rep, nil
+}
+
+// worker drives traffic over its owned lines (line i : i%Workers==id)
+// and returns its final shadow model for the epilogue verification.
+// Crucially, op *selection* never branches on an op's outcome —
+// outcomes can depend on how the scrubber raced us — so the emitted
+// event stream is deterministic.
+func (h *harness) worker(ctx context.Context, id int, a *actor) map[uint64]byte {
+	var owned []uint64
+	for i := uint64(id); i < h.cfg.Lines; i += uint64(h.cfg.Workers) {
+		owned = append(owned, i)
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+	shadow := make(map[uint64]byte, len(owned))
+	state := make(map[uint64]lineState, len(owned))
+	for _, i := range owned {
+		shadow[i], state[i] = 0, stateClean // Run seeded pattern 0 everywhere
+	}
+	buf := make([]byte, core.LineSize)
+	var reads, writes, failClosed, injected uint64
+	defer func() { h.add(reads, writes, failClosed, injected) }()
+
+	write := func(line uint64, b byte) {
+		a.emit(Event{Op: "write", Line: line, Chip: -1, Chip2: -1, Arg: b})
+		if err := h.arr.Write(line, fill(line, b)); err != nil {
+			h.violate("%s: Write(%d): %v", a.name, line, err)
+			return
+		}
+		writes++
+		shadow[line], state[line] = b, stateClean
+	}
+
+	read := func(line uint64) {
+		a.emit(Event{Op: "read", Line: line, Chip: -1, Chip2: -1})
+		_, err := h.arr.Read(line, buf)
+		switch {
+		case err == nil:
+			reads++
+			if !bytes.Equal(buf, fill(line, shadow[line])) {
+				h.sdc("%s: line %d: read returned wrong data (state %d)", a.name, line, state[line])
+				return
+			}
+			if state[line] == stateDegraded {
+				// A two-stored-fault line must never produce data — not
+				// even "coincidentally correct" data; nothing in the
+				// engine (scrub, repair) can legitimately recover it.
+				h.violate("%s: line %d: degraded line served a read", a.name, line)
+			}
+			state[line] = stateClean // corrected (by us, the scrubber, or a repair)
+		case core.IsFailClosed(err):
+			failClosed++
+			switch state[line] {
+			case stateClean, stateSingle:
+				// Legitimate only in permanent mode: a live chip fault
+				// can stack a second bad chip onto a single-fault line,
+				// and — the engine's documented §III-B caveat — writes
+				// made while a chip is dead degrade the ParityP of
+				// parity slots stored on that chip, so even a healthy
+				// line can lose its reconstruction path until
+				// RepairChip rebuilds the parity region. The line is
+				// poisoned now; a later repair may heal it.
+				if !h.cfg.Permanent {
+					h.violate("%s: line %d: %v line failed closed: %v",
+						a.name, line, map[lineState]string{stateClean: "clean", stateSingle: "single-fault"}[state[line]], err)
+				}
+				state[line] = stateSuspect
+			}
+		default:
+			h.violate("%s: Read(%d): %v", a.name, line, err)
+		}
+	}
+
+	// inject corrupts the line's stored slices atomically. The line is
+	// always healed by a write first — unconditionally, so the event
+	// stream never depends on the (racy) outcome of an earlier read —
+	// which keeps fault arithmetic from compounding across rounds.
+	inject := func(line uint64, chips ...int) {
+		write(line, byte(a.rng.Intn(256)))
+		mask := byte(1 + a.rng.Intn(255))
+		m, inner := h.route(line)
+		addr := m.Layout().DataAddr(inner)
+		faults := make([]core.ChipFault, len(chips))
+		for k, c := range chips {
+			faults[k] = core.ChipFault{Chip: c, Mask: [dimm.SliceSize]byte{mask, byte(k + 1)}}
+		}
+		ev := Event{Op: "inject1", Line: line, Chip: chips[0], Chip2: -1, Arg: mask}
+		if len(chips) == 2 {
+			ev.Op, ev.Chip2 = "inject2", chips[1]
+		}
+		a.emit(ev)
+		if err := m.InjectTransients(addr, faults); err != nil {
+			h.violate("%s: inject(%d): %v", a.name, line, err)
+			return
+		}
+		injected++
+		if len(chips) == 2 {
+			state[line] = stateDegraded
+		} else {
+			state[line] = stateSingle
+		}
+	}
+
+	for round := 0; h.cfg.Duration > 0 || round < h.cfg.Rounds; round++ {
+		if h.expired(ctx) {
+			break
+		}
+		line := owned[a.rng.Intn(len(owned))]
+		switch roll := a.rng.Intn(100); {
+		case roll < 35:
+			write(line, byte(a.rng.Intn(256)))
+		case roll < 70:
+			read(line)
+		case roll < 85:
+			inject(line, a.rng.Intn(dimm.Chips))
+		default:
+			c1 := a.rng.Intn(dimm.Chips)
+			c2 := (c1 + 1 + a.rng.Intn(dimm.Chips-1)) % dimm.Chips
+			inject(line, c1, c2)
+		}
+	}
+
+	return shadow
+}
+
+// route maps a global line to (rank memory, inner line) the same way
+// the Array does.
+func (h *harness) route(line uint64) (*core.Memory, uint64) {
+	return h.arr.Rank(int(line % uint64(h.cfg.Ranks))), line / uint64(h.cfg.Ranks)
+}
+
+// conduct runs the permanent-fault lifecycle: install a whole-chip
+// read-path fault on one rank, let traffic grind through the degraded
+// rank for a while, then clear the fault and RepairChip. Every cycle
+// always completes its clear+repair, even on cancellation — a run must
+// quiesce with no active faults.
+func (h *harness) conduct(ctx context.Context, a *actor) {
+	cycles := h.cfg.Rounds/16 + 1
+	for cy := 0; h.cfg.Duration > 0 || cy < cycles; cy++ {
+		if h.expired(ctx) {
+			return
+		}
+		rank := a.rng.Intn(h.cfg.Ranks)
+		chip := a.rng.Intn(dimm.Chips)
+		mask := byte(1 + a.rng.Intn(255))
+		m := h.arr.Rank(rank)
+		a.emit(Event{Op: "perm-inject", Rank: rank, Chip: chip, Chip2: -1, Arg: mask})
+		id, err := m.InjectPermanent(chip, 0, m.Module().Lines()-1, [dimm.SliceSize]byte{mask})
+		if err != nil {
+			h.violate("conductor: InjectPermanent(rank %d, chip %d): %v", rank, chip, err)
+			return
+		}
+		// Dwell: let a few scrub ticks and worker rounds hit the
+		// degraded rank before the "replacement" arrives.
+		timer := time.NewTimer(4 * h.cfg.ScrubInterval)
+		select {
+		case <-ctx.Done():
+		case <-timer.C:
+		}
+		timer.Stop()
+		a.emit(Event{Op: "perm-clear", Rank: rank, Chip: chip, Chip2: -1})
+		if err := m.ClearFault(id); err != nil {
+			h.violate("conductor: ClearFault: %v", err)
+			return
+		}
+		a.emit(Event{Op: "repair", Rank: rank, Chip: chip, Chip2: -1})
+		if err := h.arr.RepairChip(rank, chip); err != nil {
+			h.violate("conductor: RepairChip(rank %d, chip %d): %v", rank, chip, err)
+			return
+		}
+		h.mu.Lock()
+		h.permCycles++
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func mustRun(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range rep.SDCs {
+		t.Errorf("SDC: %s", s)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return rep
+}
+
+// Same seed, fixed rounds: bit-identical event streams, no SDCs, even
+// with the scrubber racing every access (run the package under -race).
+func TestDeterministicEvents(t *testing.T) {
+	cfg := Config{Seed: 42, Workers: 4, Lines: 64, Ranks: 2, Rounds: 48, KeepEvents: true}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.EventDigest != b.EventDigest {
+		t.Fatalf("same seed, different event streams:\n%s\n%s", a.EventDigest, b.EventDigest)
+	}
+	if a.EventCount == 0 || a.EventCount != b.EventCount {
+		t.Fatalf("event counts: %d vs %d", a.EventCount, b.EventCount)
+	}
+	if len(a.Events) != a.EventCount {
+		t.Fatalf("KeepEvents retained %d of %d events", len(a.Events), a.EventCount)
+	}
+	if a.Injected == 0 || a.Reads == 0 || a.Writes == 0 {
+		t.Fatalf("degenerate traffic mix: %+v", a)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	cfg := Config{Workers: 2, Lines: 32, Rounds: 24}
+	cfg.Seed = 1
+	a := mustRun(t, cfg)
+	cfg.Seed = 2
+	b := mustRun(t, cfg)
+	if a.EventDigest == b.EventDigest {
+		t.Fatal("different seeds produced the same event stream")
+	}
+}
+
+// The permanent-fault conductor cycles whole-chip faults through
+// RepairChip while traffic runs; the event stream stays deterministic
+// (decisions never branch on racy outcomes) and nothing corrupts.
+func TestPermanentFaultCycles(t *testing.T) {
+	cfg := Config{Seed: 7, Workers: 4, Lines: 96, Ranks: 2, Rounds: 64, Permanent: true}
+	a := mustRun(t, cfg)
+	if a.PermCycles == 0 {
+		t.Fatal("conductor completed no fault cycles")
+	}
+	b := mustRun(t, cfg)
+	if a.EventDigest != b.EventDigest {
+		t.Fatalf("permanent-mode streams diverged:\n%s\n%s", a.EventDigest, b.EventDigest)
+	}
+}
+
+// Duration mode: the smoke configuration the CI job uses, scaled down.
+func TestDurationBudget(t *testing.T) {
+	rep := mustRun(t, Config{Seed: 3, Duration: 150 * time.Millisecond, Permanent: true})
+	if rep.EventCount == 0 {
+		t.Fatal("no events in a duration-bounded run")
+	}
+}
+
+// Cancellation stops traffic promptly but the run still quiesces:
+// faults cleared, lines healed, invariants checked.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{Seed: 5, Duration: time.Hour})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed() {
+		t.Fatalf("cancelled run broke invariants: %+v %+v", rep.SDCs, rep.Violations)
+	}
+}
+
+// The scrubber must actually be in the fight: with an aggressive tick
+// and non-trivial traffic it completes passes.
+func TestScrubberParticipates(t *testing.T) {
+	rep := mustRun(t, Config{Seed: 11, Workers: 2, Lines: 32, Rounds: 4096,
+		ScrubInterval: 100 * time.Microsecond})
+	if rep.ScrubPasses == 0 {
+		t.Fatal("background scrubber never completed a pass")
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -66,8 +68,15 @@ func (a *Array) Ranks() int { return len(a.ranks) }
 // DataLines returns the total capacity in cachelines.
 func (a *Array) DataLines() uint64 { return a.dataLines }
 
-// Rank exposes one rank's Memory (fault injection, stats, logs).
-func (a *Array) Rank(i int) *Memory { return a.ranks[i] }
+// Rank exposes one rank's Memory (fault injection, stats, logs). It
+// returns nil when i is not in [0, Ranks()) — no public entry point
+// panics on hostile indices.
+func (a *Array) Rank(i int) *Memory {
+	if i < 0 || i >= len(a.ranks) {
+		return nil
+	}
+	return a.ranks[i]
+}
 
 // route maps a global line to (rank, line-within-rank).
 func (a *Array) route(line uint64) (*Memory, uint64, error) {
@@ -216,20 +225,29 @@ func (a *Array) WriteBatch(lines []uint64, src []byte) error {
 	return errors.Join(errs...)
 }
 
-// Scrub scrubs every rank, summing corrections. Ranks are scrubbed in
-// parallel by a worker pool bounded by GOMAXPROCS — scrubbing is pure
-// CPU (MAC walks), so more workers than processors only adds
+// globalLine maps a rank-local data line back to its global address
+// (the inverse of route).
+func (a *Array) globalLine(rank int, inner uint64) uint64 {
+	return inner*uint64(len(a.ranks)) + uint64(rank)
+}
+
+// Scrub scrubs every rank, merging the per-rank reports (Poisoned
+// holds global line addresses, sorted ascending). Ranks are scrubbed
+// in parallel by a worker pool bounded by GOMAXPROCS — scrubbing is
+// pure CPU (MAC walks), so more workers than processors only adds
 // contention. Each rank's pass takes its lock per line, so foreground
-// traffic interleaves with the scrub. The returned error joins one
-// error per rank that hit an uncorrectable line.
-func (a *Array) Scrub() (corrected int, err error) {
+// traffic interleaves with the scrub. Uncorrectable lines do not abort
+// the pass; they are poisoned and reported. Cancelling ctx stops every
+// rank's pass promptly; the merged partial report and an error joining
+// each interrupted rank's ctx error are returned.
+func (a *Array) Scrub(ctx context.Context) (ScrubReport, error) {
 	workers := len(a.ranks)
 	if p := runtime.GOMAXPROCS(0); workers > p {
 		workers = p
 	}
 	sem := make(chan struct{}, workers)
 	errs := make([]error, len(a.ranks))
-	counts := make([]int, len(a.ranks))
+	reps := make([]ScrubReport, len(a.ranks))
 	var wg sync.WaitGroup
 	for r := range a.ranks {
 		wg.Add(1)
@@ -237,18 +255,47 @@ func (a *Array) Scrub() (corrected int, err error) {
 		go func(r int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			c, serr := a.ranks[r].Scrub()
-			counts[r] = c
+			rep, serr := a.ranks[r].Scrub(ctx)
+			for k, inner := range rep.Poisoned {
+				rep.Poisoned[k] = a.globalLine(r, inner)
+			}
+			reps[r] = rep
 			if serr != nil {
 				errs[r] = fmt.Errorf("core: rank %d: %w", r, serr)
 			}
 		}(r)
 	}
 	wg.Wait()
-	for _, c := range counts {
-		corrected += c
+	var total ScrubReport
+	for _, rep := range reps {
+		total.merge(rep)
 	}
-	return corrected, errors.Join(errs...)
+	sort.Slice(total.Poisoned, func(i, j int) bool { return total.Poisoned[i] < total.Poisoned[j] })
+	return total, errors.Join(errs...)
+}
+
+// Poisoned returns the global addresses of every poisoned line across
+// all ranks, sorted ascending.
+func (a *Array) Poisoned() []uint64 {
+	var out []uint64
+	for r, m := range a.ranks {
+		for _, inner := range m.Poisoned() {
+			out = append(out, a.globalLine(r, inner))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RepairChip repairs chip on the given rank (see Memory.RepairChip).
+func (a *Array) RepairChip(rank, chip int) error {
+	if rank < 0 || rank >= len(a.ranks) {
+		return fmt.Errorf("core: rank %d out of range [0,%d)", rank, len(a.ranks))
+	}
+	if err := a.ranks[rank].RepairChip(chip); err != nil {
+		return fmt.Errorf("core: rank %d: %w", rank, err)
+	}
+	return nil
 }
 
 // Stats aggregates engine counters across ranks.
@@ -268,6 +315,10 @@ func (a *Array) Stats() Stats {
 		total.GroupReencryptions += s.GroupReencryptions
 		total.GroupLinesReencrypted += s.GroupLinesReencrypted
 		total.NodeCacheStops += s.NodeCacheStops
+		total.LinesPoisoned += s.LinesPoisoned
+		total.PoisonFastFails += s.PoisonFastFails
+		total.LinesHealed += s.LinesHealed
+		total.ChipRepairs += s.ChipRepairs
 	}
 	return total
 }

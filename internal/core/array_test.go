@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"io"
@@ -124,12 +125,18 @@ func TestArrayScrub(t *testing.T) {
 	// One transient in each rank.
 	a.Rank(0).Module().InjectTransient(a.Rank(0).Layout().DataAddr(3), 1, [8]byte{1})
 	a.Rank(1).Module().InjectTransient(a.Rank(1).Layout().DataAddr(9), 2, [8]byte{2})
-	c, err := a.Scrub()
+	rep, err := a.Scrub(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c != 2 {
-		t.Fatalf("scrub corrected %d, want 2", c)
+	if rep.Corrected != 2 {
+		t.Fatalf("scrub corrected %d, want 2", rep.Corrected)
+	}
+	if rep.Scanned != 128 {
+		t.Fatalf("scrub scanned %d, want 128", rep.Scanned)
+	}
+	if len(rep.Poisoned) != 0 {
+		t.Fatalf("scrub poisoned %v, want none", rep.Poisoned)
 	}
 }
 

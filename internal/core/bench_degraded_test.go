@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Degraded-mode read benchmarks: what a read costs while the engine is
+// correcting, condemned, or poisoned — the fault-tolerance counterpart
+// of BenchmarkReadHotPath. scripts/bench.sh captures these in
+// BENCH_chaos.json.
+func BenchmarkDegradedRead(b *testing.B) {
+	buf := make([]byte, LineSize)
+	line := fillLine(0x33)
+
+	// Baseline: the same loop shape with no fault, for comparison.
+	b.Run("clean", func(b *testing.B) {
+		m := newMemory(b, 1024)
+		if err := m.Write(42, line); err != nil {
+			b.Fatal(err)
+		}
+		m.Read(42, buf)
+		b.SetBytes(LineSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Read(42, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// One transient per read: full §III-B reconstruction (MAC-verified
+	// trial rebuilds) plus the corrected write-back, re-armed every
+	// iteration (the re-injection is one 8-byte XOR — noise next to the
+	// MAC walks). FaultThreshold is parked high so the scoreboard never
+	// condemns the rotating chip.
+	b.Run("transient-reconstruct", func(b *testing.B) {
+		m, err := New(Config{DataLines: 1024, FaultThreshold: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Write(42, line); err != nil {
+			b.Fatal(err)
+		}
+		addr := m.Layout().DataAddr(42)
+		m.Read(42, buf)
+		b.SetBytes(LineSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.InjectTransient(addr, i%8, [8]byte{0x80}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Read(42, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Whole-chip permanent fault with the chip already condemned: the
+	// §IV-A preemptive path, i.e. steady-state degraded service between
+	// fault onset and chip replacement.
+	b.Run("permanent-preemptive", func(b *testing.B) {
+		m := newMemory(b, 1024)
+		if err := m.Write(42, line); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.InjectPermanent(2, 0, m.Module().Lines()-1, [8]byte{0x55}); err != nil {
+			b.Fatal(err)
+		}
+		for m.KnownBadChip() != 2 { // warm until the scoreboard condemns
+			if _, err := m.Read(42, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(LineSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Read(42, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Re-read of an attacked line: the ErrPoisoned fast-fail, which is
+	// the whole point of poison — no re-running reconstruction per read.
+	b.Run("poisoned-fastfail", func(b *testing.B) {
+		m := newMemory(b, 1024)
+		if err := m.Write(42, line); err != nil {
+			b.Fatal(err)
+		}
+		addr := m.Layout().DataAddr(42)
+		m.InjectTransient(addr, 1, [8]byte{1})
+		m.InjectTransient(addr, 6, [8]byte{2})
+		if _, err := m.Read(42, buf); !errors.Is(err, ErrAttack) {
+			b.Fatalf("setup read: %v, want ErrAttack", err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Read(42, buf); !errors.Is(err, ErrPoisoned) {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,7 +164,7 @@ func TestArrayConcurrentStress(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := a.Scrub(); err != nil {
+			if _, err := a.Scrub(context.Background()); err != nil {
 				errCh <- fmt.Errorf("concurrent scrub: %w", err)
 				return
 			}
@@ -221,6 +222,127 @@ func TestArrayConcurrentStress(t *testing.T) {
 	s := a.Stats()
 	if s.CorrectionEvents != 0 || s.MismatchesSeen != 0 || s.AttacksDeclared != 0 {
 		t.Fatalf("phantom corrections under concurrency: %+v", s)
+	}
+}
+
+// Reads race foreground Scrub passes while a whole-chip permanent
+// fault is live on every rank — the degraded-mode contract under
+// concurrency. The outcomes are deterministic up to poison timing:
+// every read returns either the exact sealed contents (single-chip
+// reconstruction) or fails closed (a racing scrub may poison a
+// parity-residual line first); wrong data is never tolerated. After
+// RepairChip the array serves every line again with zero further
+// corrections. Run under -race.
+func TestConcurrentScrubUnderPermanentFault(t *testing.T) {
+	const (
+		ranks = 2
+		lines = 96
+		G     = 4
+		iters = 6
+		chip  = 3
+	)
+	a := newArray(t, lines, ranks)
+	pattern := func(i uint64) []byte { return fillLine(byte(i)*5 + 1) }
+	for i := uint64(0); i < lines; i++ {
+		if err := a.Write(i, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		m := a.Rank(r)
+		if _, err := m.InjectPermanent(chip, 0, m.Module().Lines()-1, [8]byte{0x3C}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errCh := make(chan error, G+1)
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			buf := make([]byte, LineSize)
+			for iter := 0; iter < iters; iter++ {
+				for i := uint64(id); i < lines; i += G {
+					_, err := a.Read(i, buf)
+					switch {
+					case err == nil:
+						if !bytes.Equal(buf, pattern(i)) {
+							errCh <- fmt.Errorf("SDC: reader %d line %d wrong data under fault", id, i)
+							return
+						}
+					case IsFailClosed(err):
+						// Poisoned or declared: data withheld, fine.
+					default:
+						errCh <- fmt.Errorf("reader %d line %d failed open: %w", id, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var scrubWG sync.WaitGroup
+	scrubWG.Add(1)
+	go func() {
+		defer scrubWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Uncorrectables poison and are reported — never abort the
+			// pass, never error.
+			if _, err := a.Scrub(context.Background()); err != nil {
+				errCh <- fmt.Errorf("scrub under permanent fault: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrubWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Chip replacement: RepairChip clears the fault, re-verifies every
+	// line, heals any poison, and resets the scoreboard.
+	for r := 0; r < ranks; r++ {
+		if err := a.RepairChip(r, chip); err != nil {
+			t.Fatalf("RepairChip(%d, %d): %v", r, chip, err)
+		}
+	}
+	if p := a.Poisoned(); len(p) != 0 {
+		t.Fatalf("poisoned after repair: %v", p)
+	}
+	base := a.Stats()
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < lines; i++ {
+		if _, err := a.Read(i, buf); err != nil {
+			t.Fatalf("post-repair read %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, pattern(i)) {
+			t.Fatalf("post-repair contents of line %d wrong", i)
+		}
+	}
+	s := a.Stats()
+	if s.CorrectionEvents != base.CorrectionEvents {
+		t.Fatalf("post-repair reads still correcting: %d new events", s.CorrectionEvents-base.CorrectionEvents)
+	}
+	for r := 0; r < ranks; r++ {
+		m := a.Rank(r)
+		if bad := m.KnownBadChip(); bad != -1 {
+			t.Fatalf("rank %d scoreboard not reset: chip %d", r, bad)
+		}
+		if lt, ce := m.ErrorLog().Total(), m.Stats().CorrectionEvents; lt != ce {
+			t.Fatalf("rank %d error log total %d != correction events %d", r, lt, ce)
+		}
 	}
 }
 

@@ -77,26 +77,21 @@ func (l *ErrorLog) ByChip() [9]uint64 {
 	return l.byChip
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first. The ring keeps the
+// most recent `capacity` corrections: once full, each new event evicts
+// the oldest retained one, so the result is a sliding window ending at
+// the newest correction, with Seq values non-decreasing. Evicted events
+// stay counted in Total and ByChip.
 func (l *ErrorLog) Events() []ErrorEvent {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]ErrorEvent, 0, len(l.events))
-	if len(l.events) == cap(l.events) {
-		out = append(out, l.events[l.next:]...)
-	}
-	out = append(out, l.events[:min(l.next, len(l.events))]...)
 	if len(l.events) < cap(l.events) {
-		out = append(out[:0], l.events...)
+		// Ring not yet full: events are already in insertion order.
+		return append([]ErrorEvent(nil), l.events...)
 	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	out := make([]ErrorEvent, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	return append(out, l.events[:l.next]...)
 }
 
 // Assessment classifies the corrected-error history.
@@ -144,6 +139,11 @@ type Analysis struct {
 // chip (Table I modes are all per-chip); an adversary flipping bits
 // wherever the bus allows produces corrections across chips at rates
 // far beyond field FIT rates.
+//
+// accesses == 0 is well-defined: RatePerMAccess is reported as 0 (no
+// access baseline to rate against) and the assessment — which depends
+// only on the correction counts and their chip spread, never on the
+// rate — is unaffected.
 func (l *ErrorLog) Analyze(accesses uint64) Analysis {
 	l.mu.Lock()
 	defer l.mu.Unlock()

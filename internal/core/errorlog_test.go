@@ -68,6 +68,39 @@ func TestErrorLogRingBound(t *testing.T) {
 			t.Fatal("events not oldest-first")
 		}
 	}
+	// Eviction order: the ring keeps the *newest* capacity events, so
+	// the window must be exactly corrections 6..9 (the first six were
+	// evicted), still counted by Total and ByChip.
+	for i, e := range evs {
+		if want := m.Layout().DataAddr(uint64(6 + i)); e.Line != want {
+			t.Fatalf("retained[%d].Line = %#x, want %#x (newest-4 window)", i, e.Line, want)
+		}
+	}
+	if log.ByChip()[1] != 10 {
+		t.Fatalf("ByChip[1] = %d, want 10 (evictions must not uncount)", log.ByChip()[1])
+	}
+}
+
+// Analyze with accesses == 0 is well-defined: the rate is reported as 0
+// and the assessment (which never depends on the rate) is unchanged.
+func TestAnalyzeZeroAccesses(t *testing.T) {
+	m := newMemory(t, 64)
+	for k := 0; k < 6; k++ {
+		line := uint64(k)
+		m.Write(line, fillLine(byte(k)))
+		m.Module().InjectTransient(m.Layout().DataAddr(line), 3, [8]byte{0x40})
+		mustRead(t, m, line)
+	}
+	withAccesses := m.ErrorLog().Analyze(m.Stats().Reads + m.Stats().Writes)
+	zero := m.ErrorLog().Analyze(0)
+	if zero.RatePerMAccess != 0 {
+		t.Fatalf("RatePerMAccess = %v with zero accesses", zero.RatePerMAccess)
+	}
+	if zero.Assessment != withAccesses.Assessment ||
+		zero.DominantChip != withAccesses.DominantChip ||
+		zero.DominantShare != withAccesses.DominantShare {
+		t.Fatalf("assessment shifted with the access baseline: %+v vs %+v", zero, withAccesses)
+	}
 }
 
 func TestAnalyzeQuiet(t *testing.T) {

@@ -101,36 +101,45 @@ func NewLayout(dataLines uint64, geo *integrity.Geometry, ctrsPerLine uint64) (L
 	return l, nil
 }
 
-// DataAddr returns the module line address of data line i.
+// The address helpers below never panic: an out-of-range input maps to
+// TotalLines, one past the last module line, which every dimm.Module
+// entry point rejects with ErrOutOfRange — so a hostile index surfaces
+// as an error at the module boundary instead of a crash. In-range
+// inputs (the engine validates before translating) are unaffected.
+
+// DataAddr returns the module line address of data line i, or
+// TotalLines when i is out of range.
 func (l Layout) DataAddr(i uint64) uint64 {
 	if i >= l.DataLines {
-		panic(fmt.Sprintf("core: data line %d out of range", i))
+		return l.TotalLines
 	}
 	return i
 }
 
 // CounterAddr returns the module address and slot of the encryption
-// counter for data line i.
+// counter for data line i, or (TotalLines, 0) when i is out of range.
 func (l Layout) CounterAddr(i uint64) (addr uint64, slot int) {
 	if i >= l.DataLines {
-		panic(fmt.Sprintf("core: data line %d out of range", i))
+		return l.TotalLines, 0
 	}
 	return l.counterBase + i/l.CtrsPerLine, int(i % l.CtrsPerLine)
 }
 
 // ParityAddr returns the module address and slot (= chip index within
-// the parity line) of the Synergy parity for data line i.
+// the parity line) of the Synergy parity for data line i, or
+// (TotalLines, 0) when i is out of range.
 func (l Layout) ParityAddr(i uint64) (addr uint64, slot int) {
 	if i >= l.DataLines {
-		panic(fmt.Sprintf("core: data line %d out of range", i))
+		return l.TotalLines, 0
 	}
 	return l.parityBase + i/8, int(i % 8)
 }
 
-// TreeAddr returns the module address of tree node (level, index).
+// TreeAddr returns the module address of tree node (level, index), or
+// TotalLines when the node does not exist.
 func (l Layout) TreeAddr(level int, index uint64) uint64 {
 	if level < 0 || level >= len(l.TreeBase) || index >= l.TreeLines[level] {
-		panic(fmt.Sprintf("core: tree node (%d,%d) out of range", level, index))
+		return l.TotalLines
 	}
 	return l.TreeBase[level] + index
 }

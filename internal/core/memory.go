@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"synergy/internal/ctrenc"
@@ -27,6 +29,13 @@ const DefaultFaultThreshold = 4
 // contents were maliciously modified. Synergy cannot distinguish the
 // two and, as the paper requires, fails closed (§III-B).
 var ErrAttack = errors.New("core: detected uncorrectable error or tampering — attack declared")
+
+// ErrPoisoned is returned by reads of a line that previously hit an
+// uncorrectable error and has not been repaired since. Poisoned lines
+// fail fast — no MAC walk, no reconstruction storm — until either a
+// successful Write re-seals the line or RepairChip rebuilds the failed
+// chip (§IV-A degraded-mode operation).
+var ErrPoisoned = errors.New("core: line is poisoned (unrepaired uncorrectable error)")
 
 // ErrOutOfRange is returned (wrapped, with the offending address) when a
 // line index falls outside the configured capacity.
@@ -89,6 +98,12 @@ type Memory struct {
 	scoreboard     [dimm.Chips]uint64
 	knownBad       int // chip index, or -1
 
+	// poisoned holds data-line indices that hit an uncorrectable error
+	// and have not been re-sealed (by a Write) or repaired (by
+	// RepairChip) since. Reads of these lines fail fast with
+	// ErrPoisoned instead of re-running the 16-attempt reconstruction.
+	poisoned map[uint64]struct{}
+
 	ncache *nodeCache
 	log    *ErrorLog
 	stats  Stats
@@ -121,6 +136,11 @@ type Stats struct {
 	GroupLinesReencrypted uint64 // data lines rewritten by those events
 
 	NodeCacheStops uint64 // read walks that ended at an on-chip node
+
+	LinesPoisoned   uint64 // uncorrectable events that poisoned a line
+	PoisonFastFails uint64 // reads failed fast on an already-poisoned line
+	LinesHealed     uint64 // poisoned lines cleared by a write or repair
+	ChipRepairs     uint64 // RepairChip invocations completed
 }
 
 // ReadInfo describes what happened during one Read.
@@ -195,6 +215,7 @@ func New(cfg Config) (*Memory, error) {
 		split:          cfg.SplitCounters,
 		faultThreshold: threshold,
 		knownBad:       -1,
+		poisoned:       make(map[uint64]struct{}),
 		log:            newErrorLog(cfg.ErrorLogCapacity),
 	}
 	switch {
@@ -233,13 +254,13 @@ func (m *Memory) initialize() error {
 		if m.split {
 			var node integrity.SplitNode
 			node.Seal(m.mac, addr, m.parentCounterForInit(-1, idx))
-			node.Pack(buf[:])
+			node.Pack(&buf)
 		} else {
 			var node integrity.Node
 			node.Seal(m.mac, addr, m.parentCounterForInit(-1, idx))
-			node.Pack(buf[:])
+			node.Pack(&buf)
 		}
-		par := integrity.SliceParity(buf[:])
+		par := integrity.SliceParity(&buf)
 		if err := m.mod.WriteLine(addr, buf[:], par[:]); err != nil {
 			return err
 		}
@@ -362,7 +383,7 @@ func (m *Memory) readNode(addr uint64) (integrity.Node, dimm.Line, error) {
 		return integrity.Node{}, dimm.Line{}, err
 	}
 	var n integrity.Node
-	n.Unpack(l.Data[:])
+	n.Unpack(&l.Data)
 	return n, l, nil
 }
 
@@ -370,8 +391,8 @@ func (m *Memory) readNode(addr uint64) (integrity.Node, dimm.Line, error) {
 // ECC chip (ParityC / ParityT).
 func (m *Memory) writeNode(addr uint64, n *integrity.Node) error {
 	var buf [integrity.NodeSize]byte
-	n.Pack(buf[:])
-	par := integrity.SliceParity(buf[:])
+	n.Pack(&buf)
+	par := integrity.SliceParity(&buf)
 	return m.mod.WriteLine(addr, buf[:], par[:])
 }
 
@@ -400,10 +421,10 @@ func (m *Memory) isSplitLeaf(e *pathEntry) bool {
 // entryUnpack refreshes e's decoded view from e.raw.
 func (m *Memory) entryUnpack(e *pathEntry) {
 	if m.isSplitLeaf(e) {
-		e.split.Unpack(e.raw.Data[:])
+		e.split.Unpack(&e.raw.Data)
 		return
 	}
-	e.node.Unpack(e.raw.Data[:])
+	e.node.Unpack(&e.raw.Data)
 }
 
 // entryVerify checks e's MAC under the trusted parent counter.
@@ -427,12 +448,12 @@ func (m *Memory) entrySeal(e *pathEntry, parentCtr uint64) {
 func (m *Memory) writeEntry(e *pathEntry) error {
 	var buf [integrity.NodeSize]byte
 	if m.isSplitLeaf(e) {
-		e.split.Pack(buf[:])
+		e.split.Pack(&buf)
 	} else {
-		e.node.Pack(buf[:])
+		e.node.Pack(&buf)
 	}
 	copy(e.raw.Data[:], buf[:])
-	par := integrity.SliceParity(buf[:])
+	par := integrity.SliceParity(&buf)
 	copy(e.raw.ECC[:], par[:])
 	return m.mod.WriteLine(e.addr, buf[:], par[:])
 }
@@ -607,11 +628,11 @@ func (m *Memory) peekCounter(i uint64) (addr, ctr uint64) {
 	}
 	if m.split {
 		var n integrity.SplitNode
-		n.Unpack(raw.Data[:])
+		n.Unpack(&raw.Data)
 		return m.layout.DataAddr(i), n.Counter(slot)
 	}
 	var n integrity.Node
-	n.Unpack(raw.Data[:])
+	n.Unpack(&raw.Data)
 	return m.layout.DataAddr(i), n.Counters[slot]
 }
 
@@ -629,6 +650,14 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 	}
 	if i >= m.layout.DataLines {
 		return ReadInfo{}, fmt.Errorf("core: data line %d out of range [0,%d): %w", i, m.layout.DataLines, ErrOutOfRange)
+	}
+	// Fail fast on a poisoned line: the uncorrectable condition was
+	// already diagnosed, so re-running the up-to-16-attempt
+	// reconstruction on every access would only burn MAC bandwidth
+	// (the §IV-B DoS surface). Write or RepairChip clears the state.
+	if _, bad := m.poisoned[i]; bad {
+		m.stats.PoisonFastFails++
+		return ReadInfo{}, fmt.Errorf("core: data line %d: %w", i, ErrPoisoned)
 	}
 	m.stats.Reads++
 	var info ReadInfo
@@ -706,7 +735,9 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 			info.MACRecomputations += att
 			if err != nil {
 				m.stats.AttacksDeclared++
-				return info, err
+				m.poisonLine(i)
+				return info, fmt.Errorf("core: data line %d (path %s line %#x): %w",
+					i, regionOfLevel(path[k].level), path[k].addr, err)
 			}
 			if err := m.writeEntry(&path[k]); err != nil {
 				return info, err
@@ -722,7 +753,8 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 			info.UsedParityP = info.UsedParityP || usedPP
 			if err != nil {
 				m.stats.AttacksDeclared++
-				return info, err
+				m.poisonLine(i)
+				return info, fmt.Errorf("core: data line %d: %w", i, err)
 			}
 			dl = fixed
 			if err := m.mod.WriteLine(dataAddr, dl.Data[:], dl.ECC[:]); err != nil {
@@ -823,10 +855,15 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 	}
 	m.stats.Writes++
 
-	// Load and trust the path (correcting errors as on a read).
+	// Load and trust the path (correcting errors as on a read). An
+	// uncorrectable path poisons the line: its counter chain cannot be
+	// advanced, so reads would keep failing anyway — record that once.
 	path, err := m.loadTrustedPath(i)
 	if err != nil {
-		return err
+		if errors.Is(err, ErrAttack) {
+			m.poisonLine(i)
+		}
+		return fmt.Errorf("core: data line %d: %w", i, err)
 	}
 
 	// Increment the encryption counter and all path counters; the root
@@ -887,7 +924,53 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 	}
 
 	// Update the parity line slot for this data line and ParityP.
-	return m.updateParity(i, cipher[:], tag[:])
+	if err := m.updateParity(i, cipher[:], tag[:]); err != nil {
+		return err
+	}
+	// A complete write re-seals the line — fresh ciphertext, MAC and
+	// parity slot — so any poison from an earlier uncorrectable read is
+	// healed (a lingering permanent multi-chip fault re-poisons on the
+	// next read; that is the fault speaking, not stale state).
+	m.healLine(i)
+	return nil
+}
+
+// poisonLine marks data line i poisoned. Idempotent: repeated
+// uncorrectable events on the same line count once until it heals.
+func (m *Memory) poisonLine(i uint64) {
+	if _, ok := m.poisoned[i]; ok {
+		return
+	}
+	m.poisoned[i] = struct{}{}
+	m.stats.LinesPoisoned++
+}
+
+// healLine clears poison on data line i, if any.
+func (m *Memory) healLine(i uint64) {
+	if _, ok := m.poisoned[i]; ok {
+		delete(m.poisoned, i)
+		m.stats.LinesHealed++
+	}
+}
+
+// IsPoisoned reports whether data line i is currently poisoned.
+func (m *Memory) IsPoisoned(i uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.poisoned[i]
+	return ok
+}
+
+// Poisoned returns the currently poisoned data lines in ascending order.
+func (m *Memory) Poisoned() []uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]uint64, 0, len(m.poisoned))
+	for i := range m.poisoned {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // tryPreemptive applies the condemned chip's parity fix to copies of the
@@ -1011,7 +1094,8 @@ func (m *Memory) reencryptGroup(target uint64, oldLeaf *integrity.SplitNode, new
 			fixed, chip, _, usedPP, rerr := m.reconstructData(j, oldCtr, &dl)
 			if rerr != nil {
 				m.stats.AttacksDeclared++
-				return rerr
+				m.poisonLine(j)
+				return fmt.Errorf("core: group re-encryption, data line %d: %w", j, rerr)
 			}
 			dl = fixed
 			var info ReadInfo
@@ -1072,21 +1156,252 @@ func (m *Memory) updateParity(i uint64, cipher, tag []byte) error {
 	return m.mod.WriteLine(pAddr, pl.Data[:], newPP[:])
 }
 
+// ScrubReport summarizes a scrub pass (or the prefix of one that a
+// cancelled context cut short — Scanned says how far it got).
+type ScrubReport struct {
+	// Scanned counts data lines examined.
+	Scanned uint64
+	// Corrected counts lines that needed (and got) correction.
+	Corrected int
+	// Poisoned lists, in scan order, every line that was found
+	// uncorrectable during this pass or was already poisoned when the
+	// scrubber reached it. The pass does not stop at them — degraded
+	// lines are reported, the rest of the module still gets patrolled.
+	Poisoned []uint64
+}
+
+// merge folds o into r.
+func (r *ScrubReport) merge(o ScrubReport) {
+	r.Scanned += o.Scanned
+	r.Corrected += o.Corrected
+	r.Poisoned = append(r.Poisoned, o.Poisoned...)
+}
+
+// scrubCancelStride is how many lines a scrub scans between context
+// checks: frequent enough for prompt cancellation, cheap enough to
+// vanish in the MAC-walk cost.
+const scrubCancelStride = 64
+
 // Scrub walks the entire data region, reading (and thereby correcting)
-// every line. It reports the number of lines that needed correction and
-// stops at the first uncorrectable error. The rank lock is taken per
-// line, not for the whole pass, so concurrent clients interleave with a
-// background scrub instead of stalling behind it.
-func (m *Memory) Scrub() (corrected int, err error) {
+// every line. Uncorrectable lines no longer abort the pass: they are
+// poisoned, reported in ScrubReport.Poisoned, and the scan continues —
+// a degraded module still gets its healthy lines patrolled. The rank
+// lock is taken per line, not for the whole pass, so concurrent
+// clients interleave with a background scrub instead of stalling
+// behind it. Cancelling ctx stops the pass promptly; the partial
+// report and ctx.Err() are returned.
+func (m *Memory) Scrub(ctx context.Context) (ScrubReport, error) {
+	rep, _, err := m.ScrubFrom(ctx, 0)
+	return rep, err
+}
+
+// ScrubFrom scans data lines [start, DataLines) with Scrub semantics
+// and additionally returns the next line to scan — DataLines when the
+// pass completed, or the resume point when ctx was cancelled. It is
+// the primitive background scrubbers use to resume an interrupted
+// pass instead of restarting it.
+func (m *Memory) ScrubFrom(ctx context.Context, start uint64) (ScrubReport, uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rep ScrubReport
 	buf := make([]byte, LineSize)
-	for i := uint64(0); i < m.layout.DataLines; i++ {
-		info, err := m.Read(i, buf)
-		if err != nil {
-			return corrected, err
+	for i := start; i < m.layout.DataLines; i++ {
+		if (i-start)%scrubCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return rep, i, err
+			}
 		}
-		if info.Corrected {
-			corrected++
+		info, err := m.Read(i, buf)
+		switch {
+		case err == nil:
+			if info.Corrected {
+				rep.Corrected++
+			}
+		case errors.Is(err, ErrPoisoned), errors.Is(err, ErrAttack):
+			// The Read already poisoned the line (or it was poisoned
+			// before); log and continue — no early abort.
+			rep.Poisoned = append(rep.Poisoned, i)
+		default:
+			return rep, i, err
+		}
+		rep.Scanned++
+	}
+	return rep, m.layout.DataLines, nil
+}
+
+// RepairChip models replacing chip (or re-mapping around it). Every
+// active permanent fault on the chip is cleared; then a verification
+// sweep reads every data line with the chip condemned, so the §IV-A
+// preemptive path rebuilds the chip's slice of every touched line —
+// data, counter and tree — from parity, MAC-verifies the result, and
+// commits it. Rebuilding under MAC verification (instead of blindly
+// XORing parity into the stored slice) matters when a second fault is
+// present: a blind rebuild would spread the other chip's error onto
+// the repaired chip and destroy an otherwise-correctable line.
+// Finally the parity region is recomputed from the verified data, the
+// scoreboard and condemned-chip state are reset so subsequent reads
+// run at full speed, and poisoned lines the repair fixed are healed —
+// any line that is still uncorrectable (a second fault elsewhere)
+// stays poisoned.
+func (m *Memory) RepairChip(chip int) error {
+	if chip < 0 || chip >= dimm.Chips {
+		return fmt.Errorf("core: chip %d out of range [0,%d)", chip, dimm.Chips)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.mod.ClearChipFaults(chip); err != nil {
+		return err
+	}
+	// Condemn the chip for the sweep and drop cached node copies: they
+	// predate the repair, and a cache-trusted path would skip the very
+	// verification that rebuilds stored garbage.
+	m.knownBad = chip
+	m.ncache = newNodeCache(m.ncache.cap)
+
+	var buf [LineSize]byte
+	for i := uint64(0); i < m.layout.DataLines; i++ {
+		_, wasPoisoned := m.poisoned[i]
+		delete(m.poisoned, i)
+		_, err := m.readLocked(i, buf[:], nil, 0)
+		switch {
+		case err == nil:
+			if wasPoisoned {
+				m.stats.LinesHealed++
+			}
+		case errors.Is(err, ErrAttack):
+			// Still uncorrectable: readLocked re-poisoned the line.
+		default:
+			return fmt.Errorf("core: repair of chip %d: %w", chip, err)
 		}
 	}
-	return corrected, nil
+
+	// The sweep repaired parity slots only where a data correction
+	// needed them; rebuild the whole parity region — including ParityP,
+	// which no read re-derives — from scratch against the now-verified
+	// stored data lines.
+	for addr := m.layout.parityBase; addr < m.layout.parityBase+m.layout.ParityLines; addr++ {
+		pl, ok := m.mod.PeekLine(addr)
+		if !ok {
+			return fmt.Errorf("core: repair of chip %d: parity line %#x: %w", chip, addr, ErrOutOfRange)
+		}
+		p := (addr - m.layout.parityBase) * 8
+		for s := 0; s < 8 && p+uint64(s) < m.layout.DataLines; s++ {
+			dl, ok := m.mod.PeekLine(m.layout.DataAddr(p + uint64(s)))
+			if !ok {
+				return fmt.Errorf("core: repair of chip %d: data line %d: %w", chip, p+uint64(s), ErrOutOfRange)
+			}
+			var slot [8]byte
+			for c := 0; c < dimm.DataChips; c++ {
+				for b := 0; b < 8; b++ {
+					slot[b] ^= dl.Data[c*8+b]
+				}
+			}
+			for b := 0; b < 8; b++ {
+				slot[b] ^= dl.ECC[b]
+			}
+			copy(pl.Data[s*8:s*8+8], slot[:])
+		}
+		pp := integrity.SliceParity(&pl.Data)
+		if err := m.mod.WriteLine(addr, pl.Data[:], pp[:]); err != nil {
+			return fmt.Errorf("core: repair of chip %d: %w", chip, err)
+		}
+	}
+	// Counter and tree lines carry their intra-line parity (ParityC /
+	// ParityT) in the ECC chip. Reads verify node contents but never
+	// the parity slice itself, so after an ECC-chip replacement it must
+	// be re-derived; after a data-chip replacement this is a no-op for
+	// every line the sweep already committed.
+	for addr := m.layout.counterBase; addr < m.layout.parityBase; addr++ {
+		if err := m.resealLineParity(addr); err != nil {
+			return fmt.Errorf("core: repair of chip %d: %w", chip, err)
+		}
+	}
+	for addr := m.layout.parityBase + m.layout.ParityLines; addr < m.layout.TotalLines; addr++ {
+		if err := m.resealLineParity(addr); err != nil {
+			return fmt.Errorf("core: repair of chip %d: %w", chip, err)
+		}
+	}
+
+	m.scoreboard = [dimm.Chips]uint64{}
+	m.knownBad = -1
+	m.stats.ChipRepairs++
+	return nil
+}
+
+// resealLineParity rewrites a counter/tree line's ECC slice as the XOR
+// of its 8 data-chip slices (the ParityC / ParityT invariant).
+func (m *Memory) resealLineParity(addr uint64) error {
+	raw, ok := m.mod.PeekLine(addr)
+	if !ok {
+		return fmt.Errorf("core: line %#x: %w", addr, ErrOutOfRange)
+	}
+	par := integrity.SliceParity(&raw.Data)
+	return m.mod.WriteLine(addr, raw.Data[:], par[:])
+}
+
+// InjectTransient flips stored bits of chip's slice at module line addr
+// under the rank lock, so faults can be injected while other goroutines
+// serve traffic (Module() itself is caller-synchronized). One-shot cell
+// corruption: the next write to the line heals it.
+func (m *Memory) InjectTransient(addr uint64, chip int, mask [dimm.SliceSize]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mod.InjectTransient(addr, chip, mask)
+}
+
+// IsFailClosed reports whether err is one of the engine's fail-closed
+// read outcomes — ErrAttack (uncorrectable corruption detected now) or
+// ErrPoisoned (detected on an earlier access and not yet repaired).
+// Both mean the engine refused to return data rather than risk serving
+// wrong bytes.
+func IsFailClosed(err error) bool {
+	return errors.Is(err, ErrAttack) || errors.Is(err, ErrPoisoned)
+}
+
+// ChipFault pairs a chip index with a corruption mask, for multi-point
+// injection via InjectTransients.
+type ChipFault struct {
+	Chip int
+	Mask [dimm.SliceSize]byte
+}
+
+// InjectTransients applies several stored-cell corruptions to one line
+// as a single atomic step with respect to concurrent traffic. Injecting
+// a multi-chip (uncorrectable) corruption with separate InjectTransient
+// calls races with background scrubbing: a scrub between the calls
+// corrects the first fault, and the "uncorrectable" line ends up merely
+// degraded. Faults are validated against the module before any is
+// applied, so an error means nothing was injected.
+func (m *Memory) InjectTransients(addr uint64, faults []ChipFault) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range faults {
+		if f.Chip < 0 || f.Chip >= dimm.Chips {
+			return fmt.Errorf("core: chip %d out of range [0,%d)", f.Chip, dimm.Chips)
+		}
+	}
+	for _, f := range faults {
+		if err := m.mod.InjectTransient(addr, f.Chip, f.Mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectPermanent installs a read-path chip fault over [lo, hi] under
+// the rank lock (see Module.InjectPermanent).
+func (m *Memory) InjectPermanent(chip int, lo, hi uint64, mask [dimm.SliceSize]byte) (dimm.FaultID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mod.InjectPermanent(chip, lo, hi, mask)
+}
+
+// ClearFault disables a previously injected permanent fault under the
+// rank lock. Unlike RepairChip it does not rebuild stored state or
+// reset the scoreboard — it models the fault merely going quiet.
+func (m *Memory) ClearFault(id dimm.FaultID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mod.ClearFault(id)
 }

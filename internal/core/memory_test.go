@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"math/rand"
@@ -478,15 +479,18 @@ func TestScrubHealsTransients(t *testing.T) {
 	lay := m.Layout()
 	m.Module().InjectTransient(lay.DataAddr(3), 1, [8]byte{1})
 	m.Module().InjectTransient(lay.DataAddr(48), 6, [8]byte{2})
-	corrected, err := m.Scrub()
+	rep, err := m.Scrub(context.Background())
 	if err != nil {
 		t.Fatalf("Scrub: %v", err)
 	}
-	if corrected != 2 {
-		t.Fatalf("Scrub corrected %d lines, want 2", corrected)
+	if rep.Corrected != 2 {
+		t.Fatalf("Scrub corrected %d lines, want 2", rep.Corrected)
 	}
-	if c, _ := m.Scrub(); c != 0 {
-		t.Fatalf("second Scrub corrected %d lines, want 0", c)
+	if rep.Scanned != 64 || len(rep.Poisoned) != 0 {
+		t.Fatalf("Scrub report %+v, want 64 scanned, none poisoned", rep)
+	}
+	if rep2, _ := m.Scrub(context.Background()); rep2.Corrected != 0 {
+		t.Fatalf("second Scrub corrected %d lines, want 0", rep2.Corrected)
 	}
 }
 
@@ -711,16 +715,77 @@ func TestWriteUnderTreeFaultMultiChipFailsClosed(t *testing.T) {
 	}
 }
 
-func TestScrubStopsAtUncorrectable(t *testing.T) {
+// Scrub no longer aborts on an uncorrectable line: it poisons the line,
+// reports it, and keeps patrolling the rest of the module. A second
+// pass sees the line already poisoned and reports it again without
+// burning reconstruction attempts on it.
+func TestScrubContinuesPastUncorrectable(t *testing.T) {
 	m := newMemory(t, 64)
 	for i := uint64(0); i < 64; i++ {
 		m.Write(i, fillLine(byte(i)))
 	}
-	addr := m.Layout().DataAddr(40)
-	m.Module().InjectTransient(addr, 2, [8]byte{1})
-	m.Module().InjectTransient(addr, 5, [8]byte{2})
-	if _, err := m.Scrub(); !errors.Is(err, ErrAttack) {
-		t.Fatalf("Scrub over uncorrectable line: err = %v, want ErrAttack", err)
+	// Two independent uncorrectable lines plus one correctable one
+	// after the first bad line.
+	for _, line := range []uint64{10, 40} {
+		addr := m.Layout().DataAddr(line)
+		m.Module().InjectTransient(addr, 2, [8]byte{1})
+		m.Module().InjectTransient(addr, 5, [8]byte{2})
+	}
+	m.Module().InjectTransient(m.Layout().DataAddr(50), 1, [8]byte{4})
+	rep, err := m.Scrub(context.Background())
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.Scanned != 64 {
+		t.Fatalf("Scrub scanned %d lines, want all 64", rep.Scanned)
+	}
+	if len(rep.Poisoned) != 2 || rep.Poisoned[0] != 10 || rep.Poisoned[1] != 40 {
+		t.Fatalf("Scrub poisoned %v, want [10 40]", rep.Poisoned)
+	}
+	if rep.Corrected != 1 {
+		t.Fatalf("Scrub corrected %d lines, want 1 (line 50 past the first bad line)", rep.Corrected)
+	}
+	if !m.IsPoisoned(10) || !m.IsPoisoned(40) {
+		t.Fatalf("poison set %v, want lines 10 and 40", m.Poisoned())
+	}
+	// Second pass: bad lines fast-fail (no reconstruction storm) but
+	// are still reported.
+	before := m.Stats().ReconstructionAttempts
+	rep2, err := m.Scrub(context.Background())
+	if err != nil {
+		t.Fatalf("second Scrub: %v", err)
+	}
+	if len(rep2.Poisoned) != 2 {
+		t.Fatalf("second Scrub poisoned %v, want both lines again", rep2.Poisoned)
+	}
+	if got := m.Stats().ReconstructionAttempts; got != before {
+		t.Fatalf("second Scrub burned %d reconstruction attempts on poisoned lines", got-before)
+	}
+}
+
+// A cancelled context stops a scrub pass promptly and reports how far
+// it got; ScrubFrom resumes from the returned cursor.
+func TestScrubContextCancel(t *testing.T) {
+	m := newMemory(t, 512)
+	for i := uint64(0); i < 512; i++ {
+		m.Write(i, fillLine(byte(i)))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := m.Scrub(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Scrub under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if rep.Scanned != 0 {
+		t.Fatalf("cancelled-before-start Scrub scanned %d lines", rep.Scanned)
+	}
+	// Resume from the cursor and finish the pass.
+	rep2, next, err := m.ScrubFrom(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("resumed scrub: %v", err)
+	}
+	if next != 512 || rep2.Scanned != 512 {
+		t.Fatalf("resumed scrub: next=%d scanned=%d, want 512/512", next, rep2.Scanned)
 	}
 }
 

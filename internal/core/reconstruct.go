@@ -145,7 +145,7 @@ func (m *Memory) reconstructData(i uint64, ctr uint64, raw *dimm.Line) (fixed di
 			// Also repair the parity line so later accesses see a
 			// consistent slot.
 			copy(pl.Data[slot*8:slot*8+8], p2[:])
-			pp := integrity.SliceParity(pl.Data[:])
+			pp := integrity.SliceParity(&pl.Data)
 			if werr := m.mod.WriteLine(pAddr, pl.Data[:], pp[:]); werr != nil {
 				return dimm.Line{}, -1, attempts, true, werr
 			}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Scrubber runs periodic background scrub passes over an Array. It is
+// created by Array.StartScrubber and owns one goroutine. A pass that a
+// cancelled context interrupts is not discarded: per-rank cursors
+// record how far it got, and the next tick resumes from there, so slow
+// patrol intervals on big arrays still converge on full coverage.
+type Scrubber struct {
+	a        *Array
+	interval time.Duration
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu      sync.Mutex
+	cursors []uint64   // next rank-local line to scan, per rank
+	running ScrubReport // accumulated over the current (partial) pass
+	last    ScrubReport // report of the most recently completed pass
+	passes  uint64      // completed passes
+}
+
+// StartScrubber launches a background patrol scrubber that performs
+// one full scrub pass per interval tick. The scrubber stops when ctx
+// is cancelled or Stop is called; both shut it down gracefully —
+// an in-flight pass is interrupted at the next cancellation check and
+// its progress is kept for resumption. A non-positive interval falls
+// back to a one-second patrol tick. Pair with Array.Scrub for one-shot
+// foreground passes.
+func (a *Array) StartScrubber(ctx context.Context, interval time.Duration) *Scrubber {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Scrubber{
+		a:        a,
+		interval: interval,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		cursors:  make([]uint64, len(a.ranks)),
+	}
+	go s.run(sctx)
+	return s
+}
+
+// Stop cancels the scrubber and waits for its goroutine to exit. Safe
+// to call more than once and after the parent context was cancelled.
+func (s *Scrubber) Stop() {
+	s.cancel()
+	<-s.done
+}
+
+// Passes returns the number of completed full passes.
+func (s *Scrubber) Passes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.passes
+}
+
+// LastReport returns the report of the most recently completed pass,
+// and ok=false if no pass has completed yet.
+func (s *Scrubber) LastReport() (ScrubReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.passes == 0 {
+		return ScrubReport{}, false
+	}
+	return s.last, true
+}
+
+func (s *Scrubber) run(ctx context.Context) {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.pass(ctx)
+		}
+	}
+}
+
+// pass resumes (or starts) a scrub pass: every rank is scanned from
+// its cursor. Ranks run sequentially — patrol scrubbing is a
+// background chore and should not saturate all cores the way the
+// foreground Array.Scrub may.
+func (s *Scrubber) pass(ctx context.Context) {
+	for r, m := range s.a.ranks {
+		s.mu.Lock()
+		start := s.cursors[r]
+		s.mu.Unlock()
+		if start >= m.layout.DataLines {
+			continue // already finished this rank in an earlier tick
+		}
+		rep, next, err := m.ScrubFrom(ctx, start)
+		for k, inner := range rep.Poisoned {
+			rep.Poisoned[k] = s.a.globalLine(r, inner)
+		}
+		s.mu.Lock()
+		s.cursors[r] = next
+		s.running.merge(rep)
+		s.mu.Unlock()
+		if err != nil {
+			return // interrupted; cursors keep the progress
+		}
+	}
+	// All ranks reached the end: the pass is complete.
+	s.mu.Lock()
+	s.last = s.running
+	s.running = ScrubReport{}
+	for r := range s.cursors {
+		s.cursors[r] = 0
+	}
+	s.passes++
+	s.mu.Unlock()
+}

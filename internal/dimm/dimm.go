@@ -35,10 +35,14 @@ type Line struct {
 	ECC  [SliceSize]byte
 }
 
-// Slice returns chip's 8-byte contribution to the line.
+// Slice returns chip's 8-byte contribution to the line, or nil when
+// chip is not in [0, ECCChip].
 func (l *Line) Slice(chip int) []byte {
 	if chip == ECCChip {
 		return l.ECC[:]
+	}
+	if chip < 0 || chip > ECCChip {
+		return nil
 	}
 	return l.Data[chip*SliceSize : (chip+1)*SliceSize]
 }
@@ -200,6 +204,25 @@ func (m *Module) ClearFault(id FaultID) error {
 	}
 	m.faults[id].disabled = true
 	return nil
+}
+
+// ClearChipFaults disables every active permanent fault on the given
+// chip (the fault-model half of replacing a failed chip; the stored
+// slices the dead chip returned garbage for still need rebuilding — see
+// core.Memory.RepairChip). It returns the number of faults cleared.
+func (m *Module) ClearChipFaults(chip int) (int, error) {
+	if chip < 0 || chip >= Chips {
+		return 0, fmt.Errorf("dimm: chip %d out of range [0,%d)", chip, Chips)
+	}
+	n := 0
+	for i := range m.faults {
+		f := &m.faults[i]
+		if f.chip == chip && !f.disabled {
+			f.disabled = true
+			n++
+		}
+	}
+	return n, nil
 }
 
 // ActiveFaults returns the number of enabled permanent faults.

@@ -1,6 +1,9 @@
 package ecc
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Chipkill: single-symbol-correcting Reed–Solomon over GF(2^8).
 //
@@ -41,14 +44,20 @@ func gf8Mul(a, b byte) byte {
 	return gfExp[gfLog[a]+gfLog[b]]
 }
 
-func gf8Div(a, b byte) byte {
+// ErrDivideByZero reports a GF(2^8) division with a zero divisor. The
+// decode paths guard their divisors, so seeing it means a caller fed the
+// arithmetic an impossible codeword; it is returned, not panicked, so no
+// input can crash an API client.
+var ErrDivideByZero = errors.New("ecc: division by zero in GF(2^8)")
+
+func gf8Div(a, b byte) (byte, error) {
 	if b == 0 {
-		panic("ecc: division by zero in GF(2^8)")
+		return 0, ErrDivideByZero
 	}
 	if a == 0 {
-		return 0
+		return 0, nil
 	}
-	return gfExp[gfLog[a]+255-gfLog[b]]
+	return gfExp[gfLog[a]+255-gfLog[b]], nil
 }
 
 // gf8Pow returns α^n for the generator α=2.
@@ -114,8 +123,14 @@ func RSEncode(data []byte) (check [RSCheckSymbols]byte, err error) {
 	c, d := gf8Pow(32), gf8Pow(34)
 	det := gf8Mul(a, d) ^ gf8Mul(b, c)
 	// det = α^16·α^34 + α^17·α^32 = α^50 + α^49 ≠ 0 (distinct powers).
-	c16 := gf8Div(gf8Mul(s1, d)^gf8Mul(s2, b), det)
-	c17 := gf8Div(gf8Mul(a, s2)^gf8Mul(c, s1), det)
+	c16, err := gf8Div(gf8Mul(s1, d)^gf8Mul(s2, b), det)
+	if err != nil {
+		return check, err
+	}
+	c17, err := gf8Div(gf8Mul(a, s2)^gf8Mul(c, s1), det)
+	if err != nil {
+		return check, err
+	}
 	return [RSCheckSymbols]byte{c16, c17}, nil
 }
 
@@ -140,13 +155,19 @@ func RSDecode(codeword []byte) (RSResult, int, error) {
 		// syndrome with the other non-zero cannot be a single error.
 		return RSDetected, -1, nil
 	}
-	// locator: α^j = s2/s1.
-	loc := gf8Div(s2, s1)
+	// locator: α^j = s2/s1 (s1 ≠ 0 was checked above).
+	loc, err := gf8Div(s2, s1)
+	if err != nil {
+		return RSDetected, -1, err
+	}
 	j := gfLog[loc]
 	if j >= RSCodewordLen {
 		return RSDetected, -1, nil
 	}
-	e := gf8Div(s1, gf8Pow(j))
+	e, err := gf8Div(s1, gf8Pow(j))
+	if err != nil {
+		return RSDetected, -1, err
+	}
 	codeword[j] ^= e
 	return RSCorrected, j, nil
 }

@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -300,7 +301,10 @@ func TestGF8Basics(t *testing.T) {
 		if gf8Mul(byte(a), 1) != byte(a) {
 			t.Fatalf("%d * 1 != %d", a, a)
 		}
-		inv := gf8Div(1, byte(a))
+		inv, err := gf8Div(1, byte(a))
+		if err != nil {
+			t.Fatalf("1/%d: %v", a, err)
+		}
 		if gf8Mul(byte(a), inv) != 1 {
 			t.Fatalf("%d has no inverse", a)
 		}
@@ -310,13 +314,15 @@ func TestGF8Basics(t *testing.T) {
 	}
 }
 
-func TestGF8DivByZeroPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	_ = gf8Div(1, 0)
+func TestGF8DivByZeroError(t *testing.T) {
+	if _, err := gf8Div(1, 0); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("gf8Div(1, 0) err = %v, want ErrDivideByZero", err)
+	}
+	// 0/0 is also an error: the decoders guard divisors, so a zero
+	// divisor always means a malformed codeword, never a valid 0.
+	if _, err := gf8Div(0, 0); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("gf8Div(0, 0) err = %v, want ErrDivideByZero", err)
+	}
 }
 
 func BenchmarkSECDEDDecode(b *testing.B) {

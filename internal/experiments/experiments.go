@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,6 +56,11 @@ type Options struct {
 	// sweep's total. Calls are serialized; the callback must not block
 	// for long or it stalls the worker pool.
 	Progress func(completed, total int)
+	// Context, when non-nil, cancels a sweep: once it is done, pending
+	// (workload, spec) pairs are skipped and the figure returns the
+	// context's error. Pairs already simulating run to completion (a
+	// single pair takes well under a second at the default budget).
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +69,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workloads == nil {
 		o.Workloads = trace.Workloads()
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -131,6 +140,9 @@ func (r *Runner) warm(specs ...Spec) {
 	var pmu sync.Mutex
 	completed := 0
 	for _, j := range jobs {
+		if r.opt.Context.Err() != nil {
+			break // cancelled: the figure loop reports the error
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(j job) {
@@ -161,6 +173,9 @@ var (
 // concurrent use; duplicate concurrent computations of the same key are
 // benign (the simulation is deterministic).
 func (r *Runner) Run(w trace.Workload, s Spec) (cpu.Result, error) {
+	if err := r.opt.Context.Err(); err != nil {
+		return cpu.Result{}, fmt.Errorf("experiments: %s|%s: %w", w.Name, s.Label, err)
+	}
 	key := w.Name + "|" + s.Label
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
@@ -442,7 +457,13 @@ func Figure11(trials int, seed int64) (Figure, error) {
 // the table identical for any worker count, and early stopping
 // (cfg.TargetCIWidth) is reflected in the trial counts of the results.
 func Figure11Cfg(cfg reliability.Config) (Figure, error) {
-	results, err := reliability.SimulateAll(cfg)
+	return Figure11CfgContext(context.Background(), cfg)
+}
+
+// Figure11CfgContext is Figure11Cfg with cancellation: the sweep stops
+// at the next Monte Carlo block boundary once ctx is done.
+func Figure11CfgContext(ctx context.Context, cfg reliability.Config) (Figure, error) {
+	results, err := reliability.SimulateAllContext(ctx, cfg)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -18,17 +18,18 @@ func FuzzNodeCodec(f *testing.F) {
 		if len(raw) != NodeSize {
 			return
 		}
+		line := (*[NodeSize]byte)(raw)
 		var n Node
-		n.Unpack(raw)
+		n.Unpack(line)
 		var out [NodeSize]byte
-		n.Pack(out[:])
+		n.Pack(&out)
 		if !bytes.Equal(raw, out[:]) {
 			t.Fatalf("monolithic codec not bijective")
 		}
 		var s SplitNode
-		s.Unpack(raw)
+		s.Unpack(line)
 		var out2 [NodeSize]byte
-		s.Pack(out2[:])
+		s.Pack(&out2)
 		if !bytes.Equal(raw, out2[:]) {
 			t.Fatalf("split codec not bijective")
 		}
@@ -54,10 +55,10 @@ func FuzzMACBinding(f *testing.F) {
 		}
 		n.Seal(m, addr, parent)
 		var buf [NodeSize]byte
-		n.Pack(buf[:])
+		n.Pack(&buf)
 		buf[int(pos)%NodeSize] ^= mask
 		var c Node
-		c.Unpack(buf[:])
+		c.Unpack(&buf)
 		if c.Verify(m, addr, parent) {
 			t.Fatalf("corruption at byte %d mask %#x passed verification", pos%NodeSize, mask)
 		}

@@ -46,11 +46,11 @@ type Node struct {
 
 // Pack serializes the node into a 64-byte cacheline with the chip
 // interleaving described above: chip i holds counter i (big-endian,
-// 7 bytes) followed by MAC byte i (big-endian byte order).
-func (n *Node) Pack(dst []byte) {
-	if len(dst) != NodeSize {
-		panic("integrity: Pack needs a 64-byte buffer")
-	}
+// 7 bytes) followed by MAC byte i (big-endian byte order). The
+// fixed-size array parameter makes a wrong-length buffer a compile
+// error instead of a runtime panic: no misuse of the codec can reach
+// a panic through the public facade.
+func (n *Node) Pack(dst *[NodeSize]byte) {
 	var macBytes [8]byte
 	binary.BigEndian.PutUint64(macBytes[:], n.MAC)
 	for i := 0; i < CountersPerLine; i++ {
@@ -68,10 +68,7 @@ func (n *Node) Pack(dst []byte) {
 }
 
 // Unpack deserializes a 64-byte cacheline into the node.
-func (n *Node) Unpack(src []byte) {
-	if len(src) != NodeSize {
-		panic("integrity: Unpack needs a 64-byte buffer")
-	}
+func (n *Node) Unpack(src *[NodeSize]byte) {
 	var macBytes [8]byte
 	for i := 0; i < CountersPerLine; i++ {
 		slice := src[i*8 : i*8+8]
@@ -125,15 +122,14 @@ func (n *Node) Verify(m *gmac.Mac, addr, parentCtr uint64) bool {
 // lines, §III-A).
 func (n *Node) Parity() [8]byte {
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
-	return SliceParity(buf[:])
+	n.Pack(&buf)
+	return SliceParity(&buf)
 }
 
-// SliceParity XORs the eight 8-byte chip slices of a 64-byte line.
-func SliceParity(line []byte) [8]byte {
-	if len(line) != NodeSize {
-		panic("integrity: SliceParity needs a 64-byte line")
-	}
+// SliceParity XORs the eight 8-byte chip slices of a 64-byte line. Like
+// Pack/Unpack it takes a fixed-size array pointer, so a wrong-length
+// line is unrepresentable.
+func SliceParity(line *[NodeSize]byte) [8]byte {
 	var p [8]byte
 	for chip := 0; chip < 8; chip++ {
 		for b := 0; b < 8; b++ {

@@ -32,9 +32,9 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := randomNode(rng)
 		var buf [NodeSize]byte
-		n.Pack(buf[:])
+		n.Pack(&buf)
 		var m Node
-		m.Unpack(buf[:])
+		m.Unpack(&buf)
 		return m == n
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -47,7 +47,7 @@ func TestPackChipInterleaving(t *testing.T) {
 	n.Counters[3] = 0x00AABBCCDDEEFF11 & CounterMask
 	n.MAC = 0x0102030405060708
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
+	n.Pack(&buf)
 	// Chip 3 slice: 7 counter bytes + MAC byte 3.
 	slice := buf[3*8 : 3*8+8]
 	want := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x04}
@@ -60,9 +60,9 @@ func TestPackMasksCounterTo56Bits(t *testing.T) {
 	var n Node
 	n.Counters[0] = ^uint64(0)
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
+	n.Pack(&buf)
 	var m Node
-	m.Unpack(buf[:])
+	m.Unpack(&buf)
 	if m.Counters[0] != CounterMask {
 		t.Fatalf("counter round-tripped as %#x, want %#x", m.Counters[0], uint64(CounterMask))
 	}
@@ -107,10 +107,10 @@ func TestChipCorruptionDetected(t *testing.T) {
 		n := randomNode(rng)
 		n.Seal(m, 0x80, 5)
 		var buf [NodeSize]byte
-		n.Pack(buf[:])
+		n.Pack(&buf)
 		buf[chip*8+rng.Intn(8)] ^= byte(1 + rng.Intn(255))
 		var c Node
-		c.Unpack(buf[:])
+		c.Unpack(&buf)
 		if c.Verify(m, 0x80, 5) {
 			t.Fatalf("chip %d corruption passed verification", chip)
 		}
@@ -121,8 +121,8 @@ func TestParityReconstructsAnyChip(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	n := randomNode(rng)
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
-	parity := SliceParity(buf[:])
+	n.Pack(&buf)
+	parity := SliceParity(&buf)
 	for chip := 0; chip < 8; chip++ {
 		// Reconstruct chip's slice as parity XOR all other slices.
 		var rec [8]byte
@@ -145,8 +145,8 @@ func TestNodeParityMatchesSliceParity(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := randomNode(rng)
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
-	if n.Parity() != SliceParity(buf[:]) {
+	n.Pack(&buf)
+	if n.Parity() != SliceParity(&buf) {
 		t.Fatal("Node.Parity disagrees with SliceParity of packed form")
 	}
 }

@@ -73,11 +73,9 @@ func (n *SplitNode) Bump(slot int) (uint64, bool, error) {
 }
 
 // Pack serializes the node into a 64-byte cacheline with the chip
-// interleaving documented on SplitNode.
-func (n *SplitNode) Pack(dst []byte) {
-	if len(dst) != NodeSize {
-		panic("integrity: Pack needs a 64-byte buffer")
-	}
+// interleaving documented on SplitNode. The fixed-size array parameter
+// makes a wrong-length buffer a compile error instead of a panic.
+func (n *SplitNode) Pack(dst *[NodeSize]byte) {
 	for chip := 0; chip < 8; chip++ {
 		s := dst[chip*8 : chip*8+8]
 		s[0] = byte(n.Major >> (8 * (7 - chip)))
@@ -89,10 +87,7 @@ func (n *SplitNode) Pack(dst []byte) {
 }
 
 // Unpack deserializes a 64-byte cacheline into the node.
-func (n *SplitNode) Unpack(src []byte) {
-	if len(src) != NodeSize {
-		panic("integrity: Unpack needs a 64-byte buffer")
-	}
+func (n *SplitNode) Unpack(src *[NodeSize]byte) {
 	n.Major = 0
 	n.MAC = 0
 	for chip := 0; chip < 8; chip++ {

@@ -21,9 +21,9 @@ func TestSplitPackUnpackRoundTrip(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := randomSplitNode(rng)
 		var buf [NodeSize]byte
-		n.Pack(buf[:])
+		n.Pack(&buf)
 		var m SplitNode
-		m.Unpack(buf[:])
+		m.Unpack(&buf)
 		return m == n
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -39,7 +39,7 @@ func TestSplitChipInterleaving(t *testing.T) {
 		n.Minors[i] = uint8(i)
 	}
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
+	n.Pack(&buf)
 	// Chip 2's slice: major byte 2, minors 12..17, MAC byte 2.
 	s := buf[2*8 : 2*8+8]
 	if s[0] != 0x03 || s[7] != 0xA3 {
@@ -158,10 +158,10 @@ func TestSplitChipCorruptionDetected(t *testing.T) {
 		n := randomSplitNode(rng)
 		n.Seal(m, 0x40, 3)
 		var buf [NodeSize]byte
-		n.Pack(buf[:])
+		n.Pack(&buf)
 		buf[chip*8+rng.Intn(8)] ^= byte(1 + rng.Intn(255))
 		var c SplitNode
-		c.Unpack(buf[:])
+		c.Unpack(&buf)
 		if c.Verify(m, 0x40, 3) {
 			t.Fatalf("chip %d corruption passed verification", chip)
 		}
@@ -174,8 +174,8 @@ func TestSplitParityReconstruction(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	n := randomSplitNode(rng)
 	var buf [NodeSize]byte
-	n.Pack(buf[:])
-	parity := SliceParity(buf[:])
+	n.Pack(&buf)
+	parity := SliceParity(&buf)
 	for chip := 0; chip < 8; chip++ {
 		var rec [8]byte
 		copy(rec[:], parity[:])

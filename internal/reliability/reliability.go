@@ -23,6 +23,7 @@
 package reliability
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -405,6 +406,18 @@ func (a *aggregator) result(policy Policy) Result {
 // TargetCIWidth stopping point — is bit-identical for any Workers
 // setting. With early stop, Result.Trials reports trials actually run.
 func Simulate(policy Policy, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), policy, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: when ctx is cancelled
+// the run stops at the next block boundary and returns the partial
+// Result (aggregated over the blocks merged so far, still in strict
+// trial order — the prefix is the same one an uncancelled run would
+// have produced) together with ctx's error.
+func SimulateContext(ctx context.Context, policy Policy, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Trials <= 0 || cfg.Ranks <= 0 || cfg.ChipsPerRank <= 0 {
 		return Result{}, errors.New("reliability: Trials, Ranks, ChipsPerRank must be positive")
 	}
@@ -433,6 +446,9 @@ func Simulate(policy Policy, cfg Config) (Result, error) {
 	if workers == 1 {
 		// Serial fast path: same block walk, no pool.
 		for b := 0; b < numBlocks && !agg.done; b++ {
+			if err := ctx.Err(); err != nil {
+				return agg.result(policy), err
+			}
 			lo, hi := bounds(b)
 			agg.merge(simBlock(policy, cfg, &m, b, lo, hi))
 		}
@@ -463,30 +479,44 @@ func Simulate(policy Policy, cfg Config) (Result, error) {
 
 	// Blocks complete out of order; buffer them and merge strictly in
 	// index order so aggregation, Progress and the stop decision are
-	// scheduling-independent. Blocks past the stopping point are
-	// discarded.
+	// scheduling-independent. Blocks past the stopping point (early stop
+	// or cancellation) are discarded.
 	pending := make(map[int]blockStats, workers)
 	next := 0
-	for s := range out {
-		if agg.done {
-			continue // drain until workers exit
-		}
-		pending[s.idx] = s
-		for {
-			b, ok := pending[next]
+	doneCh := ctx.Done()
+	var ctxErr error
+	for {
+		select {
+		case s, ok := <-out:
 			if !ok {
-				break
+				return agg.result(policy), ctxErr
 			}
-			delete(pending, next)
-			next++
-			agg.merge(b)
 			if agg.done {
-				stop.Store(true)
-				break
+				continue // drain until workers exit
 			}
+			pending[s.idx] = s
+			for {
+				b, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				agg.merge(b)
+				if agg.done {
+					stop.Store(true)
+					break
+				}
+			}
+		case <-doneCh:
+			// Stop claiming new blocks and drain in-flight ones without
+			// merging; doneCh goes nil so this arm fires exactly once.
+			ctxErr = ctx.Err()
+			stop.Store(true)
+			agg.done = true
+			doneCh = nil
 		}
 	}
-	return agg.result(policy), nil
 }
 
 // Policies is the Fig. 11 sweep order.
@@ -499,13 +529,26 @@ var Policies = []Policy{NoECC, SECDED, Chipkill, Synergy}
 // paper's ratios (Chipkill/SECDED, Synergy/SECDED) are measured on
 // common random numbers rather than independent noise.
 func SimulateAll(cfg Config, policies ...Policy) ([]Result, error) {
+	return SimulateAllContext(context.Background(), cfg, policies...)
+}
+
+// SimulateAllContext is SimulateAll with cancellation: the sweep stops
+// at the first policy whose run is interrupted and returns the results
+// of the policies completed before it together with ctx's error.
+func SimulateAllContext(ctx context.Context, cfg Config, policies ...Policy) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(policies) == 0 {
 		policies = Policies
 	}
 	out := make([]Result, 0, len(policies))
 	for _, p := range policies {
-		res, err := Simulate(p, cfg)
+		res, err := SimulateContext(ctx, p, cfg)
 		if err != nil {
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				return out, err
+			}
 			return nil, err
 		}
 		out = append(out, res)

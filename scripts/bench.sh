@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Run the crypto hot-path benchmarks and the reliability-engine
-# throughput comparison, capturing machine-readable results in
-# BENCH_crypto.json and BENCH_reliability.json at the repo root.
+# Run the crypto hot-path benchmarks, the reliability-engine throughput
+# comparison, and the degraded-mode read benchmarks, capturing
+# machine-readable results in BENCH_crypto.json, BENCH_reliability.json
+# and BENCH_chaos.json at the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count        -count value per crypto benchmark (default 5)
@@ -34,3 +35,14 @@ REL_OUT="BENCH_reliability.json"
     printf ']\n'
 } >"$REL_OUT"
 echo "wrote $REL_OUT"
+
+# Degraded-mode service: what a read costs while the engine is
+# reconstructing, condemned (§IV-A preemptive), or poisoned — the
+# fault-tolerance trajectory next to the clean hot path.
+CHAOS_OUT="BENCH_chaos.json"
+CHAOS_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$CHAOS_RAW"' EXIT
+go test -run='^$' -bench='BenchmarkDegradedRead' -benchmem -count="$COUNT" \
+    ./internal/core/ | tee "$CHAOS_RAW"
+go run ./scripts/benchjson <"$CHAOS_RAW" >"$CHAOS_OUT"
+echo "wrote $CHAOS_OUT"
