@@ -26,6 +26,7 @@ import (
 	"synergy/internal/core"
 	"synergy/internal/experiments"
 	"synergy/internal/reliability"
+	"synergy/internal/telemetry"
 )
 
 // LineSize is the protected cacheline size in bytes.
@@ -124,6 +125,64 @@ func NewDevice(store Store, lines uint64) (*Device, error) {
 // ErrorAssessment classifies corrected-error history (§IV-B DoS
 // analysis); see Memory.ErrorLog().Analyze.
 type ErrorAssessment = core.Assessment
+
+// ChipFault pairs a chip index with a corruption mask for atomic
+// multi-chip injection via Memory.InjectTransients.
+type ChipFault = core.ChipFault
+
+// Telemetry is the engine's metrics registry: sharded counters,
+// sampled latency histograms and the event-sink hook API. Pass one in
+// Config.Telemetry and serve it with ServeMetrics. The nil registry
+// is valid and records nothing (see TelemetryDisabled).
+type Telemetry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a registry — the
+// /metrics.json wire format; Sub computes deltas between polls.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryOpSnapshot and TelemetryRankSnapshot are the per-operation
+// and per-rank components of a TelemetrySnapshot.
+type (
+	TelemetryOpSnapshot   = telemetry.OpSnapshot
+	TelemetryRankSnapshot = telemetry.RankSnapshot
+)
+
+// TelemetrySink receives engine events (corrections, reconstructions,
+// poisons, scrub passes, repairs) synchronously as they happen; embed
+// TelemetryBaseSink and override the hooks you need. Sinks run under
+// engine locks: return quickly and never call back into the emitting
+// Memory/Array.
+type TelemetrySink = telemetry.Sink
+
+// TelemetryBaseSink is the no-op Sink to embed.
+type TelemetryBaseSink = telemetry.BaseSink
+
+// Event payloads delivered to TelemetrySink hooks.
+type (
+	CorrectionEvent     = telemetry.CorrectionEvent
+	ReconstructionEvent = telemetry.ReconstructionEvent
+	PoisonEvent         = telemetry.PoisonEvent
+	ScrubEvent          = telemetry.ScrubEvent
+	RepairEvent         = telemetry.RepairEvent
+)
+
+// TelemetryOption configures NewTelemetry; see TelemetrySampleEvery.
+type TelemetryOption = telemetry.Option
+
+// TelemetrySampleEvery sets the hot-path latency sampling period
+// (default 64; 1 times every read — benchmark mode).
+func TelemetrySampleEvery(n int) TelemetryOption { return telemetry.SampleEvery(n) }
+
+// TelemetryDisabled is the nil registry: every operation on it is
+// safe and free.
+var TelemetryDisabled = telemetry.Disabled
+
+// NewTelemetry builds a registry to pass in Config.Telemetry.
+func NewTelemetry(opts ...TelemetryOption) *Telemetry { return telemetry.New(opts...) }
+
+// DefaultTelemetry returns the process-wide shared registry —
+// what ServeMetrics serves when no registry is passed explicitly.
+func DefaultTelemetry() *Telemetry { return telemetry.Default() }
 
 // Reliability policies for SimulateReliability.
 const (

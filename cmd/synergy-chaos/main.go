@@ -17,6 +17,8 @@
 //	synergy-chaos                          # 64 rounds/worker, seed 1
 //	synergy-chaos -rounds 4096 -seed 7
 //	synergy-chaos -duration 30s -permanent # the CI smoke configuration
+//	synergy-chaos -duration 30s -metrics localhost:9091   # live /metrics
+//	synergy-chaos -rounds 4096 -cpuprofile cpu.out
 //	go run -race ./cmd/synergy-chaos -duration 30s
 package main
 
@@ -31,13 +33,24 @@ import (
 	"syscall"
 	"time"
 
+	"synergy"
 	"synergy/internal/chaos"
+	"synergy/internal/profiles"
 )
 
-func parseConfig(args []string, stderr io.Writer) (chaos.Config, bool, error) {
-	var cfg chaos.Config
+// cliOptions is the parsed command line: the harness config plus the
+// observability knobs that wrap around the run.
+type cliOptions struct {
+	cfg     chaos.Config
+	jsonOut bool
+	metrics string
+	prof    profiles.Flags
+}
+
+func parseConfig(args []string, stderr io.Writer) (cliOptions, error) {
+	var o cliOptions
+	cfg := &o.cfg
 	var lines uint64
-	var jsonOut bool
 	fs := flag.NewFlagSet("synergy-chaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.Int64Var(&cfg.Seed, "seed", 1, "seed for every actor's decision stream")
@@ -48,18 +61,36 @@ func parseConfig(args []string, stderr io.Writer) (chaos.Config, bool, error) {
 	fs.DurationVar(&cfg.Duration, "duration", 0, "wall-clock budget instead of -rounds")
 	fs.BoolVar(&cfg.Permanent, "permanent", false, "cycle whole-chip permanent faults through RepairChip")
 	fs.DurationVar(&cfg.ScrubInterval, "scrub-interval", 500*time.Microsecond, "background scrubber tick")
-	fs.BoolVar(&jsonOut, "json", false, "emit the machine-readable report")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable report")
+	fs.StringVar(&o.metrics, "metrics", "", "serve live telemetry (/metrics, /metrics.json) on this address during the run")
+	o.prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
-		return chaos.Config{}, false, err
+		return cliOptions{}, err
 	}
 	cfg.Lines = lines
-	return cfg, jsonOut, nil
+	return o, nil
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
-	cfg, jsonOut, err := parseConfig(args, stderr)
+	o, err := parseConfig(args, stderr)
 	if err != nil {
 		return err
+	}
+	cfg, jsonOut := o.cfg, o.jsonOut
+	stopProf, err := o.prof.Start("synergy-chaos")
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	if o.metrics != "" {
+		reg := synergy.NewTelemetry()
+		srv, err := synergy.ServeMetrics(o.metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "synergy-chaos: telemetry on http://%s/metrics\n", srv.Addr)
+		cfg.Telemetry = reg
 	}
 	start := time.Now()
 	rep, err := chaos.Run(ctx, cfg)

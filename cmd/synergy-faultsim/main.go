@@ -12,6 +12,8 @@
 //	synergy-faultsim -years 5 -scrub 12
 //	synergy-faultsim -workers 8 -target-ci 1e-3   # stop when CI tight
 //	synergy-faultsim -json              # machine-readable results
+//	synergy-faultsim -metrics :9091     # live trial throughput on /metrics
+//	synergy-faultsim -cpuprofile cpu.out
 package main
 
 import (
@@ -25,7 +27,9 @@ import (
 	"syscall"
 	"time"
 
+	"synergy"
 	"synergy/internal/experiments"
+	"synergy/internal/profiles"
 	"synergy/internal/reliability"
 )
 
@@ -41,6 +45,8 @@ type options struct {
 	ivec     bool
 	jsonOut  bool
 	progress bool
+	metrics  string
+	prof     profiles.Flags
 }
 
 func parseOptions(args []string, stderr io.Writer) (options, error) {
@@ -57,6 +63,8 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&o.ivec, "ivec", false, "also evaluate the §VII-A IVEC point (1 chip of 16, x4 DIMMs)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	fs.BoolVar(&o.progress, "progress", false, "report Monte Carlo progress on stderr")
+	fs.StringVar(&o.metrics, "metrics", "", "serve live telemetry (trial throughput, /metrics) on this address during the run")
+	o.prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -106,8 +114,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := o.prof.Start("synergy-faultsim")
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
 	cfg := configFor(reliability.DefaultConfig(), o)
 	ivecCfg := configFor(reliability.IVECConfig(), o)
+	if o.metrics != "" {
+		reg := synergy.NewTelemetry()
+		srv, err := synergy.ServeMetrics(o.metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "synergy-faultsim: telemetry on http://%s/metrics\n", srv.Addr)
+		cfg.Telemetry = reg
+		ivecCfg.Telemetry = reg
+	}
 	if o.progress {
 		total := cfg.Trials
 		cfg.Progress = func(done, failures int) {

@@ -16,12 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"synergy/internal/experiments"
+	"synergy/internal/profiles"
 )
 
 func main() {
@@ -39,40 +38,16 @@ func run() int {
 	workers := flag.Int("workers", 0,
 		"worker goroutines pre-running (workload, spec) pairs (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	var prof profiles.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "synergy-sim: -cpuprofile: %v\n", err)
-			return 2
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "synergy-sim: -cpuprofile: %v\n", err)
-			f.Close()
-			return 2
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := prof.Start("synergy-sim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "synergy-sim: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // materialize the final live-heap picture
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "synergy-sim: -memprofile: %v\n", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	opt := experiments.Options{BaseInstr: *instr}
 	if *progress {

@@ -1,0 +1,184 @@
+// Command synergy-top is a live, top-style console view of a running
+// synergy metrics endpoint (synergy.ServeMetrics, or any process
+// started with -metrics). It polls /metrics.json, diffs consecutive
+// snapshots, and renders per-operation rates, the Fig. 5-style
+// secure-read stage breakdown, and a per-rank chip-correction grid.
+//
+// Usage:
+//
+//	synergy-chaos -duration 60s -metrics localhost:9091 &
+//	synergy-top -addr localhost:9091
+//	synergy-top -addr localhost:9091 -interval 500ms -count 10
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"synergy"
+)
+
+// opOrder fixes the display order: hot ops first, then maintenance.
+var opOrder = []string{"read", "write", "read_batch", "write_batch", "scrub", "repair_chip", "trial"}
+
+// stageOrder follows the secure-read pipeline of DESIGN.md §4: fetch
+// the counter, walk the tree, verify the data MAC, reconstruct on
+// mismatch, decrypt.
+var stageOrder = []string{"counter_fetch", "tree_walk", "mac_verify", "reconstruct", "otp"}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synergy-top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9091", "metrics endpoint to poll (host:port)")
+	interval := fs.Duration("interval", time.Second, "polling interval")
+	count := fs.Int("count", 0, "frames to render before exiting (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	url := "http://" + *addr + "/metrics.json"
+	client := &http.Client{Timeout: 5 * time.Second}
+	prev, err := fetchSnapshot(ctx, client, url)
+	if err != nil {
+		return fmt.Errorf("synergy-top: %s: %w", url, err)
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for frame := 0; *count == 0 || frame < *count; frame++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		cur, err := fetchSnapshot(ctx, client, url)
+		if err != nil {
+			return fmt.Errorf("synergy-top: %s: %w", url, err)
+		}
+		render(stdout, cur.Sub(prev), cur.Elapsed(prev))
+		prev = cur
+	}
+	return nil
+}
+
+func fetchSnapshot(ctx context.Context, client *http.Client, url string) (synergy.TelemetrySnapshot, error) {
+	var snap synergy.TelemetrySnapshot
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// render writes one frame: the delta between two snapshots over the
+// elapsed window. Pure function of its inputs, so tests can feed
+// synthetic deltas.
+func render(w io.Writer, d synergy.TelemetrySnapshot, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		sec = 1
+	}
+	fmt.Fprintf(w, "synergy-top  %s window\n", elapsed.Round(time.Millisecond))
+
+	fmt.Fprintf(w, "  %-12s %12s %10s %10s %10s\n", "OP", "OPS/S", "ERR/S", "MEAN", "P99")
+	for _, name := range opOrder {
+		op, ok := d.Ops[name]
+		if !ok || op.Count == 0 && op.Errors == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %12.0f %10.0f %10s %10s\n",
+			name, float64(op.Count)/sec, float64(op.Errors)/sec,
+			fmtDur(op.Latency.Mean()), fmtDur(op.Latency.Quantile(0.99)))
+	}
+
+	// Stage shares are of summed stage time, not wall time: stages are
+	// sampled, so relative weight is the meaningful number (Fig. 5).
+	var stageTotal time.Duration
+	for _, name := range stageOrder {
+		st := d.Stages[name]
+		stageTotal += time.Duration(st.Count) * st.Mean()
+	}
+	if stageTotal > 0 {
+		fmt.Fprintf(w, "  %-13s %7s %10s %10s   (sampled)\n", "READ STAGE", "SHARE", "MEAN", "P99")
+		for _, name := range stageOrder {
+			st := d.Stages[name]
+			if st.Count == 0 {
+				continue
+			}
+			share := float64(time.Duration(st.Count)*st.Mean()) / float64(stageTotal) * 100
+			fmt.Fprintf(w, "  %-13s %6.1f%% %10s %10s\n",
+				name, share, fmtDur(st.Mean()), fmtDur(st.Quantile(0.99)))
+		}
+	}
+
+	for _, r := range d.Ranks {
+		if rankQuiet(r) {
+			continue
+		}
+		chips := make([]string, len(r.Corrections))
+		for c, n := range r.Corrections {
+			chips[c] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(w, "  rank %d  corr/chip [%s]  preempt %d  recon %d/%d  poison %d  heal %d  failclosed %d  repair %d  scrubbed %d\n",
+			r.Rank, strings.Join(chips, " "), r.Preemptive,
+			r.Reconstructions, r.ReconstructionAttempts,
+			r.Poisoned, r.Healed, r.FailClosed, r.Repairs, r.ScrubScanned)
+	}
+	fmt.Fprintln(w)
+}
+
+// rankQuiet reports whether a rank delta has nothing worth a row.
+func rankQuiet(r synergy.TelemetryRankSnapshot) bool {
+	for _, n := range r.Corrections {
+		if n > 0 {
+			return false
+		}
+	}
+	return r.Preemptive == 0 && r.Reconstructions == 0 && r.ReconstructionAttempts == 0 &&
+		r.Poisoned == 0 && r.Healed == 0 && r.FailClosed == 0 && r.Repairs == 0 &&
+		r.ScrubScanned == 0
+}
+
+// fmtDur renders a latency with ns/µs/ms granularity and no noise
+// digits ("310ns", "1.2µs").
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "synergy-top: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}

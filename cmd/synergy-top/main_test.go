@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"synergy"
+	"synergy/internal/telemetry"
+)
+
+// hist builds a synthetic histogram snapshot: count observations with
+// the given mean, all landing in one bucket.
+func hist(count uint64, mean time.Duration) telemetry.HistogramSnapshot {
+	var h telemetry.HistogramSnapshot
+	h.Count = count
+	h.SumNanos = count * uint64(mean.Nanoseconds())
+	h.Buckets[10] = count
+	return h
+}
+
+func TestRenderFrame(t *testing.T) {
+	d := synergy.TelemetrySnapshot{
+		Ops: map[string]synergy.TelemetryOpSnapshot{
+			"read":  {Count: 2000, Errors: 2, Latency: hist(2000, 310*time.Nanosecond)},
+			"write": {Count: 500, Latency: hist(500, 800*time.Nanosecond)},
+			"scrub": {}, // zero-delta ops stay off the board
+		},
+		Stages: map[string]telemetry.HistogramSnapshot{
+			"counter_fetch": hist(30, 75*time.Nanosecond),
+			"mac_verify":    hist(30, 120*time.Nanosecond),
+			"otp":           hist(30, 55*time.Nanosecond),
+		},
+		Ranks: []synergy.TelemetryRankSnapshot{
+			{Rank: 0}, // quiet: no row
+			{Rank: 1, Corrections: [9]uint64{0, 0, 3}, Reconstructions: 3, ReconstructionAttempts: 7},
+		},
+	}
+	var sb strings.Builder
+	render(&sb, d, 2*time.Second)
+	out := sb.String()
+
+	for _, want := range []string{
+		"2s window",
+		"read", "1000", // 2000 ops over 2s
+		"310ns",
+		"READ STAGE",
+		"counter_fetch",
+		"rank 1",
+		"[0 0 3 0 0 0 0 0 0]",
+		"recon 3/7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\n  scrub ") {
+		t.Errorf("zero-delta op rendered:\n%s", out)
+	}
+	if strings.Contains(out, "rank 0") {
+		t.Errorf("quiet rank rendered:\n%s", out)
+	}
+}
+
+// The stage share column must weight by total stage time (count×mean),
+// not appearance order, and sum to ~100%.
+func TestRenderStageShares(t *testing.T) {
+	d := synergy.TelemetrySnapshot{
+		Ops: map[string]synergy.TelemetryOpSnapshot{},
+		Stages: map[string]telemetry.HistogramSnapshot{
+			"mac_verify": hist(10, 300*time.Nanosecond), // 3000ns total
+			"otp":        hist(10, 100*time.Nanosecond), // 1000ns total
+		},
+	}
+	var sb strings.Builder
+	render(&sb, d, time.Second)
+	out := sb.String()
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "25.0%") {
+		t.Errorf("expected 75/25 share split in:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "-"},
+		{310 * time.Nanosecond, "310ns"},
+		{1200 * time.Nanosecond, "1.2µs"},
+		{3500 * time.Microsecond, "3.5ms"},
+		{2 * time.Second, "2.00s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"synergy/internal/core"
 	"synergy/internal/dimm"
+	"synergy/internal/telemetry"
 )
 
 // Config parameterizes a chaos run.
@@ -67,6 +68,11 @@ type Config struct {
 	// KeepEvents retains the full event list in the Report (tests, or
 	// the CLI's -events flag). The digest is computed either way.
 	KeepEvents bool
+	// Telemetry, when non-nil, instruments the Array under test, so a
+	// live /metrics endpoint can watch the run (corrections, poisons,
+	// repairs, per-stage read latency). Purely observational: the
+	// event streams and digest do not depend on it.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -250,7 +256,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	arr, err := core.NewArray(core.Config{DataLines: cfg.Lines, Ranks: cfg.Ranks})
+	arr, err := core.NewArray(core.Config{DataLines: cfg.Lines, Ranks: cfg.Ranks, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}

@@ -53,6 +53,7 @@ func NewArray(cfg Config) (*Array, error) {
 		rcfg := cfg
 		rcfg.Ranks = 1
 		rcfg.DataLines = perRank
+		rcfg.TelemetryRank = r
 		m, err := New(rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", r, err)

@@ -31,11 +31,12 @@ type ErrorEvent struct {
 // platform's security apparatus can inspect and Analyze it while the
 // engine serves traffic.
 type ErrorLog struct {
-	mu     sync.Mutex
-	events []ErrorEvent
-	next   int
-	total  uint64
-	byChip [9]uint64
+	mu      sync.Mutex
+	events  []ErrorEvent
+	next    int
+	total   uint64
+	dropped uint64
+	byChip  [9]uint64
 }
 
 const defaultErrorLogCapacity = 1024
@@ -55,6 +56,7 @@ func (l *ErrorLog) add(e ErrorEvent) {
 	} else {
 		l.events[l.next] = e
 		l.next = (l.next + 1) % cap(l.events)
+		l.dropped++
 	}
 	l.total++
 	if e.Chip >= 0 && e.Chip < len(l.byChip) {
@@ -70,6 +72,24 @@ func (l *ErrorLog) Total() uint64 {
 	return l.total
 }
 
+// Capacity returns the ring's capacity: the maximum number of events
+// Events can return.
+func (l *ErrorLog) Capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return cap(l.events)
+}
+
+// Dropped returns the number of events evicted from the ring to make
+// room for newer ones. A long run that corrects more than Capacity
+// errors under-reports in Events by exactly this amount; Total, ByChip
+// and Analyze are unaffected by eviction.
+func (l *ErrorLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
 // ByChip returns per-chip correction counts.
 func (l *ErrorLog) ByChip() [9]uint64 {
 	l.mu.Lock()
@@ -78,10 +98,12 @@ func (l *ErrorLog) ByChip() [9]uint64 {
 }
 
 // Events returns the retained events, oldest first. The ring keeps the
-// most recent `capacity` corrections: once full, each new event evicts
+// most recent Capacity() corrections: once full, each new event evicts
 // the oldest retained one, so the result is a sliding window ending at
 // the newest correction, with Seq values non-decreasing. Evicted events
-// stay counted in Total and ByChip.
+// stay counted in Total and ByChip; Dropped reports how many were
+// evicted, so len(Events()) == Total() - Dropped() always holds (i.e.
+// the window silently under-reports Total by exactly Dropped events).
 func (l *ErrorLog) Events() []ErrorEvent {
 	l.mu.Lock()
 	defer l.mu.Unlock()

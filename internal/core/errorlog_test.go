@@ -79,6 +79,36 @@ func TestErrorLogRingBound(t *testing.T) {
 	if log.ByChip()[1] != 10 {
 		t.Fatalf("ByChip[1] = %d, want 10 (evictions must not uncount)", log.ByChip()[1])
 	}
+	if log.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", log.Capacity())
+	}
+	if log.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6 (10 corrections through a 4-slot ring)", log.Dropped())
+	}
+	if got := uint64(len(evs)); got != log.Total()-log.Dropped() {
+		t.Fatalf("len(Events) = %d, want Total-Dropped = %d", got, log.Total()-log.Dropped())
+	}
+}
+
+// Dropped stays zero while the ring has room.
+func TestErrorLogDroppedZeroUntilFull(t *testing.T) {
+	m, err := New(Config{DataLines: 64, ErrorLogCapacity: 8, FaultThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		line := uint64(k)
+		m.Write(line, fillLine(byte(k)))
+		m.Module().InjectTransient(m.Layout().DataAddr(line), 1, [8]byte{1})
+		mustRead(t, m, line)
+	}
+	log := m.ErrorLog()
+	if log.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before any eviction, want 0", log.Dropped())
+	}
+	if log.Capacity() != 8 || log.Total() != 8 {
+		t.Fatalf("Capacity/Total = %d/%d, want 8/8", log.Capacity(), log.Total())
+	}
 }
 
 // Analyze with accesses == 0 is well-defined: the rate is reported as 0

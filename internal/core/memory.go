@@ -13,6 +13,7 @@ import (
 	"synergy/internal/dimm"
 	"synergy/internal/gmac"
 	"synergy/internal/integrity"
+	"synergy/internal/telemetry"
 )
 
 // LineSize is the data payload of one cacheline in bytes.
@@ -70,6 +71,15 @@ type Config struct {
 	// NodeCacheLines sizes the on-chip trusted metadata cache at which
 	// the Fig. 7 upward walk stops (default 32; negative disables it).
 	NodeCacheLines int
+	// Telemetry, when non-nil, receives operation counters, sampled
+	// latency histograms and engine events (see internal/telemetry).
+	// Nil disables instrumentation down to one pointer compare per
+	// operation.
+	Telemetry *telemetry.Registry
+	// TelemetryRank labels this memory's events in the registry.
+	// NewArray overrides it with each rank's index; a standalone
+	// Memory reports as the rank it is told it is (default 0).
+	TelemetryRank int
 }
 
 // Memory is a functional Synergy secure memory on one 9-chip ECC-DIMM.
@@ -107,6 +117,20 @@ type Memory struct {
 	ncache *nodeCache
 	log    *ErrorLog
 	stats  Stats
+
+	// tel receives op counters, sampled stage timings and events
+	// (nil when telemetry is unconfigured — the wrappers in
+	// telemetry.go then cost one pointer compare). telTick counts
+	// served reads — published through telReads and driving the
+	// 1-in-N stage-sampling decision — and st carries the active
+	// sampled read's stage timer; both are plain fields because every
+	// path that touches them holds mu exclusively.
+	tel      *telemetry.Registry
+	telRank  int
+	telMask  uint64 // cached tel.SampleMask()
+	telTick  uint64
+	telReads *telemetry.LocalOpCount // single-writer served-reads slot
+	st       telemetry.StageTimer
 
 	// Reusable scratch for the zero-allocation hot paths. All of it is
 	// guarded by mu (exclusive): loadPath fills pathBuf, the preemptive
@@ -217,7 +241,14 @@ func New(cfg Config) (*Memory, error) {
 		knownBad:       -1,
 		poisoned:       make(map[uint64]struct{}),
 		log:            newErrorLog(cfg.ErrorLogCapacity),
+		tel:            cfg.Telemetry,
+		telRank:        cfg.TelemetryRank,
+		telMask:        cfg.Telemetry.SampleMask(),
+		telReads:       cfg.Telemetry.LocalOp(telemetry.OpRead),
 	}
+	// Pre-create the rank's metrics block so exporters show the rank
+	// (at zero) before its first event.
+	m.tel.Rank(m.telRank)
 	switch {
 	case cfg.NodeCacheLines < 0:
 		m.ncache = newNodeCache(0)
@@ -535,7 +566,7 @@ func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
 func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.readLocked(i, dst, nil, 0)
+	return m.readCounted(i, dst, nil, 0)
 }
 
 // batchScratch pools the per-batch address/counter/pad buffers so the
@@ -558,20 +589,9 @@ func (b *batchScratch) grow(n int) (addrs, ctrs []uint64, pads []byte) {
 	return b.addrs[:n], b.ctrs[:n], b.pads[: n*LineSize : n*LineSize]
 }
 
-// ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
-// every k, acquiring the rank lock once for the whole batch. It stops
-// at the first failing line; infos for the lines served so far are
-// valid, the rest are zero.
-//
-// ReadBatch pipelines the crypto the way the paper's controller does
-// (§III, Fig. 6: the OTP is computed while the data access is in
-// flight): it snapshots each line's encryption counter under the shared
-// lock, generates every one-time pad for the batch outside the
-// exclusive section, and only then takes the rank lock to verify and
-// XOR. A pad whose counter turns out stale (a racing write, or a
-// counter corrected during verification) is discarded and recomputed
-// inline, so the optimism is invisible to correctness.
-func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
+// readBatch is ReadBatch without the telemetry wrapper (see the
+// pipelining description there).
+func (m *Memory) readBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 	if len(dst) != len(lines)*LineSize {
 		return nil, fmt.Errorf("core: ReadBatch needs %d×%d bytes, got %d: %w",
 			len(lines), LineSize, len(dst), ErrBadLineSize)
@@ -603,7 +623,7 @@ func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 		if havePads {
 			pad = pads[k*LineSize : (k+1)*LineSize]
 		}
-		info, err := m.readLocked(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k])
+		info, err := m.readCounted(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k])
 		infos[k] = info
 		if err != nil {
 			return infos, fmt.Errorf("core: batch read %d (line %d): %w", k, i, err)
@@ -671,6 +691,7 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 	if err != nil {
 		return info, err
 	}
+	m.st.Mark(telemetry.StageCounterFetch)
 
 	// Pre-emptive correction fast path for a condemned chip (§IV-A):
 	// rebuild that chip's slice everywhere from parity before the MAC
@@ -685,9 +706,12 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 		} else if ok {
 			info.Preemptive = true
 			m.stats.PreemptiveFixes++
+			m.tel.CountPreemptive(m.telRank, m.telRank)
+			m.st.Mark(telemetry.StageReconstruct)
 			if err := m.decryptLine(dst, dl.Data[:], dataAddr, ctr, pad, padCtr); err != nil {
 				return info, err
 			}
+			m.st.Mark(telemetry.StageOTP)
 			return info, nil
 		}
 	}
@@ -706,6 +730,7 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 			m.stats.MismatchesSeen++
 		}
 	}
+	m.st.Mark(telemetry.StageTreeWalk)
 	_, ctrSlot := m.layout.CounterAddr(i)
 	ctr := m.leafCounter(&path[0], ctrSlot)
 	m.stats.MACComputations++
@@ -713,6 +738,7 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 	if !dataOK {
 		m.stats.MismatchesSeen++
 	}
+	m.st.Mark(telemetry.StageMACVerify)
 
 	// Downward traversal: correct from the level nearest the trusted
 	// root toward the data (Fig. 7c). At each level the parent is
@@ -762,6 +788,7 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 			}
 			m.noteCorrection(chip, RegionData, dataAddr, usedPP, &info)
 		}
+		m.st.Mark(telemetry.StageReconstruct)
 	}
 
 	// The whole path is now verified (or was served from on-chip):
@@ -771,6 +798,7 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 	if err := m.decryptLine(dst, dl.Data[:], dataAddr, ctr, pad, padCtr); err != nil {
 		return info, err
 	}
+	m.st.Mark(telemetry.StageOTP)
 	return info, nil
 }
 
@@ -816,6 +844,13 @@ func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, in
 			m.knownBad = chip
 		}
 	}
+	m.tel.EmitCorrection(telemetry.CorrectionEvent{
+		Rank:        m.telRank,
+		Chip:        chip,
+		Region:      r.String(),
+		Line:        addr,
+		UsedParityP: usedPP,
+	})
 }
 
 // Write encrypts and stores 64 bytes at data line i, incrementing the
@@ -824,13 +859,11 @@ func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, in
 func (m *Memory) Write(i uint64, plain []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.writeLocked(i, plain)
+	return m.writeCounted(i, plain)
 }
 
-// WriteBatch stores src[k*LineSize:(k+1)*LineSize] at lines[k] for
-// every k, acquiring the rank lock once for the whole batch. It stops
-// at the first failing line.
-func (m *Memory) WriteBatch(lines []uint64, src []byte) error {
+// writeBatch is WriteBatch without the telemetry wrapper.
+func (m *Memory) writeBatch(lines []uint64, src []byte) error {
 	if len(src) != len(lines)*LineSize {
 		return fmt.Errorf("core: WriteBatch needs %d×%d bytes, got %d: %w",
 			len(lines), LineSize, len(src), ErrBadLineSize)
@@ -838,7 +871,7 @@ func (m *Memory) WriteBatch(lines []uint64, src []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for k, i := range lines {
-		if err := m.writeLocked(i, src[k*LineSize:(k+1)*LineSize]); err != nil {
+		if err := m.writeCounted(i, src[k*LineSize:(k+1)*LineSize]); err != nil {
 			return fmt.Errorf("core: batch write %d (line %d): %w", k, i, err)
 		}
 	}
@@ -943,6 +976,7 @@ func (m *Memory) poisonLine(i uint64) {
 	}
 	m.poisoned[i] = struct{}{}
 	m.stats.LinesPoisoned++
+	m.tel.EmitPoison(telemetry.PoisonEvent{Rank: m.telRank, Line: i})
 }
 
 // healLine clears poison on data line i, if any.
@@ -950,6 +984,7 @@ func (m *Memory) healLine(i uint64) {
 	if _, ok := m.poisoned[i]; ok {
 		delete(m.poisoned, i)
 		m.stats.LinesHealed++
+		m.tel.EmitPoison(telemetry.PoisonEvent{Rank: m.telRank, Line: i, Healed: true})
 	}
 }
 
@@ -1195,12 +1230,8 @@ func (m *Memory) Scrub(ctx context.Context) (ScrubReport, error) {
 	return rep, err
 }
 
-// ScrubFrom scans data lines [start, DataLines) with Scrub semantics
-// and additionally returns the next line to scan — DataLines when the
-// pass completed, or the resume point when ctx was cancelled. It is
-// the primitive background scrubbers use to resume an interrupted
-// pass instead of restarting it.
-func (m *Memory) ScrubFrom(ctx context.Context, start uint64) (ScrubReport, uint64, error) {
+// scrubFrom is ScrubFrom without the telemetry wrapper.
+func (m *Memory) scrubFrom(ctx context.Context, start uint64) (ScrubReport, uint64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -1230,21 +1261,8 @@ func (m *Memory) ScrubFrom(ctx context.Context, start uint64) (ScrubReport, uint
 	return rep, m.layout.DataLines, nil
 }
 
-// RepairChip models replacing chip (or re-mapping around it). Every
-// active permanent fault on the chip is cleared; then a verification
-// sweep reads every data line with the chip condemned, so the §IV-A
-// preemptive path rebuilds the chip's slice of every touched line —
-// data, counter and tree — from parity, MAC-verifies the result, and
-// commits it. Rebuilding under MAC verification (instead of blindly
-// XORing parity into the stored slice) matters when a second fault is
-// present: a blind rebuild would spread the other chip's error onto
-// the repaired chip and destroy an otherwise-correctable line.
-// Finally the parity region is recomputed from the verified data, the
-// scoreboard and condemned-chip state are reset so subsequent reads
-// run at full speed, and poisoned lines the repair fixed are healed —
-// any line that is still uncorrectable (a second fault elsewhere)
-// stays poisoned.
-func (m *Memory) RepairChip(chip int) error {
+// repairChip is RepairChip without the telemetry wrapper.
+func (m *Memory) repairChip(chip int) error {
 	if chip < 0 || chip >= dimm.Chips {
 		return fmt.Errorf("core: chip %d out of range [0,%d)", chip, dimm.Chips)
 	}
@@ -1268,6 +1286,7 @@ func (m *Memory) RepairChip(chip int) error {
 		case err == nil:
 			if wasPoisoned {
 				m.stats.LinesHealed++
+				m.tel.EmitPoison(telemetry.PoisonEvent{Rank: m.telRank, Line: i, Healed: true})
 			}
 		case errors.Is(err, ErrAttack):
 			// Still uncorrectable: readLocked re-poisoned the line.

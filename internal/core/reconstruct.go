@@ -36,9 +36,11 @@ func (m *Memory) reconstructEntry(e *pathEntry, parentCtr uint64) (int, int, err
 		m.stats.ReconstructionAttempts++
 		if m.entryVerify(&cand, parentCtr) {
 			*e = cand
+			m.emitReconstruction(e.addr, regionOfLevel(e.level), attempts, true)
 			return chip, attempts, nil
 		}
 	}
+	m.emitReconstruction(e.addr, regionOfLevel(e.level), attempts, false)
 	return -1, attempts, ErrAttack
 }
 
@@ -74,6 +76,9 @@ func (m *Memory) reconstructData(i uint64, ctr uint64, raw *dimm.Line) (fixed di
 	}
 	var p1 [8]byte
 	copy(p1[:], pl.Data[slot*8:slot*8+8])
+	defer func() {
+		m.emitReconstruction(dataAddr, RegionData, attempts, err == nil)
+	}()
 
 	// The MAC over the as-read data is computed once and reused for
 	// both MAC-chip reconstruction attempts.

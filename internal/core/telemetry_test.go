@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"synergy/internal/dimm"
+	"synergy/internal/telemetry"
+)
+
+func newInstrumentedMemory(tb testing.TB, lines uint64, reg *telemetry.Registry) *Memory {
+	tb.Helper()
+	m, err := New(Config{DataLines: lines, Telemetry: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// The steady-state read must stay allocation-free with telemetry
+// enabled — including on sampled iterations, so the registry is forced
+// to time every read (SampleEvery(1)) and the guard still demands
+// zero.
+func TestReadHotPathAllocs(t *testing.T) {
+	reg := telemetry.New(telemetry.SampleEvery(1))
+	m := newInstrumentedMemory(t, 1024, reg)
+	buf := make([]byte, LineSize)
+	if err := m.Write(42, fillLine(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(42, buf); err != nil { // warm the node cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Read(42, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented read allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// Corrections, poisons, scrub passes and repairs must reach the
+// registry with totals matching the engine's own Stats — the exporter
+// and the paper-facing counters must never disagree.
+func TestTelemetryTracksEngineEvents(t *testing.T) {
+	reg := telemetry.New()
+	m := newInstrumentedMemory(t, 256, reg)
+	buf := make([]byte, LineSize)
+	if err := m.Write(7, fillLine(0x33)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One correctable single-chip fault: the read must log exactly one
+	// correction against chip 2.
+	var mask [dimm.SliceSize]byte
+	mask[0] = 0xFF
+	if err := m.InjectTransient(m.layout.DataAddr(7), 2, mask); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(7, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// One uncorrectable (two-chip) fault: the read fails closed and
+	// poisons the line; the following write heals it.
+	if err := m.InjectTransients(m.layout.DataAddr(9), []ChipFault{
+		{Chip: 1, Mask: mask}, {Chip: 5, Mask: mask},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(9, buf); !errors.Is(err, ErrAttack) {
+		t.Fatalf("two-chip read: got %v, want ErrAttack", err)
+	}
+	if _, err := m.Read(9, buf); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoned read: got %v, want ErrPoisoned", err)
+	}
+	if err := m.Write(9, fillLine(0x44)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Scrub(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RepairChip(2); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	stats := m.Stats()
+	if len(s.Ranks) != 1 {
+		t.Fatalf("got %d rank snapshots, want 1", len(s.Ranks))
+	}
+	rk := s.Ranks[0]
+
+	var telCorrections uint64
+	for _, n := range rk.Corrections {
+		telCorrections += n
+	}
+	if telCorrections != stats.CorrectionEvents {
+		t.Errorf("telemetry corrections = %d, stats.CorrectionEvents = %d", telCorrections, stats.CorrectionEvents)
+	}
+	if rk.Corrections[2] == 0 {
+		t.Error("no correction recorded against chip 2")
+	}
+	if rk.Poisoned != stats.LinesPoisoned {
+		t.Errorf("telemetry poisoned = %d, stats.LinesPoisoned = %d", rk.Poisoned, stats.LinesPoisoned)
+	}
+	if rk.Healed != stats.LinesHealed {
+		t.Errorf("telemetry healed = %d, stats.LinesHealed = %d", rk.Healed, stats.LinesHealed)
+	}
+	if rk.FailClosed != stats.AttacksDeclared+stats.PoisonFastFails {
+		t.Errorf("telemetry fail-closed = %d, want AttacksDeclared+PoisonFastFails = %d",
+			rk.FailClosed, stats.AttacksDeclared+stats.PoisonFastFails)
+	}
+	if rk.Repairs != stats.ChipRepairs {
+		t.Errorf("telemetry repairs = %d, stats.ChipRepairs = %d", rk.Repairs, stats.ChipRepairs)
+	}
+	if rk.ScrubPasses != 1 {
+		t.Errorf("scrub passes = %d, want 1", rk.ScrubPasses)
+	}
+	if rk.ScrubScanned != 256 {
+		t.Errorf("scrub scanned = %d, want 256", rk.ScrubScanned)
+	}
+	// OpRead counts every Read call served at the public boundary:
+	// 1 corrected read + 2 fail-closed reads + 256 scrub reads.
+	// RepairChip's internal sweep bumps stats.Reads but bypasses the
+	// public Read, so it is deliberately absent here.
+	if got, want := s.Ops[telemetry.OpRead.String()].Count, uint64(1+2+256); got != want {
+		t.Errorf("op read count = %d, want %d", got, want)
+	}
+	if stats.Reads+stats.PoisonFastFails <= s.Ops[telemetry.OpRead.String()].Count {
+		t.Errorf("stats.Reads (%d) should exceed op count (sweep reads are engine-internal)", stats.Reads)
+	}
+	if got := s.Ops[telemetry.OpScrub.String()].Count; got != 1 {
+		t.Errorf("op scrub count = %d, want 1", got)
+	}
+	if got := s.Ops[telemetry.OpRepairChip.String()].Count; got != 1 {
+		t.Errorf("op repair count = %d, want 1", got)
+	}
+	if got := s.Ops[telemetry.OpRead.String()].Errors; got != 2 {
+		t.Errorf("op read errors = %d, want 2 (ErrAttack + ErrPoisoned)", got)
+	}
+}
+
+// A condemned chip must route reads through the §IV-A fast path and
+// count them as preemptive fixes, matching stats.PreemptiveFixes.
+func TestTelemetryCountsPreemptive(t *testing.T) {
+	reg := telemetry.New()
+	m, err := New(Config{DataLines: 64, FaultThreshold: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(3, fillLine(0x55)); err != nil {
+		t.Fatal(err)
+	}
+	var mask [dimm.SliceSize]byte
+	mask[0] = 0x01
+	if _, err := m.InjectPermanent(4, 0, m.layout.TotalLines-1, mask); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Read(3, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.KnownBadChip() != 4 {
+		t.Fatalf("chip 4 not condemned (knownBad=%d)", m.KnownBadChip())
+	}
+	s := reg.Snapshot()
+	if got, want := s.Ranks[0].Preemptive, m.Stats().PreemptiveFixes; got != want || got == 0 {
+		t.Errorf("telemetry preemptive = %d, stats.PreemptiveFixes = %d (want equal, nonzero)", got, want)
+	}
+}
+
+// Array ranks must label their events with their own rank index.
+func TestArrayTelemetryRankLabels(t *testing.T) {
+	reg := telemetry.New()
+	a, err := NewArray(Config{DataLines: 64, Ranks: 4, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global line 2 lands on rank 2; fault and read it there.
+	var mask [dimm.SliceSize]byte
+	mask[0] = 0xFF
+	m := a.Rank(2)
+	if err := a.Write(2, fillLine(0x66)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectTransient(m.Layout().DataAddr(0), 3, mask); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	if _, err := a.Read(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if len(s.Ranks) != 4 {
+		t.Fatalf("got %d rank snapshots, want 4 (pre-created at New)", len(s.Ranks))
+	}
+	if s.Ranks[2].Corrections[3] != 1 {
+		t.Errorf("rank 2 chip 3 corrections = %d, want 1", s.Ranks[2].Corrections[3])
+	}
+	for _, r := range []int{0, 1, 3} {
+		var total uint64
+		for _, n := range s.Ranks[r].Corrections {
+			total += n
+		}
+		if total != 0 {
+			t.Errorf("rank %d has %d corrections, want 0", r, total)
+		}
+	}
+}
+
+// BenchmarkReadHotPathInstrumented is BenchmarkReadHotPath with an
+// enabled registry at the default sampling period — the pair
+// scripts/bench.sh compares to bound telemetry overhead at ≤5%.
+func BenchmarkReadHotPathInstrumented(b *testing.B) {
+	reg := telemetry.New()
+	m := newInstrumentedMemory(b, 1024, reg)
+	buf := make([]byte, LineSize)
+	if err := m.Write(42, fillLine(0x11)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Read(42, buf); err != nil { // warm the node cache
+		b.Fatal(err)
+	}
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(42, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteHotPathInstrumented bounds the always-timed write
+// wrapper the same way.
+func BenchmarkWriteHotPathInstrumented(b *testing.B) {
+	reg := telemetry.New()
+	m := newInstrumentedMemory(b, 1024, reg)
+	line := fillLine(0x22)
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Write(uint64(i)&1023, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

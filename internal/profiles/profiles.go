@@ -1,0 +1,67 @@
+// Package profiles provides the -cpuprofile/-memprofile plumbing
+// shared by the synergy command-line tools, so each cmd does not carry
+// its own copy of the pprof start/flush dance.
+package profiles
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from a command line.
+type Flags struct {
+	// CPU is the -cpuprofile destination ("" = off).
+	CPU string
+	// Mem is the -memprofile destination ("" = off).
+	Mem string
+}
+
+// Register installs the two standard flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns a
+// stop function that must run before the process exits (defer it from
+// a helper, not main: os.Exit skips defers). stop ends the CPU
+// profile and, when -memprofile was given, forces a GC and writes the
+// live-heap profile. Errors are reported on stderr prefixed with
+// prog; a failure to open the CPU profile aborts with a non-nil error
+// so the run is not wasted profiling nothing.
+func (f *Flags) Start(prog string) (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", prog, err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", prog, err)
+		}
+	}
+	mem := f.Mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem == "" {
+			return
+		}
+		out, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+			return
+		}
+		defer out.Close()
+		runtime.GC() // materialize the final live-heap picture
+		if err := pprof.WriteHeapProfile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+		}
+	}, nil
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"synergy/internal/stats"
+	"synergy/internal/telemetry"
 )
 
 // FaultMode enumerates the Table I DRAM failure modes.
@@ -193,6 +194,10 @@ type Config struct {
 	// Calls are serialized and arrive in trial order; keep the
 	// callback fast.
 	Progress func(trialsDone, failures int)
+	// Telemetry, when non-nil, receives trial throughput (the "trial"
+	// op counter) as blocks merge, so a live /metrics endpoint shows
+	// Monte Carlo progress. It never affects results.
+	Telemetry *telemetry.Registry
 }
 
 // IVECConfig returns the §VII-A comparison point: IVEC on commodity x4
@@ -362,6 +367,7 @@ type aggregator struct {
 }
 
 func (a *aggregator) merge(s blockStats) {
+	a.cfg.Telemetry.AddTrials(s.trials)
 	a.trials += s.trials
 	a.failures += s.failures
 	a.faults += s.faults

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the stripe count for Counter. Power of two; sized
+// for a handful of ranks plus background actors (scrubber, chaos
+// conductor) without wasting a page per counter.
+const counterShards = 16
+
+// paddedUint64 keeps each shard's hot word on its own cacheline so
+// concurrent ranks incrementing the same logical counter never false-
+// share.
+type paddedUint64 struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing, striped atomic counter. The
+// zero value is ready to use. Add/AddAt never allocate; Load sums the
+// stripes and may be slightly stale against concurrent writers (each
+// stripe is read atomically, the sum is not a snapshot — fine for
+// monotonic metrics).
+type Counter struct {
+	shards [counterShards]paddedUint64
+}
+
+// Add increments the counter by n, picking a stripe from the calling
+// goroutine's stack address — distinct goroutines land on distinct
+// stripes with high probability.
+func (c *Counter) Add(n uint64) {
+	c.shards[stackShard()].n.Add(n)
+}
+
+// AddAt increments the counter by n on the stripe selected by hint
+// (typically a rank index). Any hint value is safe.
+func (c *Counter) AddAt(hint int, n uint64) {
+	c.shards[uint(hint)%counterShards].n.Add(n)
+}
+
+// Load returns the counter's current total.
+func (c *Counter) Load() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// stackShard derives a stripe index from the address of a stack
+// variable: goroutine stacks are distinct, so concurrent callers
+// spread across stripes without any goroutine-local state. The index
+// only affects contention, never correctness — a stack move between
+// calls just changes which stripe absorbs the increment.
+func stackShard() uint {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return uint((p>>8)^(p>>16)) % counterShards
+}

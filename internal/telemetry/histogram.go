@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"math/bits"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket i
+// counts observations with a nanosecond value whose bit length is i,
+// i.e. durations in [2^(i-1), 2^i) ns (bucket 0 holds zero and
+// negative durations). 48 buckets reach 2^47 ns ≈ 39 hours — any
+// observation beyond that clamps into the last bucket.
+const NumBuckets = 48
+
+// histShards is the stripe count for Histogram. Smaller than
+// counterShards because each stripe is a full bucket array; stripes
+// are naturally cacheline-separated by the array stride.
+const histShards = 4
+
+// histShard is one stripe: a count/sum pair plus the bucket array.
+type histShard struct {
+	count   paddedUint64
+	sum     paddedUint64 // nanoseconds
+	buckets [NumBuckets]paddedUint64
+}
+
+// Histogram is a fixed-bucket log2 latency histogram. The zero value
+// is ready to use; Observe/ObserveAt never allocate.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration, striping by the caller's stack.
+func (h *Histogram) Observe(d time.Duration) {
+	h.observe(int(stackShard()), d)
+}
+
+// ObserveAt records one duration on the stripe selected by hint.
+func (h *Histogram) ObserveAt(hint int, d time.Duration) {
+	h.observe(int(uint(hint)%histShards), d)
+}
+
+func (h *Histogram) observe(shard int, d time.Duration) {
+	s := &h.shards[uint(shard)%histShards]
+	s.count.n.Add(1)
+	if d > 0 {
+		s.sum.n.Add(uint64(d))
+	}
+	s.buckets[bucketOf(d)].n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable
+// for JSON export and client-side deltas.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// SumNanos is the sum of all observed durations in nanoseconds.
+	SumNanos uint64 `json:"sum_nanos"`
+	// Buckets[i] counts observations in [2^(i-1), 2^i) nanoseconds
+	// (see NumBuckets).
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current totals. Concurrent writers
+// may land between stripe reads; counts are monotonic so a snapshot is
+// always a valid "at or before now" view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.n.Load()
+		s.SumNanos += sh.sum.n.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].n.Load()
+		}
+	}
+	return s
+}
+
+// BucketUpperNanos returns bucket i's exclusive upper bound in
+// nanoseconds (2^i).
+func BucketUpperNanos(i int) uint64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1 << 62
+	}
+	return 1 << uint(i)
+}
+
+// Sub returns the delta s - prev, bucket-wise. Negative underflow
+// (a restarted exporter) clamps to zero.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Count:    subClamp(s.Count, prev.Count),
+		SumNanos: subClamp(s.SumNanos, prev.SumNanos),
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = subClamp(s.Buckets[i], prev.Buckets[i])
+	}
+	return d
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the covering log2 bucket. Coarse by design —
+// the buckets are octaves — but stable and monotonic in q.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := float64(BucketUpperNanos(i) / 2)
+			hi := float64(BucketUpperNanos(i))
+			if i == 0 {
+				lo = 0
+			}
+			frac := (target - cum) / float64(n)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return time.Duration(BucketUpperNanos(NumBuckets - 1))
+}
+
+func subClamp(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters for every op and rank
+// event, histograms (cumulative le buckets, in seconds) for op
+// latencies and the secure-read pipeline stages. A disabled registry
+// renders the metric families with no samples.
+//
+// Metric names:
+//
+//	synergy_ops_total{op=...}
+//	synergy_op_errors_total{op=...}
+//	synergy_op_latency_seconds{op=...}           (histogram)
+//	synergy_read_stage_seconds{stage=...}        (histogram, sampled)
+//	synergy_corrections_total{rank=...,chip=...}
+//	synergy_preemptive_fixes_total{rank=...}
+//	synergy_reconstructions_total{rank=...,outcome="ok"|"failed"}
+//	synergy_reconstruction_attempts_total{rank=...}
+//	synergy_poison_events_total{rank=...,event="poisoned"|"healed"}
+//	synergy_fail_closed_total{rank=...}
+//	synergy_chip_repairs_total{rank=...}
+//	synergy_scrub_passes_total{rank=...}
+//	synergy_scrub_lines_scanned_total{rank=...}
+//	synergy_scrub_lines_corrected_total{rank=...}
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	ew := &errWriter{w: w}
+
+	ew.family("synergy_ops_total", "counter", "Completed engine operations by kind.")
+	forEachOp(s, func(name string, op OpSnapshot) {
+		ew.sample("synergy_ops_total", lbl("op", name), op.Count)
+	})
+	ew.family("synergy_op_errors_total", "counter", "Failed engine operations by kind (subset of synergy_ops_total).")
+	forEachOp(s, func(name string, op OpSnapshot) {
+		ew.sample("synergy_op_errors_total", lbl("op", name), op.Errors)
+	})
+
+	ew.family("synergy_op_latency_seconds", "histogram", "Operation latency. Single-line reads are sampled (see DESIGN.md §10); coarse ops are timed on every call.")
+	forEachOp(s, func(name string, op OpSnapshot) {
+		if name == OpTrial.String() {
+			return // trials are counted, never timed
+		}
+		ew.histogram("synergy_op_latency_seconds", lbl("op", name), op.Latency)
+	})
+
+	ew.family("synergy_read_stage_seconds", "histogram", "Sampled secure-read pipeline stage latency (Fig. 5 breakdown).")
+	stageNames := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		stageNames = append(stageNames, name)
+	}
+	sort.Strings(stageNames)
+	for _, name := range stageNames {
+		ew.histogram("synergy_read_stage_seconds", lbl("stage", name), s.Stages[name])
+	}
+
+	ew.family("synergy_corrections_total", "counter", "Successful line corrections by rank and identified chip.")
+	for _, rk := range s.Ranks {
+		for chip, n := range rk.Corrections {
+			ew.sample("synergy_corrections_total",
+				lbl("rank", strconv.Itoa(rk.Rank))+","+lbl("chip", strconv.Itoa(chip)), n)
+		}
+	}
+	ew.family("synergy_preemptive_fixes_total", "counter", "Reads served via the condemned-chip pre-emptive path.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_preemptive_fixes_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.Preemptive)
+	}
+	ew.family("synergy_reconstructions_total", "counter", "Reconstruction-loop runs by outcome.")
+	for _, rk := range s.Ranks {
+		rl := lbl("rank", strconv.Itoa(rk.Rank))
+		ew.sample("synergy_reconstructions_total", rl+","+lbl("outcome", "ok"),
+			subClamp(rk.Reconstructions, rk.ReconstructionFailures))
+		ew.sample("synergy_reconstructions_total", rl+","+lbl("outcome", "failed"), rk.ReconstructionFailures)
+	}
+	ew.family("synergy_reconstruction_attempts_total", "counter", "Candidate reconstructions tried (MAC recomputations spent correcting).")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_reconstruction_attempts_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.ReconstructionAttempts)
+	}
+	ew.family("synergy_poison_events_total", "counter", "Lines poisoned (uncorrectable) and healed (write or repair).")
+	for _, rk := range s.Ranks {
+		rl := lbl("rank", strconv.Itoa(rk.Rank))
+		ew.sample("synergy_poison_events_total", rl+","+lbl("event", "poisoned"), rk.Poisoned)
+		ew.sample("synergy_poison_events_total", rl+","+lbl("event", "healed"), rk.Healed)
+	}
+	ew.family("synergy_fail_closed_total", "counter", "Reads that failed closed (ErrAttack or poisoned fast-fail).")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_fail_closed_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.FailClosed)
+	}
+	ew.family("synergy_chip_repairs_total", "counter", "Completed RepairChip sweeps.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_chip_repairs_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.Repairs)
+	}
+	ew.family("synergy_scrub_passes_total", "counter", "Scrub scans that reached the end of a rank's data region.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_scrub_passes_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.ScrubPasses)
+	}
+	ew.family("synergy_scrub_lines_scanned_total", "counter", "Data lines examined by scrub segments.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_scrub_lines_scanned_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.ScrubScanned)
+	}
+	ew.family("synergy_scrub_lines_corrected_total", "counter", "Data lines corrected during scrub segments.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_scrub_lines_corrected_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.ScrubCorrected)
+	}
+	return ew.err
+}
+
+// forEachOp visits ops in a stable (sorted) order.
+func forEachOp(s Snapshot, fn func(name string, op OpSnapshot)) {
+	names := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, s.Ops[name])
+	}
+}
+
+func lbl(k, v string) string { return k + `="` + v + `"` }
+
+// errWriter accumulates the first write error so the exporter body
+// stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *errWriter) family(name, typ, help string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (e *errWriter) sample(name, labels string, v uint64) {
+	e.printf("%s{%s} %d\n", name, labels, v)
+}
+
+// histogram emits the cumulative-bucket exposition of h under the base
+// name and label set, with bounds converted from nanoseconds to
+// seconds. Empty buckets are skipped (the cumulative count is carried
+// forward), keeping the page compact without changing its meaning.
+func (e *errWriter) histogram(base, labels string, h HistogramSnapshot) {
+	var cum uint64
+	for i, n := range h.Buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		le := strconv.FormatFloat(float64(BucketUpperNanos(i))/1e9, 'g', -1, 64)
+		e.printf("%s_bucket{%s,le=%q} %d\n", base, labels, le, cum)
+	}
+	e.printf("%s_bucket{%s,le=\"+Inf\"} %d\n", base, labels, h.Count)
+	e.printf("%s_sum{%s} %s\n", base, labels,
+		strconv.FormatFloat(float64(h.SumNanos)/1e9, 'g', -1, 64))
+	e.printf("%s_count{%s} %d\n", base, labels, h.Count)
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one exposition sample: name{labels} value. The
+// value may be an integer, float or exponent form.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{([a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\} ` +
+		`(NaN|[-+]?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+
+// parseExposition validates the text format line by line and returns
+// the sample count per metric family.
+func parseExposition(t *testing.T, text string) map[string]int {
+	t.Helper()
+	families := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		name := line[:strings.IndexByte(line, '{')]
+		families[strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New(SampleEvery(1))
+	r.CountOp(OpRead, 0)
+	r.CountOp(OpRead, 1)
+	r.CountOpError(OpRead, 0)
+	r.ObserveOp(OpRead, 0, 300*time.Nanosecond)
+	r.ObserveStage(StageCounterFetch, 0, 80*time.Nanosecond)
+	r.ObserveStage(StageOTP, 0, 40*time.Nanosecond)
+	r.EmitCorrection(CorrectionEvent{Rank: 0, Chip: 4, Region: "data", Line: 12})
+	r.EmitCorrection(CorrectionEvent{Rank: 1, Chip: 7, Region: "tree", Line: 90})
+	r.EmitPoison(PoisonEvent{Rank: 0, Line: 3})
+	r.EmitScrubPass(ScrubEvent{Rank: 0, Scanned: 128, Corrected: 1})
+	r.CountScrubSegment(0, 128, 1)
+	r.EmitRepair(RepairEvent{Rank: 1, Chip: 7})
+	r.AddTrials(10_000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	families := parseExposition(t, text)
+
+	for _, want := range []string{
+		"synergy_ops_total",
+		"synergy_op_errors_total",
+		"synergy_op_latency_seconds",
+		"synergy_read_stage_seconds",
+		"synergy_corrections_total",
+		"synergy_poison_events_total",
+		"synergy_scrub_passes_total",
+		"synergy_chip_repairs_total",
+	} {
+		if families[want] == 0 {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+	for _, want := range []string{
+		`synergy_corrections_total{rank="0",chip="4"} 1`,
+		`synergy_corrections_total{rank="1",chip="7"} 1`,
+		`synergy_ops_total{op="read"} 2`,
+		`synergy_op_errors_total{op="read"} 1`,
+		`synergy_ops_total{op="trial"} 10000`,
+		`synergy_poison_events_total{rank="0",event="poisoned"} 1`,
+		`synergy_scrub_lines_scanned_total{rank="0"} 128`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing sample %q", want)
+		}
+	}
+	// Histograms must be cumulative and end at +Inf == count.
+	if !strings.Contains(text, `synergy_op_latency_seconds_bucket{op="read",le="+Inf"} 1`) {
+		t.Error("read latency +Inf bucket missing or wrong")
+	}
+	if !strings.Contains(text, `synergy_op_latency_seconds_count{op="read"} 1`) {
+		t.Error("read latency count missing")
+	}
+	// The trial op is counted but never timed.
+	if strings.Contains(text, `synergy_op_latency_seconds_count{op="trial"}`) {
+		t.Error("trial op must not emit a latency histogram")
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	r := New()
+	// Three observations in three distinct octaves.
+	r.ObserveOp(OpWrite, 0, 100*time.Nanosecond)
+	r.ObserveOp(OpWrite, 0, 10*time.Microsecond)
+	r.ObserveOp(OpWrite, 0, 1*time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	last := uint64(0)
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	seen := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `synergy_op_latency_seconds_bucket{op="write",`) {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("buckets not cumulative: %q after %d", line, last)
+		}
+		last = v
+		seen++
+	}
+	if seen < 4 { // 3 octaves + +Inf
+		t.Fatalf("expected ≥4 write buckets, saw %d", seen)
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestWritePrometheusDisabled(t *testing.T) {
+	var b strings.Builder
+	if err := Disabled.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, b.String()) // must still be well-formed
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+// Sink receives engine events synchronously as they happen. The engine
+// calls sinks from inside its locked sections (a correction fires
+// mid-read, under the rank lock), so implementations must be fast,
+// must not block, and must never call back into the Memory/Array that
+// emitted the event — that deadlocks. Fan slow consumers out through a
+// channel the sink owns.
+//
+// BaseSink provides no-op defaults: embed it and override the hooks
+// you need, and new hooks added later won't break your build.
+type Sink interface {
+	// OnCorrection fires after a line (data, counter or tree) was
+	// successfully repaired and committed back to the module.
+	OnCorrection(CorrectionEvent)
+	// OnReconstruction fires after each run of the candidate
+	// reconstruction loop, successful or not (a failed run is the
+	// prelude to ErrAttack).
+	OnReconstruction(ReconstructionEvent)
+	// OnPoison fires when a line is poisoned (uncorrectable error
+	// declared) and again, with Healed set, when a write or repair
+	// clears it.
+	OnPoison(PoisonEvent)
+	// OnScrubPass fires when a scrub scan reaches the end of a rank's
+	// data region (foreground Scrub, or the completing segment of a
+	// resumed background pass).
+	OnScrubPass(ScrubEvent)
+	// OnRepair fires after a RepairChip sweep completes.
+	OnRepair(RepairEvent)
+}
+
+// CorrectionEvent describes one successful line repair.
+type CorrectionEvent struct {
+	// Rank is the emitting rank's index (0 for a standalone Memory).
+	Rank int
+	// Chip is the chip the repair identified as faulty (0..8).
+	Chip int
+	// Region names the repaired region: "data", "counter" or "tree".
+	Region string
+	// Line is the module line address that was repaired.
+	Line uint64
+	// UsedParityP marks corrections that needed the parity-of-parities.
+	UsedParityP bool
+	// Preemptive marks repairs served by the §IV-A condemned-chip fast
+	// path rather than the reconstruction loop.
+	Preemptive bool
+}
+
+// ReconstructionEvent describes one run of the reconstruction attempt
+// loop (up to 16 candidates for a data line, up to 8 for a node line).
+type ReconstructionEvent struct {
+	Rank int
+	// Line is the module line address being reconstructed.
+	Line uint64
+	// Region names the line's region: "data", "counter" or "tree".
+	Region string
+	// Attempts is the number of candidate reconstructions tried (MAC
+	// recomputations spent).
+	Attempts int
+	// Success reports whether any candidate verified.
+	Success bool
+}
+
+// PoisonEvent describes a line entering (or, Healed, leaving) the
+// poisoned state.
+type PoisonEvent struct {
+	Rank int
+	// Line is the rank-local data line index.
+	Line uint64
+	// Healed is false when the line was just poisoned, true when a
+	// write or repair cleared the poison.
+	Healed bool
+}
+
+// ScrubEvent describes a completed scrub scan over one rank.
+type ScrubEvent struct {
+	Rank int
+	// Scanned, Corrected and Poisoned summarize the completing segment
+	// (the whole pass when it ran uninterrupted; the final resumed
+	// segment otherwise).
+	Scanned   uint64
+	Corrected int
+	Poisoned  int
+}
+
+// RepairEvent describes a completed RepairChip sweep.
+type RepairEvent struct {
+	Rank int
+	// Chip is the replaced chip.
+	Chip int
+}
+
+// BaseSink implements Sink with no-ops; embed it to implement only the
+// hooks you care about.
+type BaseSink struct{}
+
+func (BaseSink) OnCorrection(CorrectionEvent)         {}
+func (BaseSink) OnReconstruction(ReconstructionEvent) {}
+func (BaseSink) OnPoison(PoisonEvent)                 {}
+func (BaseSink) OnScrubPass(ScrubEvent)               {}
+func (BaseSink) OnRepair(RepairEvent)                 {}
+
+// Attach registers a sink; events emitted after Attach returns are
+// delivered to it. Attach is safe to call while the engine is serving
+// traffic; sinks cannot be detached (create a fresh Registry for a
+// bounded observation window instead).
+func (r *Registry) Attach(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur []Sink
+	if p := r.sinks.Load(); p != nil {
+		cur = *p
+	}
+	grown := make([]Sink, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = s
+	r.sinks.Store(&grown)
+}
+
+// sinkList returns the registered sinks (read-only, lock-free).
+func (r *Registry) sinkList() []Sink {
+	if r == nil {
+		return nil
+	}
+	if p := r.sinks.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// EmitCorrection records a correction in the rank's counters and fans
+// it out to the sinks.
+func (r *Registry) EmitCorrection(e CorrectionEvent) {
+	if r == nil {
+		return
+	}
+	if rm := r.Rank(e.Rank); rm != nil {
+		if e.Chip >= 0 && e.Chip < NumChips {
+			rm.corrections[e.Chip].AddAt(e.Rank, 1)
+		}
+		if e.Preemptive {
+			rm.preemptive.AddAt(e.Rank, 1)
+		}
+	}
+	for _, s := range r.sinkList() {
+		s.OnCorrection(e)
+	}
+}
+
+// EmitReconstruction records a reconstruction-loop run.
+func (r *Registry) EmitReconstruction(e ReconstructionEvent) {
+	if r == nil {
+		return
+	}
+	if rm := r.Rank(e.Rank); rm != nil {
+		rm.reconstructions.AddAt(e.Rank, 1)
+		rm.reconstructionAttempts.AddAt(e.Rank, uint64(e.Attempts))
+		if !e.Success {
+			rm.reconstructionFailures.AddAt(e.Rank, 1)
+		}
+	}
+	for _, s := range r.sinkList() {
+		s.OnReconstruction(e)
+	}
+}
+
+// EmitPoison records a poison (or heal) event.
+func (r *Registry) EmitPoison(e PoisonEvent) {
+	if r == nil {
+		return
+	}
+	if rm := r.Rank(e.Rank); rm != nil {
+		if e.Healed {
+			rm.healed.AddAt(e.Rank, 1)
+		} else {
+			rm.poisoned.AddAt(e.Rank, 1)
+		}
+	}
+	for _, s := range r.sinkList() {
+		s.OnPoison(e)
+	}
+}
+
+// EmitScrubPass records a completed per-rank scrub scan.
+func (r *Registry) EmitScrubPass(e ScrubEvent) {
+	if r == nil {
+		return
+	}
+	if rm := r.Rank(e.Rank); rm != nil {
+		rm.scrubPasses.AddAt(e.Rank, 1)
+	}
+	for _, s := range r.sinkList() {
+		s.OnScrubPass(e)
+	}
+}
+
+// CountScrubSegment records one scrub segment's progress (every
+// ScrubFrom call, completing or not).
+func (r *Registry) CountScrubSegment(rank int, scanned uint64, corrected int) {
+	if rm := r.Rank(rank); rm != nil {
+		rm.scrubSegments.AddAt(rank, 1)
+		rm.scrubScanned.AddAt(rank, scanned)
+		rm.scrubCorrected.AddAt(rank, uint64(corrected))
+	}
+}
+
+// EmitRepair records a completed RepairChip sweep.
+func (r *Registry) EmitRepair(e RepairEvent) {
+	if r == nil {
+		return
+	}
+	if rm := r.Rank(e.Rank); rm != nil {
+		rm.repairs.AddAt(e.Rank, 1)
+	}
+	for _, s := range r.sinkList() {
+		s.OnRepair(e)
+	}
+}

@@ -1,0 +1,155 @@
+package synergy_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"synergy"
+)
+
+// ServeMetrics must bind, serve a parseable Prometheus page and a
+// JSON snapshot reflecting live traffic, and release its port on
+// Close.
+func TestServeMetrics(t *testing.T) {
+	reg := synergy.NewTelemetry()
+	mem, err := synergy.New(synergy.Config{DataLines: 128, Ranks: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, synergy.LineSize)
+	for i := uint64(0); i < 16; i++ {
+		if err := mem.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mem.Read(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := synergy.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	for _, want := range []string{
+		`synergy_ops_total{op="read"} 16`,
+		`synergy_ops_total{op="write"} 16`,
+		"# TYPE synergy_read_stage_seconds histogram",
+		`synergy_corrections_total{rank="0",chip="0"} 0`,
+		`synergy_corrections_total{rank="1",chip="0"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap synergy.TelemetrySnapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if got := snap.Ops["read"].Count; got != 16 {
+		t.Errorf("snapshot read count = %d, want 16", got)
+	}
+	if len(snap.Ranks) != 2 {
+		t.Errorf("snapshot has %d ranks, want 2", len(snap.Ranks))
+	}
+
+	if !strings.Contains(get("/debug/vars"), "memstats") {
+		t.Error("/debug/vars missing expvar memstats")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+// ServeMetrics with no registry serves the process-wide default.
+func TestServeMetricsDefaultRegistry(t *testing.T) {
+	srv, err := synergy.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "# TYPE synergy_ops_total counter") {
+		t.Error("default-registry exposition missing op counter family")
+	}
+}
+
+// A custom sink attached through the facade must see events from an
+// Array built with the same registry.
+func TestTelemetrySinkThroughFacade(t *testing.T) {
+	reg := synergy.NewTelemetry()
+	var poisons []synergy.PoisonEvent
+	sink := &poisonRecorder{events: &poisons}
+	reg.Attach(sink)
+	mem, err := synergy.New(synergy.Config{DataLines: 64, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison a line via a two-chip corruption, then heal it by writing.
+	line := make([]byte, synergy.LineSize)
+	if err := mem.Write(5, line); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.Rank(0)
+	var mask [8]byte
+	mask[0] = 0xFF
+	if err := m.InjectTransients(m.Layout().DataAddr(5), []synergy.ChipFault{
+		{Chip: 0, Mask: mask}, {Chip: 3, Mask: mask},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Read(5, line); !synergy.IsFailClosed(err) {
+		t.Fatalf("read of corrupted line: %v, want fail-closed", err)
+	}
+	if err := mem.Write(5, line); err != nil {
+		t.Fatal(err)
+	}
+	if len(poisons) != 2 {
+		t.Fatalf("sink saw %d poison events, want 2 (poison + heal)", len(poisons))
+	}
+	if poisons[0].Healed || !poisons[1].Healed {
+		t.Errorf("event order wrong: %+v", poisons)
+	}
+}
+
+type poisonRecorder struct {
+	synergy.TelemetryBaseSink
+	events *[]synergy.PoisonEvent
+}
+
+func (r *poisonRecorder) OnPoison(e synergy.PoisonEvent) { *r.events = append(*r.events, e) }

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Run the crypto hot-path benchmarks, the reliability-engine throughput
-# comparison, and the degraded-mode read benchmarks, capturing
-# machine-readable results in BENCH_crypto.json, BENCH_reliability.json
-# and BENCH_chaos.json at the repo root.
+# comparison, the degraded-mode read benchmarks and the telemetry
+# overhead pair, capturing machine-readable results in
+# BENCH_crypto.json, BENCH_reliability.json, BENCH_chaos.json and
+# BENCH_telemetry.json at the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count        -count value per crypto benchmark (default 5)
@@ -46,3 +47,23 @@ go test -run='^$' -bench='BenchmarkDegradedRead' -benchmem -count="$COUNT" \
     ./internal/core/ | tee "$CHAOS_RAW"
 go run ./scripts/benchjson <"$CHAOS_RAW" >"$CHAOS_OUT"
 echo "wrote $CHAOS_OUT"
+
+# Telemetry overhead: the same steady-state hot paths with a live
+# registry recording (counters exact, stages sampled 1-in-64) next to
+# the uninstrumented baseline. Budget: instrumented read within 5% of
+# disabled and still 0 allocs/op (DESIGN.md §10). Rounds are
+# interleaved (-count=1 per round) instead of one grouped -count run:
+# grouped, a load spike mid-run lands entirely on whichever side runs
+# later and fakes an overhead regression.
+TEL_OUT="BENCH_telemetry.json"
+TEL_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$CHAOS_RAW" "$TEL_RAW"' EXIT
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+    go test -run='^$' \
+        -bench='BenchmarkReadHotPath$|BenchmarkWriteHotPath$|BenchmarkReadHotPathInstrumented|BenchmarkWriteHotPathInstrumented' \
+        -benchmem -count=1 ./internal/core/ | tee -a "$TEL_RAW"
+    i=$((i + 1))
+done
+go run ./scripts/benchjson <"$TEL_RAW" >"$TEL_OUT"
+echo "wrote $TEL_OUT"
