@@ -96,15 +96,28 @@ func IsFailClosed(err error) bool { return core.IsFailClosed(err) }
 // New builds a Synergy memory: cfg.Ranks independent 9-chip ranks
 // (default 1) with cfg.DataLines total capacity interleaved across
 // them. The returned Array is safe for concurrent use.
+//
+// With Config.MetadataCache > 0 the engine runs its counter/tree cache
+// in write-back mode: hot-line writes advance metadata in the on-chip
+// cache and defer sealing + storing to eviction or Array.Flush. Stored
+// (module-level) state is then stale between writes and the next
+// Flush/Sync; reads, scrubbing, and repair remain fully coherent
+// throughout because they consult the cache first.
 func New(cfg Config) (*Array, error) { return core.NewArray(cfg) }
 
-// NewArray builds a multi-rank memory with an explicit rank count.
-//
-// Deprecated: set Config.Ranks and call New instead.
-func NewArray(cfg Config, ranks int) (*Array, error) {
-	cfg.Ranks = ranks
-	return core.NewArray(cfg)
-}
+// LineError is one failed line of a batched operation: its position in
+// the batch, its (global) line address, and the underlying error.
+type LineError = core.LineError
+
+// BatchError reports every line of a ReadBatch/WriteBatch that failed
+// at runtime. Malformed requests (wrong buffer size, out-of-range
+// address) reject the whole batch up front with a plain wrapped
+// sentinel; a well-formed batch attempts every line, serves the
+// successes, and collects the failures here, each wrapping the usual
+// sentinels — errors.Is(err, ErrPoisoned) is true iff some line failed
+// poisoned, and errors.As recovers the *BatchError for the per-line
+// detail.
+type BatchError = core.BatchError
 
 // Store is the line read/write contract shared by Memory and Array.
 type Store = core.Store
@@ -354,10 +367,3 @@ func RunExperiment(exp Experiment, opts ...ExperimentOption) (ExperimentResult, 
 	}, nil
 }
 
-// RunExperimentWithBudget regenerates one figure with an explicit
-// per-core instruction budget — the pre-options signature.
-//
-// Deprecated: use RunExperiment with WithInstructionBudget.
-func RunExperimentWithBudget(exp Experiment, baseInstr uint64) (ExperimentResult, error) {
-	return RunExperiment(exp, WithInstructionBudget(baseInstr))
-}

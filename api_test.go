@@ -2,6 +2,7 @@ package synergy_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -51,10 +52,26 @@ func TestPublicMultiRankAndBatch(t *testing.T) {
 		t.Fatal("batched round trip failed")
 	}
 
-	// Deprecated shim still constructs the same shape.
-	old, err := synergy.NewArray(synergy.Config{DataLines: 64}, 2)
-	if err != nil || old.Ranks() != 2 {
-		t.Fatalf("NewArray shim: %v, ranks %d", err, old.Ranks())
+	// Write-back metadata cache through the facade: writes land, Flush
+	// and Sync both report clean, and reads stay coherent throughout.
+	wb, err := synergy.New(synergy.Config{DataLines: 64, Ranks: 2, MetadataCache: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.WriteBatch(lines, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := wb.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := wb.ReadBatch(lines, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("write-back round trip failed")
 	}
 }
 
@@ -137,10 +154,5 @@ func TestPublicExperiment(t *testing.T) {
 	}
 	if _, err := synergy.RunExperiment("fig99"); !errors.Is(err, synergy.ErrUnknownExperiment) {
 		t.Fatalf("unknown experiment: %v, want wrapped ErrUnknownExperiment", err)
-	}
-	// The deprecated fixed-signature wrapper routes through the same
-	// taxonomy.
-	if _, err := synergy.RunExperimentWithBudget("fig99", 0); !errors.Is(err, synergy.ErrUnknownExperiment) {
-		t.Fatalf("deprecated wrapper: %v, want wrapped ErrUnknownExperiment", err)
 	}
 }

@@ -4,7 +4,7 @@
 // permanent failure with the §IV-A scoreboard; the fail-closed attack
 // cases; and the degraded-mode lifecycle that follows them — poison
 // fast-fail, a patrol scrub that logs-and-continues, and chip
-// replacement via RepairChip (DESIGN.md §9).
+// replacement via RepairChip (DESIGN.md §10).
 //
 //	go run ./examples/fault-injection
 package main

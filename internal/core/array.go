@@ -132,39 +132,120 @@ func (a *Array) plan(lines []uint64, buf []byte, perLine int) ([]batchPlan, erro
 	return plans, nil
 }
 
+// rankScratch is the per-rank gather/scatter staging for a multi-rank
+// batch: line bytes plus read infos, pooled so steady-state batches
+// allocate nothing.
+type rankScratch struct {
+	buf   []byte
+	infos []ReadInfo
+}
+
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+func (s *rankScratch) grow(n int) {
+	if cap(s.buf) < n*LineSize {
+		s.buf = make([]byte, n*LineSize)
+	}
+	if cap(s.infos) < n {
+		s.infos = make([]ReadInfo, n)
+	}
+	s.buf, s.infos = s.buf[:n*LineSize], s.infos[:n]
+}
+
+// mergeBatchErrs folds per-rank batch outcomes into one caller-facing
+// error: rank *BatchErrors are remapped to the caller's batch indices
+// and global line addresses and merged into a single BatchError;
+// anything else (a rank-wide failure) passes through via errors.Join.
+func (a *Array) mergeBatchErrs(lines []uint64, plans []batchPlan, errs []error) error {
+	var be *BatchError
+	var others []error
+	for r, rerr := range errs {
+		if rerr == nil {
+			continue
+		}
+		var rbe *BatchError
+		if errors.As(rerr, &rbe) {
+			for _, le := range rbe.Failed {
+				gk := plans[r].at[le.Index]
+				be = be.add(gk, lines[gk], le.Err)
+			}
+			continue
+		}
+		others = append(others, fmt.Errorf("core: rank %d: %w", r, rerr))
+	}
+	if len(others) > 0 {
+		if e := be.orNil(); e != nil {
+			others = append(others, e)
+		}
+		return errors.Join(others...)
+	}
+	return be.orNil()
+}
+
 // ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
 // every k. Lines are grouped by rank, each rank's lock is acquired once
 // for its whole group, and the per-rank groups run concurrently — one
 // call saturates every rank the batch touches. Duplicate lines are
-// allowed. On error, infos and dst are valid only for the lines whose
-// rank group completed; the returned error joins one error per failed
-// rank.
+// allowed. Every line is attempted: per-line failures collect into a
+// *BatchError carrying the caller's batch indices and global line
+// addresses (errors.Is still matches the wrapped sentinels), and dst
+// and infos are valid for every index not listed in it.
 func (a *Array) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
-	plans, err := a.plan(lines, dst, LineSize)
-	if err != nil {
-		return nil, err
+	infos := make([]ReadInfo, len(lines))
+	err := a.ReadBatchInto(lines, dst, infos)
+	return infos, err
+}
+
+// checkBatch validates batch geometry without building rank plans —
+// the single-rank fast path's allocation-free substitute for plan.
+func (a *Array) checkBatch(lines []uint64, buf []byte, perLine int) error {
+	if len(buf) != len(lines)*perLine {
+		return fmt.Errorf("core: batch needs %d×%d bytes, got %d: %w",
+			len(lines), perLine, len(buf), ErrBadLineSize)
+	}
+	for _, line := range lines {
+		if line >= a.dataLines {
+			return fmt.Errorf("core: data line %d out of range [0,%d): %w", line, a.dataLines, ErrOutOfRange)
+		}
+	}
+	return nil
+}
+
+// ReadBatchInto is ReadBatch writing into a caller-owned infos slice
+// (len(infos) must equal len(lines)) — the steady-state form that
+// allocates nothing on the success path.
+func (a *Array) ReadBatchInto(lines []uint64, dst []byte, infos []ReadInfo) error {
+	if len(infos) != len(lines) {
+		return fmt.Errorf("core: batch needs %d infos, got %d: %w", len(lines), len(infos), ErrBadLineSize)
 	}
 	if len(a.ranks) == 1 {
 		// Single rank preserves caller order (inner[k] == lines[k]), so
-		// the batch runs in place: no fan-out, no scatter copy.
-		return a.ranks[0].ReadBatch(plans[0].inner, dst)
+		// the batch runs in place: no plan, no fan-out, no scatter copy,
+		// and the rank's BatchError already carries global indices.
+		if err := a.checkBatch(lines, dst, LineSize); err != nil {
+			return err
+		}
+		return a.ranks[0].ReadBatchInto(lines, dst, infos)
 	}
-	infos := make([]ReadInfo, len(lines))
+	plans, err := a.plan(lines, dst, LineSize)
+	if err != nil {
+		return err
+	}
 	errs := make([]error, len(a.ranks))
 	runRank := func(r int) {
 		p := &plans[r]
-		buf := make([]byte, len(p.inner)*LineSize)
-		rinfos, rerr := a.ranks[r].ReadBatch(p.inner, buf)
+		s := rankScratchPool.Get().(*rankScratch)
+		s.grow(len(p.inner))
+		rerr := a.ranks[r].ReadBatchInto(p.inner, s.buf, s.infos)
 		for j, k := range p.at {
-			copy(dst[k*LineSize:(k+1)*LineSize], buf[j*LineSize:(j+1)*LineSize])
-			infos[k] = rinfos[j]
+			copy(dst[k*LineSize:(k+1)*LineSize], s.buf[j*LineSize:(j+1)*LineSize])
+			infos[k] = s.infos[j]
 		}
-		if rerr != nil {
-			errs[r] = fmt.Errorf("core: rank %d: %w", r, rerr)
-		}
+		rankScratchPool.Put(s)
+		errs[r] = rerr
 	}
 	fanOut(plans, runRank)
-	return infos, errors.Join(errs...)
+	return a.mergeBatchErrs(lines, plans, errs)
 }
 
 // fanOut runs one worker per non-empty rank group, inline when the
@@ -200,30 +281,34 @@ func fanOut(plans []batchPlan, runRank func(r int)) {
 }
 
 // WriteBatch stores src[k*LineSize:(k+1)*LineSize] at lines[k] for
-// every k, with the same rank grouping and fan-out as ReadBatch. Lines
-// must be distinct (concurrent rank groups give duplicate lines no
-// defined write order). On error, lines in failed rank groups are in an
-// unspecified but integrity-consistent state (old or new contents).
+// every k, with the same rank grouping, fan-out, and per-line
+// *BatchError semantics as ReadBatch: every line is attempted, and
+// failed lines keep an unspecified but integrity-consistent state (old
+// or new contents). Lines must be distinct (concurrent rank groups
+// give duplicate lines no defined write order).
 func (a *Array) WriteBatch(lines []uint64, src []byte) error {
+	if len(a.ranks) == 1 {
+		if err := a.checkBatch(lines, src, LineSize); err != nil {
+			return err
+		}
+		return a.ranks[0].WriteBatch(lines, src)
+	}
 	plans, err := a.plan(lines, src, LineSize)
 	if err != nil {
 		return err
 	}
-	if len(a.ranks) == 1 {
-		return a.ranks[0].WriteBatch(plans[0].inner, src)
-	}
 	errs := make([]error, len(a.ranks))
 	fanOut(plans, func(r int) {
 		p := &plans[r]
-		buf := make([]byte, len(p.inner)*LineSize)
+		s := rankScratchPool.Get().(*rankScratch)
+		s.grow(len(p.inner))
 		for j, k := range p.at {
-			copy(buf[j*LineSize:(j+1)*LineSize], src[k*LineSize:(k+1)*LineSize])
+			copy(s.buf[j*LineSize:(j+1)*LineSize], src[k*LineSize:(k+1)*LineSize])
 		}
-		if rerr := a.ranks[r].WriteBatch(p.inner, buf); rerr != nil {
-			errs[r] = fmt.Errorf("core: rank %d: %w", r, rerr)
-		}
+		errs[r] = a.ranks[r].WriteBatch(p.inner, s.buf)
+		rankScratchPool.Put(s)
 	})
-	return errors.Join(errs...)
+	return a.mergeBatchErrs(lines, plans, errs)
 }
 
 // globalLine maps a rank-local data line back to its global address
@@ -288,6 +373,32 @@ func (a *Array) Poisoned() []uint64 {
 	return out
 }
 
+// Flush seals every rank's dirty cached metadata back to its module,
+// in rank order. After a nil return, every rank's stored device state
+// is externally consistent — bit-identical to a write-through array
+// that served the same operations. Call it before snapshotting modules,
+// handing raw device state to another consumer, or shutting down; a
+// cheap no-op when the metadata cache is in write-through mode.
+// Cancelling ctx stops between ranks; already-flushed ranks stay
+// flushed and the ctx error is returned (joined with any rank errors).
+func (a *Array) Flush(ctx context.Context) error {
+	var errs []error
+	for r, m := range a.ranks {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		if err := m.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("core: rank %d: %w", r, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Sync is Flush without cancellation — the convenience form for defer
+// at shutdown.
+func (a *Array) Sync() error { return a.Flush(context.Background()) }
+
 // RepairChip repairs chip on the given rank (see Memory.RepairChip).
 func (a *Array) RepairChip(rank, chip int) error {
 	if rank < 0 || rank >= len(a.ranks) {
@@ -316,6 +427,10 @@ func (a *Array) Stats() Stats {
 		total.GroupReencryptions += s.GroupReencryptions
 		total.GroupLinesReencrypted += s.GroupLinesReencrypted
 		total.NodeCacheStops += s.NodeCacheStops
+		total.MetaCacheHits += s.MetaCacheHits
+		total.MetaCacheMisses += s.MetaCacheMisses
+		total.MetaWritebacks += s.MetaWritebacks
+		total.MetaFlushes += s.MetaFlushes
 		total.LinesPoisoned += s.LinesPoisoned
 		total.PoisonFastFails += s.PoisonFastFails
 		total.LinesHealed += s.LinesHealed

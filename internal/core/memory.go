@@ -71,6 +71,16 @@ type Config struct {
 	// NodeCacheLines sizes the on-chip trusted metadata cache at which
 	// the Fig. 7 upward walk stops (default 32; negative disables it).
 	NodeCacheLines int
+	// MetadataCache, when positive, switches the metadata cache to
+	// write-back with that many entries (clamped up to hold at least
+	// two full integrity paths): hot-line writes bump counters in the
+	// cached copies and defer MAC sealing and the module writebacks to
+	// eviction or Flush. Stored metadata is then stale between writes
+	// and Flush — call Flush (or Sync on the facade) before treating
+	// device contents as externally consistent. 0 or negative keeps the
+	// legacy write-through behavior, where NodeCacheLines alone sizes
+	// the read-side cache and every write seals its whole path.
+	MetadataCache int
 	// Telemetry, when non-nil, receives operation counters, sampled
 	// latency histograms and engine events (see internal/telemetry).
 	// Nil disables instrumentation down to one pointer compare per
@@ -104,6 +114,7 @@ type Memory struct {
 	root   uint64 // on-chip root counter (trusted)
 
 	split          bool
+	wb             bool // write-back metadata cache (Config.MetadataCache > 0)
 	faultThreshold int
 	scoreboard     [dimm.Chips]uint64
 	knownBad       int // chip index, or -1
@@ -129,7 +140,9 @@ type Memory struct {
 	telRank  int
 	telMask  uint64 // cached tel.SampleMask()
 	telTick  uint64
+	telWTick uint64                  // served writes, drives write-stage sampling
 	telReads *telemetry.LocalOpCount // single-writer served-reads slot
+	telMeta  *telemetry.RankMetrics  // cached rank block for meta-cache stats
 	st       telemetry.StageTimer
 
 	// Reusable scratch for the zero-allocation hot paths. All of it is
@@ -139,6 +152,7 @@ type Memory struct {
 	// operation; pooling only avoids per-access garbage.
 	pathBuf  []pathEntry
 	pcandBuf []pathEntry
+	wbBuf    []*cachedNode
 	lineBufs [2][LineSize]byte
 }
 
@@ -160,6 +174,11 @@ type Stats struct {
 	GroupLinesReencrypted uint64 // data lines rewritten by those events
 
 	NodeCacheStops uint64 // read walks that ended at an on-chip node
+
+	MetaCacheHits   uint64 // path loads served from the on-chip metadata cache
+	MetaCacheMisses uint64 // path loads that went to the module
+	MetaWritebacks  uint64 // dirty metadata entries sealed and written back
+	MetaFlushes     uint64 // explicit Flush calls completed
 
 	LinesPoisoned   uint64 // uncorrectable events that poisoned a line
 	PoisonFastFails uint64 // reads failed fast on an already-poisoned line
@@ -247,9 +266,20 @@ func New(cfg Config) (*Memory, error) {
 		telReads:       cfg.Telemetry.LocalOp(telemetry.OpRead),
 	}
 	// Pre-create the rank's metrics block so exporters show the rank
-	// (at zero) before its first event.
-	m.tel.Rank(m.telRank)
+	// (at zero) before its first event; the cached pointer is the
+	// single-writer publish target for the meta-cache counters.
+	m.telMeta = m.tel.Rank(m.telRank)
 	switch {
+	case cfg.MetadataCache > 0:
+		// Write-back mode. The cache must at least hold the full path
+		// of the line being written plus an ancestor climb during a
+		// concurrent flush, or every write would thrash its own path.
+		m.wb = true
+		capacity := cfg.MetadataCache
+		if min := 2 * (geo.Levels() + 1); capacity < min {
+			capacity = min
+		}
+		m.ncache = newNodeCache(capacity)
 	case cfg.NodeCacheLines < 0:
 		m.ncache = newNodeCache(0)
 	case cfg.NodeCacheLines == 0:
@@ -399,12 +429,145 @@ func (m *Memory) ErrorLog() *ErrorLog { return m.log }
 
 // FlushNodeCache empties the on-chip trusted metadata cache (as a
 // context switch or enclave exit would), forcing subsequent walks back
-// to memory. Correctness never depends on cache contents; flushing just
-// re-exposes the walk to DRAM state.
-func (m *Memory) FlushNodeCache() {
+// to memory. In write-back mode every dirty entry is sealed and written
+// back first — dropping dirty state would lose committed counter
+// advances — so the error return must be checked when
+// Config.MetadataCache is on; in write-through mode it is always nil
+// and dropping the cache just re-exposes the walk to DRAM state.
+func (m *Memory) FlushNodeCache() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.flushMetadata(); err != nil {
+		return err
+	}
 	m.ncache = newNodeCache(m.ncache.cap)
+	return nil
+}
+
+// flushMetadata seals all dirty cache entries under m.mu. Address order
+// makes the module write sequence deterministic; correctness does not
+// depend on it (parent counters are bumped eagerly, so every dirty
+// entry seals under its parent's final counter regardless of order).
+func (m *Memory) flushMetadata() error {
+	dirty := m.ncache.dirtyEntries()
+	if len(dirty) == 0 {
+		m.stats.MetaFlushes++
+		return nil
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a].addr < dirty[b].addr })
+	for _, cn := range dirty {
+		if !cn.dirty {
+			continue
+		}
+		if err := m.flushEntry(cn); err != nil {
+			return err
+		}
+	}
+	m.stats.MetaFlushes++
+	return nil
+}
+
+// flushEntry seals one dirty entry under its parent's current counter
+// and writes it back to the module, leaving it cached clean. The fresh
+// MAC is carried back into the cached copy so a later eviction needs no
+// reseal.
+func (m *Memory) flushEntry(cn *cachedNode) error {
+	parentCtr, err := m.trustedParentCounter(cn.level, cn.index)
+	if err != nil {
+		return err
+	}
+	var e pathEntry
+	e.level, e.index, e.addr = cn.level, cn.index, cn.addr
+	e.node, e.split = cn.node, cn.split
+	m.entrySeal(&e, parentCtr)
+	m.stats.MACComputations++
+	if err := m.writeEntry(&e); err != nil {
+		return err
+	}
+	cn.node, cn.split = e.node, e.split
+	m.ncache.markClean(cn)
+	m.stats.MetaWritebacks++
+	return nil
+}
+
+// trustedParentCounter returns the current counter authenticating node
+// (level, index): the root for the top node, otherwise the child's slot
+// counter in a trusted copy of the parent.
+func (m *Memory) trustedParentCounter(level int, index uint64) (uint64, error) {
+	pl, pi, slot, ok := m.geo.Parent(level, index)
+	if !ok {
+		return m.root, nil
+	}
+	pn, err := m.trustedNode(pl, pi)
+	if err != nil {
+		return 0, err
+	}
+	return pn.node.Counters[slot], nil
+}
+
+// trustedNode returns a trusted copy of tree node (level, index): the
+// cached entry when present (dirty or clean — both are inside the
+// trust boundary and carry current counters), otherwise the stored
+// line, verified under its own trusted parent counter (climbing
+// ancestors as far as the first cached one), corrected through the
+// reconstruction engine on mismatch, and cached clean. Only the flush
+// path needs this climb: a dirty entry's parent can itself have been
+// flushed and evicted, leaving its current counters only in memory.
+func (m *Memory) trustedNode(level int, index uint64) (*cachedNode, error) {
+	addr := m.layout.TreeAddr(level, index)
+	if cn, ok := m.ncache.get(addr); ok {
+		return cn, nil
+	}
+	parentCtr, err := m.trustedParentCounter(level, index)
+	if err != nil {
+		return nil, err
+	}
+	var e pathEntry
+	e.level, e.index, e.addr = level, index, addr
+	raw, err := m.mod.ReadLine(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.raw = raw
+	m.entryUnpack(&e)
+	m.stats.MACComputations++
+	if !m.entryVerify(&e, parentCtr) {
+		m.stats.MismatchesSeen++
+		chip, _, rerr := m.reconstructEntry(&e, parentCtr)
+		if rerr != nil {
+			m.stats.AttacksDeclared++
+			return nil, fmt.Errorf("core: metadata flush (tree line %#x): %w", addr, rerr)
+		}
+		if err := m.writeEntry(&e); err != nil {
+			return nil, err
+		}
+		var info ReadInfo
+		m.noteCorrection(chip, RegionTree, addr, false, &info)
+	}
+	cn := m.ncache.insert(addr, level, index, e.node, e.split)
+	if cn == nil {
+		cn = &cachedNode{addr: addr, level: level, index: index, node: e.node, split: e.split}
+	}
+	return cn, nil
+}
+
+// trimCache evicts down to capacity: clean victims drop, dirty victims
+// flush first. Runs after each operation's cache fills (never in the
+// middle of one), so an in-flight path is always fully resident.
+func (m *Memory) trimCache() error {
+	for m.ncache.over() > 0 {
+		v, ok := m.ncache.victim()
+		if !ok {
+			return nil
+		}
+		if v.dirty {
+			if err := m.flushEntry(v); err != nil {
+				return err
+			}
+		}
+		m.ncache.remove(v)
+	}
+	return nil
 }
 
 // readNode fetches and unpacks a counter/tree node line.
@@ -525,10 +688,12 @@ func (m *Memory) loadPath(i uint64, stopAtCache bool) (entries []pathEntry, err 
 				e.node, e.split = cn.node, cn.split
 				e.trusted = true
 				m.stats.NodeCacheStops++
+				m.stats.MetaCacheHits++
 				entries = append(entries, e)
 				return entries, nil
 			}
 		}
+		m.stats.MetaCacheMisses++
 		raw, err := m.mod.ReadLine(e.addr)
 		if err != nil {
 			return nil, err
@@ -543,11 +708,54 @@ func (m *Memory) loadPath(i uint64, stopAtCache bool) (entries []pathEntry, err 
 	}
 }
 
-// cachePath inserts a fully trusted path into the on-chip node cache.
-func (m *Memory) cachePath(path []pathEntry) {
-	for k := range path {
-		m.ncache.put(path[k].addr, cachedNode{node: path[k].node, split: path[k].split})
+// loadWritePath is the write-back variant of loadPath: it walks the
+// whole path (writes bump every level), probing the cache at each
+// level instead of stopping at the first hit. Cached entries are
+// trusted as-is; missing levels are read raw for the caller to verify.
+func (m *Memory) loadWritePath(i uint64) (entries []pathEntry, err error) {
+	addr, _ := m.layout.CounterAddr(i)
+	entries = m.pathBuf[:0]
+	defer func() { m.pathBuf = entries }()
+	level, index := -1, addr-m.layout.counterBase
+	for {
+		var e pathEntry
+		e.level, e.index = level, index
+		if level == -1 {
+			e.addr = m.layout.counterBase + index
+		} else {
+			e.addr = m.layout.TreeAddr(level, index)
+		}
+		pl, pi, slot, ok := m.geo.Parent(level, index)
+		e.slot = slot
+		if cn, hit := m.ncache.get(e.addr); hit {
+			e.node, e.split = cn.node, cn.split
+			e.trusted = true
+			m.stats.MetaCacheHits++
+		} else {
+			m.stats.MetaCacheMisses++
+			raw, rerr := m.mod.ReadLine(e.addr)
+			if rerr != nil {
+				return nil, rerr
+			}
+			e.raw = raw
+			m.entryUnpack(&e)
+		}
+		entries = append(entries, e)
+		if !ok {
+			return entries, nil
+		}
+		level, index = pl, pi
 	}
+}
+
+// cachePath inserts a fully trusted path into the on-chip node cache
+// and trims to capacity (in write-back mode a dirty victim seals and
+// writes back first — the error return).
+func (m *Memory) cachePath(path []pathEntry) error {
+	for k := range path {
+		m.ncache.insert(path[k].addr, path[k].level, path[k].index, path[k].node, path[k].split)
+	}
+	return m.trimCache()
 }
 
 // parentCounterOf returns the trusted counter authenticating path entry
@@ -589,22 +797,25 @@ func (b *batchScratch) grow(n int) (addrs, ctrs []uint64, pads []byte) {
 	return b.addrs[:n], b.ctrs[:n], b.pads[: n*LineSize : n*LineSize]
 }
 
-// readBatch is ReadBatch without the telemetry wrapper (see the
+// readBatch is ReadBatchInto without the telemetry wrapper (see the
 // pipelining description there).
-func (m *Memory) readBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
+func (m *Memory) readBatch(lines []uint64, dst []byte, infos []ReadInfo) error {
 	if len(dst) != len(lines)*LineSize {
-		return nil, fmt.Errorf("core: ReadBatch needs %d×%d bytes, got %d: %w",
+		return fmt.Errorf("core: ReadBatch needs %d×%d bytes, got %d: %w",
 			len(lines), LineSize, len(dst), ErrBadLineSize)
 	}
-	infos := make([]ReadInfo, len(lines))
+	if len(infos) != len(lines) {
+		return fmt.Errorf("core: ReadBatch needs %d infos, got %d: %w",
+			len(lines), len(infos), ErrBadLineSize)
+	}
 	bs := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(bs)
 	addrs, ctrs, pads := bs.grow(len(lines))
 
 	// Phase 1 (shared lock): unverified peek of each line's effective
-	// encryption counter from the raw stored leaf. Out-of-range lines
-	// keep counter 0; they fail range checks in phase 3 before any pad
-	// is consulted.
+	// encryption counter — the cached copy when on-chip, the raw stored
+	// leaf otherwise. Out-of-range lines keep counter 0; they fail range
+	// checks in phase 3 before any pad is consulted.
 	m.mu.RLock()
 	for k, i := range lines {
 		addrs[k], ctrs[k] = m.peekCounter(i)
@@ -615,9 +826,13 @@ func (m *Memory) readBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 	havePads := m.enc.PadBatch(pads, addrs, ctrs) == nil
 
 	// Phase 3 (exclusive lock): serve the reads, using each precomputed
-	// pad when the trusted counter matches the peeked one.
+	// pad when the trusted counter matches the peeked one. Every line is
+	// attempted; failures collect into one BatchError instead of
+	// aborting the batch, so a degraded-mode caller can skip or retry
+	// exactly the poisoned indices.
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var be *BatchError
 	for k, i := range lines {
 		var pad []byte
 		if havePads {
@@ -626,10 +841,10 @@ func (m *Memory) readBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
 		info, err := m.readCounted(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k])
 		infos[k] = info
 		if err != nil {
-			return infos, fmt.Errorf("core: batch read %d (line %d): %w", k, i, err)
+			be = be.add(k, i, err)
 		}
 	}
-	return infos, nil
+	return be.orNil()
 }
 
 // peekCounter returns data line i's address and an unverified snapshot
@@ -642,6 +857,16 @@ func (m *Memory) peekCounter(i uint64) (addr, ctr uint64) {
 		return 0, 0
 	}
 	ca, slot := m.layout.CounterAddr(i)
+	// The cache is probed first — in write-back mode the stored leaf is
+	// chronically stale for hot lines, so a raw peek would waste every
+	// precomputed pad. peek mutates nothing (no LRU bump), which is what
+	// makes it legal under the shared lock.
+	if cn, ok := m.ncache.peek(ca); ok {
+		if m.split {
+			return m.layout.DataAddr(i), cn.split.Counter(slot)
+		}
+		return m.layout.DataAddr(i), cn.node.Counters[slot]
+	}
 	raw, ok := m.mod.PeekLine(ca)
 	if !ok {
 		return m.layout.DataAddr(i), 0
@@ -793,7 +1018,9 @@ func (m *Memory) readLocked(i uint64, dst []byte, pad []byte, padCtr uint64) (Re
 
 	// The whole path is now verified (or was served from on-chip):
 	// cache it so subsequent walks stop early.
-	m.cachePath(path)
+	if err := m.cachePath(path); err != nil {
+		return info, err
+	}
 
 	if err := m.decryptLine(dst, dl.Data[:], dataAddr, ctr, pad, padCtr); err != nil {
 		return info, err
@@ -859,27 +1086,56 @@ func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, in
 func (m *Memory) Write(i uint64, plain []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.writeCounted(i, plain)
+	return m.writeCounted(i, plain, nil, 0)
 }
 
-// writeBatch is WriteBatch without the telemetry wrapper.
+// writeBatch is WriteBatch without the telemetry wrapper. It pipelines
+// the crypto the way the batched read does, but for the outbound
+// direction: phase 1 peeks each line's counter under the shared lock
+// and predicts the post-bump value (current + 1), phase 2 generates
+// every one-time pad outside the locks, and phase 3 takes the rank
+// lock once and commits each write, XORing the precomputed pad when
+// the committed counter matches the prediction. A racing write or a
+// split-counter minor overflow merely invalidates that line's pad.
 func (m *Memory) writeBatch(lines []uint64, src []byte) error {
 	if len(src) != len(lines)*LineSize {
 		return fmt.Errorf("core: WriteBatch needs %d×%d bytes, got %d: %w",
 			len(lines), LineSize, len(src), ErrBadLineSize)
 	}
+	bs := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(bs)
+	addrs, ctrs, pads := bs.grow(len(lines))
+
+	m.mu.RLock()
+	for k, i := range lines {
+		addr, cur := m.peekCounter(i)
+		addrs[k], ctrs[k] = addr, cur+1
+	}
+	m.mu.RUnlock()
+
+	havePads := m.enc.PadBatch(pads, addrs, ctrs) == nil
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var be *BatchError
 	for k, i := range lines {
-		if err := m.writeCounted(i, src[k*LineSize:(k+1)*LineSize]); err != nil {
-			return fmt.Errorf("core: batch write %d (line %d): %w", k, i, err)
+		var pad []byte
+		if havePads {
+			pad = pads[k*LineSize : (k+1)*LineSize]
+		}
+		if err := m.writeCounted(i, src[k*LineSize:(k+1)*LineSize], pad, ctrs[k]); err != nil {
+			be = be.add(k, i, err)
 		}
 	}
-	return nil
+	return be.orNil()
 }
 
-// writeLocked is Write with m.mu held.
-func (m *Memory) writeLocked(i uint64, plain []byte) error {
+// writeLocked is Write with m.mu held. pad, when non-nil, is a
+// precomputed one-time pad generated for padCtr; it encrypts the line
+// in place of inline pad generation iff the committed post-bump
+// counter equals padCtr (the batched write pipeline's optimism — a
+// stale prediction only wastes the pad).
+func (m *Memory) writeLocked(i uint64, plain []byte, pad []byte, padCtr uint64) error {
 	if len(plain) != LineSize {
 		return fmt.Errorf("core: Write needs a %d-byte buffer, got %d: %w", LineSize, len(plain), ErrBadLineSize)
 	}
@@ -887,6 +1143,9 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 		return fmt.Errorf("core: data line %d out of range [0,%d): %w", i, m.layout.DataLines, ErrOutOfRange)
 	}
 	m.stats.Writes++
+	if m.wb {
+		return m.writeBackLocked(i, plain, pad, padCtr)
+	}
 
 	// Load and trust the path (correcting errors as on a read). An
 	// uncorrectable path poisons the line: its counter chain cannot be
@@ -898,6 +1157,7 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 		}
 		return fmt.Errorf("core: data line %d: %w", i, err)
 	}
+	m.st.Mark(telemetry.StageCounterFetch)
 
 	// Increment the encryption counter and all path counters; the root
 	// advances too, so any stale path replay fails closed.
@@ -932,7 +1192,10 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 		}
 	}
 	// Refresh the on-chip copies so cached reads see the new counters.
-	m.cachePath(path)
+	if err := m.cachePath(path); err != nil {
+		return err
+	}
+	m.st.Mark(telemetry.StageMetaUpdate)
 
 	// A minor-counter overflow re-encrypts the whole 48-line group
 	// under the incremented major (the split-counter design's overflow
@@ -943,10 +1206,109 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 		}
 	}
 
-	// Encrypt, MAC, store the data line.
+	if err := m.storeDataLine(i, newCtr, plain, pad, padCtr); err != nil {
+		return err
+	}
+	m.st.Mark(telemetry.StageOTP)
+	return nil
+}
+
+// writeBackLocked is the write-back hot path (Config.MetadataCache).
+// Counters at every level advance in the cached copies exactly as the
+// write-through path advances them in memory — which is what makes
+// flushed device state bit-identical between the modes — but MAC
+// sealing and the per-level module stores are deferred to eviction or
+// Flush. A cache-resident path turns the write's metadata cost into a
+// handful of map probes: no node seals, no node stores.
+func (m *Memory) writeBackLocked(i uint64, plain []byte, pad []byte, padCtr uint64) error {
+	path, err := m.loadWritePath(i)
+	if err != nil {
+		return fmt.Errorf("core: data line %d: %w", i, err)
+	}
+	// Verify/correct the levels that came from memory, top-down: each
+	// entry's parent is trusted by the time it is checked (cached, or
+	// verified by the previous iteration). Dirty cached ancestors are
+	// fine — their counters are current by construction, and the stale
+	// stored copies below them are never read (the cache probe wins).
+	for k := len(path) - 1; k >= 0; k-- {
+		if path[k].trusted {
+			continue
+		}
+		parentCtr := parentCounterOf(path, k, m.root)
+		m.stats.MACComputations++
+		if m.entryVerify(&path[k], parentCtr) {
+			continue
+		}
+		m.stats.MismatchesSeen++
+		chip, _, rerr := m.reconstructEntry(&path[k], parentCtr)
+		if rerr != nil {
+			m.stats.AttacksDeclared++
+			m.poisonLine(i)
+			return fmt.Errorf("core: data line %d (path %s line %#x): %w",
+				i, regionOfLevel(path[k].level), path[k].addr, rerr)
+		}
+		if err := m.writeEntry(&path[k]); err != nil {
+			return err
+		}
+		var info ReadInfo
+		m.noteCorrection(chip, regionOfLevel(path[k].level), path[k].addr, false, &info)
+	}
+	m.st.Mark(telemetry.StageCounterFetch)
+
+	// Pin the whole path in the cache and bump counters in the cached
+	// copies (for already-cached entries, insert refreshes with the
+	// identical values it handed loadWritePath and preserves dirtiness).
+	cns := m.wbBuf[:0]
+	for k := range path {
+		cns = append(cns, m.ncache.insert(path[k].addr, path[k].level, path[k].index, path[k].node, path[k].split))
+	}
+	m.wbBuf = cns
+
+	_, ctrSlot := m.layout.CounterAddr(i)
+	leaf := cns[0]
+	var newCtr uint64
+	var reencrypt bool
+	oldLeaf := leaf.split // pre-bump counters, for group re-encryption
+	if m.split {
+		newCtr, reencrypt, err = leaf.split.Bump(ctrSlot)
+		if err != nil {
+			return err
+		}
+	} else {
+		newCtr, err = ctrenc.NextCounter(leaf.node.Counters[ctrSlot])
+		if err != nil {
+			return err
+		}
+		leaf.node.Counters[ctrSlot] = newCtr
+	}
+	m.ncache.markDirty(leaf)
+	for k := 1; k < len(cns); k++ {
+		cns[k].node.Counters[path[k-1].slot] =
+			(cns[k].node.Counters[path[k-1].slot] + 1) & integrity.CounterMask
+		m.ncache.markDirty(cns[k])
+	}
+	m.root = (m.root + 1) & integrity.CounterMask
+	m.st.Mark(telemetry.StageMetaUpdate)
+
+	if reencrypt {
+		if err := m.reencryptGroup(i, &oldLeaf, leaf.split.Major); err != nil {
+			return err
+		}
+	}
+	if err := m.storeDataLine(i, newCtr, plain, pad, padCtr); err != nil {
+		return err
+	}
+	m.st.Mark(telemetry.StageOTP)
+	return m.trimCache()
+}
+
+// storeDataLine encrypts, MACs and stores data line i under newCtr,
+// refreshes its parity slot and heals any poison — the tail every
+// write path shares.
+func (m *Memory) storeDataLine(i, newCtr uint64, plain, pad []byte, padCtr uint64) error {
 	dataAddr := m.layout.DataAddr(i)
 	cipher := &m.lineBufs[0]
-	if err := m.enc.Encrypt(cipher[:], plain, dataAddr, newCtr); err != nil {
+	if err := m.encryptLine(cipher[:], plain, dataAddr, newCtr, pad, padCtr); err != nil {
 		return err
 	}
 	var tag [gmac.TagSize]byte
@@ -966,6 +1328,16 @@ func (m *Memory) writeLocked(i uint64, plain []byte) error {
 	// next read; that is the fault speaking, not stale state).
 	m.healLine(i)
 	return nil
+}
+
+// encryptLine XORs the precomputed pad when it was generated for the
+// committed counter, and falls back to inline pad generation otherwise
+// (stale prediction, counter overflow path, or no precompute at all).
+func (m *Memory) encryptLine(dst, plain []byte, addr, ctr uint64, pad []byte, padCtr uint64) error {
+	if pad != nil && ctr == padCtr {
+		return ctrenc.XORPad(dst, plain, pad)
+	}
+	return m.enc.Encrypt(dst, plain, addr, ctr)
 }
 
 // poisonLine marks data line i poisoned. Idempotent: repeated
@@ -1270,6 +1642,14 @@ func (m *Memory) repairChip(chip int) error {
 	defer m.mu.Unlock()
 	if _, err := m.mod.ClearChipFaults(chip); err != nil {
 		return err
+	}
+	// Seal dirty cached metadata back to the (now fault-free) module
+	// before dropping the cache: the sweep below verifies stored state,
+	// and dropping dirty entries would discard committed counter
+	// advances, leaving memory sealed under counters the root has moved
+	// past — indistinguishable from replay.
+	if err := m.flushMetadata(); err != nil {
+		return fmt.Errorf("core: repair of chip %d: %w", chip, err)
 	}
 	// Condemn the chip for the sweep and drop cached node copies: they
 	// predate the repair, and a cache-trusted path would skip the very

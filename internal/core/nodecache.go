@@ -5,90 +5,222 @@ import (
 )
 
 // This file implements the on-chip metadata cache of the SGX-class
-// design (paper §II-A5, Fig. 7): recently verified counter/tree lines
-// are kept inside the trust boundary, so the upward traversal stops at
-// the first cached entry — "assumed to be free from errors since it is
-// found on-chip" — instead of walking to the root on every access.
+// design (paper §II-A5, Fig. 7, Table II): recently verified
+// counter/tree lines are kept inside the trust boundary, so the upward
+// traversal stops at the first cached entry — "assumed to be free from
+// errors since it is found on-chip" — instead of walking to the root
+// on every access.
 //
 // Entries are cached only after verification (or after this engine
 // itself wrote them), so a cached node is trusted by construction.
-// Correctness does not depend on the cache: disabling it (size 0) just
-// makes every walk reach the root.
+//
+// The cache runs in one of two modes:
+//
+//   - Write-through (Config.MetadataCache == 0, the legacy
+//     NodeCacheLines knob): entries are never dirty, every write
+//     reseals and stores its whole path, and correctness never depends
+//     on cache contents — dropping the cache just re-exposes walks to
+//     DRAM state.
+//
+//   - Write-back (Config.MetadataCache > 0): the write hot path bumps
+//     path counters in the cached copies and marks them dirty without
+//     resealing or storing them; sealing (the per-level MACs) and the
+//     module writes are deferred to eviction or an explicit Flush.
+//     Counter values advance eagerly — exactly as the write-through
+//     path advances them — so a flushed device is bit-identical to one
+//     written with the cache disabled. Dirty entries are authoritative:
+//     the in-memory copy of a dirty line is stale until written back,
+//     and any stale copy fails its MAC check against the (already
+//     advanced) parent counter, which is what preserves replay
+//     protection across the deferral window.
+//
+// The cache has no lock of its own: every access happens with the
+// owning Memory's exclusive lock held, except peek, which is read-only
+// and safe under the shared lock.
 
-// nodeCache is a tiny fully-associative LRU of trusted path entries.
-// It has no lock of its own: every access happens with the owning
-// Memory's exclusive lock held (get mutates LRU state, so even the
-// read path needs exclusivity — one reason Memory.Read takes the write
-// lock).
+// nodeCache is a fully-associative LRU of trusted path entries with
+// dirty tracking. Recency is an intrusive doubly-linked list (head =
+// most recent), making eviction O(1) instead of a full scan.
 type nodeCache struct {
 	cap   int
-	clock uint64
 	nodes map[uint64]*cachedNode
+	head  *cachedNode // most recently used
+	tail  *cachedNode // least recently used
+
+	dirty int // number of dirty entries
 }
 
 type cachedNode struct {
+	addr  uint64
+	level int    // -1 for encryption-counter (leaf) lines
+	index uint64 // node index within its level
 	node  integrity.Node
-	split integrity.SplitNode
-	used  uint64
+	split integrity.SplitNode // leaf only, when split counters are on
+	// dirty marks an entry whose counters have advanced past the
+	// stored copy: it must be sealed and written back before it can
+	// leave the trust boundary.
+	dirty bool
+
+	prev, next *cachedNode
 }
 
-// DefaultNodeCacheLines is the default on-chip metadata cache capacity
-// in cachelines. 32 lines is deliberately small — the functional engine
+// DefaultNodeCacheLines is the default write-through cache capacity in
+// cachelines. 32 lines is deliberately small — the functional engine
 // cares about hit/stop semantics, not hit rate; the performance
-// simulator models the 128 KB cache of Table III.
+// simulator models the 128 KB cache of Table III, and the write-back
+// cache (Config.MetadataCache) is sized explicitly by the caller.
 const DefaultNodeCacheLines = 32
+
+// evictScan bounds how far from the LRU end victim selection searches
+// for a clean entry before settling for a dirty one (which costs a
+// seal + writeback). Small and constant: eviction stays O(1).
+const evictScan = 8
 
 func newNodeCache(capacity int) *nodeCache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &nodeCache{cap: capacity, nodes: make(map[uint64]*cachedNode)}
+	return &nodeCache{cap: capacity, nodes: make(map[uint64]*cachedNode, capacity)}
 }
 
-// get returns the trusted entry for addr, if cached.
+// get returns the trusted entry for addr, if cached, refreshing its
+// recency. Requires the owning Memory's exclusive lock.
 func (c *nodeCache) get(addr uint64) (*cachedNode, bool) {
 	n, ok := c.nodes[addr]
 	if ok {
-		c.clock++
-		n.used = c.clock
+		c.touch(n)
 	}
 	return n, ok
 }
 
-// put caches a trusted entry, evicting the least recently used one if
-// full. Evictions are silent: the in-memory copy is already current
-// (this engine writes through).
-func (c *nodeCache) put(addr uint64, n cachedNode) {
+// peek returns the trusted entry for addr without touching LRU state.
+// Safe under the owning Memory's shared lock (it mutates nothing), so
+// the optimistic batch paths can consult the cache while peeking
+// counters.
+func (c *nodeCache) peek(addr uint64) (*cachedNode, bool) {
+	n, ok := c.nodes[addr]
+	return n, ok
+}
+
+// insert adds or refreshes a trusted entry. A refresh preserves an
+// existing entry's dirty flag (the write-back path re-inserts entries
+// it just loaded; a concurrent earlier dirtying must not be lost), and
+// markDirty is the only way an entry becomes dirty. insert never
+// evicts — the owning Memory trims after its operation completes, so
+// mid-operation inserts (ancestor loads during a flush) can
+// transiently overflow cap.
+func (c *nodeCache) insert(addr uint64, level int, index uint64, node integrity.Node, split integrity.SplitNode) *cachedNode {
 	if c.cap == 0 {
-		return
+		return nil
 	}
-	c.clock++
-	n.used = c.clock
 	if old, ok := c.nodes[addr]; ok {
-		// Refresh in place: the steady-state read path re-caches its
-		// whole (already cached) walk on every access, and reusing the
-		// entry keeps that path allocation-free.
-		*old = n
+		old.node, old.split = node, split
+		c.touch(old)
+		return old
+	}
+	n := &cachedNode{addr: addr, level: level, index: index, node: node, split: split}
+	c.nodes[addr] = n
+	c.pushFront(n)
+	return n
+}
+
+// markDirty flags an entry as ahead of its stored copy.
+func (c *nodeCache) markDirty(n *cachedNode) {
+	if n != nil && !n.dirty {
+		n.dirty = true
+		c.dirty++
+	}
+}
+
+// markClean clears the dirty flag after a seal + writeback.
+func (c *nodeCache) markClean(n *cachedNode) {
+	if n != nil && n.dirty {
+		n.dirty = false
+		c.dirty--
+	}
+}
+
+// victim proposes an eviction candidate: the least recently used clean
+// entry among the evictScan oldest, or the overall LRU entry (which
+// the caller must flush first if dirty). ok is false on an empty cache.
+func (c *nodeCache) victim() (*cachedNode, bool) {
+	if c.tail == nil {
+		return nil, false
+	}
+	n := c.tail
+	for i := 0; n != nil && i < evictScan; i++ {
+		if !n.dirty {
+			return n, true
+		}
+		n = n.prev
+	}
+	return c.tail, true
+}
+
+// remove drops an entry from the cache. The entry must be clean: a
+// dirty entry's state would be silently lost.
+func (c *nodeCache) remove(n *cachedNode) {
+	if n.dirty {
+		panic("core: removing dirty metadata cache entry")
+	}
+	delete(c.nodes, n.addr)
+	c.unlink(n)
+}
+
+// dirtyEntries returns every dirty entry (unordered).
+func (c *nodeCache) dirtyEntries() []*cachedNode {
+	if c.dirty == 0 {
+		return nil
+	}
+	out := make([]*cachedNode, 0, c.dirty)
+	for n := c.head; n != nil; n = n.next {
+		if n.dirty {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// size reports occupancy.
+func (c *nodeCache) size() int { return len(c.nodes) }
+
+// over reports how many entries exceed capacity.
+func (c *nodeCache) over() int {
+	if c.cap == 0 {
+		return 0
+	}
+	return len(c.nodes) - c.cap
+}
+
+func (c *nodeCache) touch(n *cachedNode) {
+	if c.head == n {
 		return
 	}
-	if len(c.nodes) >= c.cap {
-		var victim uint64
-		var oldest uint64 = ^uint64(0)
-		for a, e := range c.nodes {
-			if e.used < oldest {
-				oldest, victim = e.used, a
-			}
-		}
-		delete(c.nodes, victim)
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *nodeCache) pushFront(n *cachedNode) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
 	}
-	cp := n
-	c.nodes[addr] = &cp
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
 }
 
-// invalidate drops addr from the cache.
-func (c *nodeCache) invalidate(addr uint64) {
-	delete(c.nodes, addr)
+func (c *nodeCache) unlink(n *cachedNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
 }
-
-// len reports occupancy (for tests).
-func (c *nodeCache) size() int { return len(c.nodes) }

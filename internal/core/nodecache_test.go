@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"testing"
+
+	"synergy/internal/integrity"
 )
 
 func TestNodeCacheStopsWalk(t *testing.T) {
@@ -65,10 +67,19 @@ func TestNodeCacheWritesRefreshCachedCounters(t *testing.T) {
 
 func TestNodeCacheLRUEviction(t *testing.T) {
 	c := newNodeCache(2)
-	c.put(1, cachedNode{})
-	c.put(2, cachedNode{})
+	c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
+	c.insert(2, -1, 2, integrity.Node{}, integrity.SplitNode{})
 	c.get(1) // refresh 1
-	c.put(3, cachedNode{})
+	c.insert(3, -1, 3, integrity.Node{}, integrity.SplitNode{})
+	// insert never evicts; the owner trims. Emulate one trim step.
+	if c.over() != 1 {
+		t.Fatalf("over = %d, want 1", c.over())
+	}
+	v, ok := c.victim()
+	if !ok || v.addr != 2 {
+		t.Fatalf("victim = %v/%v, want clean LRU entry 2", v, ok)
+	}
+	c.remove(v)
 	if _, ok := c.get(2); ok {
 		t.Fatal("LRU entry 2 not evicted")
 	}
@@ -78,16 +89,61 @@ func TestNodeCacheLRUEviction(t *testing.T) {
 	if c.size() != 2 {
 		t.Fatalf("size = %d", c.size())
 	}
-	c.invalidate(1)
-	if _, ok := c.get(1); ok {
-		t.Fatal("invalidated entry still present")
+}
+
+func TestNodeCacheVictimPrefersClean(t *testing.T) {
+	c := newNodeCache(2)
+	old := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
+	c.markDirty(old)
+	c.insert(2, -1, 2, integrity.Node{}, integrity.SplitNode{})
+	// Entry 1 is LRU but dirty: victim should skip to the clean entry 2
+	// within the bounded scan rather than force a writeback.
+	v, ok := c.victim()
+	if !ok || v.addr != 2 {
+		t.Fatalf("victim addr = %d, want clean entry 2", v.addr)
 	}
+	if c.dirty != 1 {
+		t.Fatalf("dirty = %d, want 1", c.dirty)
+	}
+	c.markClean(old)
+	if c.dirty != 0 {
+		t.Fatalf("dirty after markClean = %d, want 0", c.dirty)
+	}
+	if got := c.dirtyEntries(); got != nil {
+		t.Fatalf("dirtyEntries = %v, want nil", got)
+	}
+}
+
+func TestNodeCacheInsertRefreshKeepsDirty(t *testing.T) {
+	c := newNodeCache(4)
+	n := c.insert(7, 0, 7, integrity.Node{}, integrity.SplitNode{})
+	c.markDirty(n)
+	// A path re-load re-inserts the same address; the pending writeback
+	// must not be forgotten.
+	n2 := c.insert(7, 0, 7, integrity.Node{}, integrity.SplitNode{})
+	if n2 != n || !n2.dirty || c.dirty != 1 {
+		t.Fatalf("refresh lost dirty state: same=%v dirty=%v count=%d", n2 == n, n2.dirty, c.dirty)
+	}
+}
+
+func TestNodeCacheRemoveDirtyPanics(t *testing.T) {
+	c := newNodeCache(2)
+	n := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
+	c.markDirty(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing a dirty entry did not panic")
+		}
+	}()
+	c.remove(n)
 }
 
 func TestNodeCacheZeroCapacity(t *testing.T) {
 	c := newNodeCache(0)
-	c.put(1, cachedNode{})
-	if _, ok := c.get(1); ok {
+	if n := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{}); n != nil {
 		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if _, ok := c.get(1); ok {
+		t.Fatal("zero-capacity cache returned an entry")
 	}
 }

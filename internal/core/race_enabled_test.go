@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation adds allocations that invalidate
+// exact allocs-per-op assertions.
+const raceEnabled = true

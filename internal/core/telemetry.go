@@ -43,6 +43,7 @@ func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64) (R
 	if m.st.Active() {
 		m.st.Finish(telemetry.OpRead)
 		m.st = telemetry.StageTimer{}
+		m.publishMetaStats()
 	}
 	if err != nil {
 		m.tel.CountOpError(telemetry.OpRead, m.telRank)
@@ -54,14 +55,24 @@ func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64) (R
 }
 
 // writeCounted wraps writeLocked with the write op counter and
-// latency. Callers hold m.mu exclusively.
-func (m *Memory) writeCounted(i uint64, plain []byte) error {
+// latency; one in SampleEvery writes additionally gets the per-stage
+// pipeline timer (counter fetch / meta update / OTP), mirroring the
+// read-side sampling. Callers hold m.mu exclusively.
+func (m *Memory) writeCounted(i uint64, plain []byte, pad []byte, padCtr uint64) error {
 	if m.tel == nil {
-		return m.writeLocked(i, plain)
+		return m.writeLocked(i, plain, pad, padCtr)
 	}
 	m.tel.CountOp(telemetry.OpWrite, m.telRank)
+	m.telWTick++
 	start := time.Now()
-	err := m.writeLocked(i, plain)
+	if m.telWTick&m.telMask == 0 {
+		m.st = m.tel.StartStages(m.telRank)
+	}
+	err := m.writeLocked(i, plain, pad, padCtr)
+	if m.st.Active() {
+		m.st = telemetry.StageTimer{}
+		m.publishMetaStats()
+	}
 	m.tel.ObserveOp(telemetry.OpWrite, m.telRank, time.Since(start))
 	if err != nil {
 		m.tel.CountOpError(telemetry.OpWrite, m.telRank)
@@ -69,10 +80,21 @@ func (m *Memory) writeCounted(i uint64, plain []byte) error {
 	return err
 }
 
+// publishMetaStats publishes the metadata-cache counters to the
+// per-rank telemetry block with plain atomic stores. Called at sampled
+// operation boundaries (never per cache probe) so the hot paths pay
+// map probes, not atomics. Callers hold m.mu exclusively.
+func (m *Memory) publishMetaStats() {
+	m.telMeta.SetMetaCache(
+		m.stats.MetaCacheHits, m.stats.MetaCacheMisses,
+		m.stats.MetaWritebacks, uint64(m.ncache.dirty))
+}
+
 // ReadBatch decrypts lines[k] into dst[k*LineSize:(k+1)*LineSize] for
-// every k, acquiring the rank lock once for the whole batch. It stops
-// at the first failing line; infos for the lines served so far are
-// valid, the rest are zero.
+// every k, acquiring the rank lock once for the whole batch. Every
+// line is attempted; per-line failures collect into a *BatchError
+// (errors.Is sees each wrapped sentinel) and dst/infos are valid for
+// every index not listed in it.
 //
 // ReadBatch pipelines the crypto the way the paper's controller does
 // (§III, Fig. 6: the OTP is computed while the data access is in
@@ -83,22 +105,33 @@ func (m *Memory) writeCounted(i uint64, plain []byte) error {
 // counter corrected during verification) is discarded and recomputed
 // inline, so the optimism is invisible to correctness.
 func (m *Memory) ReadBatch(lines []uint64, dst []byte) ([]ReadInfo, error) {
+	infos := make([]ReadInfo, len(lines))
+	err := m.ReadBatchInto(lines, dst, infos)
+	return infos, err
+}
+
+// ReadBatchInto is ReadBatch writing into a caller-owned infos slice
+// (len(infos) must equal len(lines)) — the steady-state form that
+// allocates nothing.
+func (m *Memory) ReadBatchInto(lines []uint64, dst []byte, infos []ReadInfo) error {
 	if m.tel == nil {
-		return m.readBatch(lines, dst)
+		return m.readBatch(lines, dst, infos)
 	}
 	m.tel.CountOp(telemetry.OpReadBatch, m.telRank)
 	start := time.Now()
-	infos, err := m.readBatch(lines, dst)
+	err := m.readBatch(lines, dst, infos)
 	m.tel.ObserveOp(telemetry.OpReadBatch, m.telRank, time.Since(start))
 	if err != nil {
 		m.tel.CountOpError(telemetry.OpReadBatch, m.telRank)
 	}
-	return infos, err
+	return err
 }
 
 // WriteBatch stores src[k*LineSize:(k+1)*LineSize] at lines[k] for
-// every k, acquiring the rank lock once for the whole batch. It stops
-// at the first failing line.
+// every k, acquiring the rank lock once for the whole batch. Every
+// line is attempted; per-line failures collect into a *BatchError.
+// One-time pads for the predicted post-bump counters are precomputed
+// outside the locks (see writeBatch).
 func (m *Memory) WriteBatch(lines []uint64, src []byte) error {
 	if m.tel == nil {
 		return m.writeBatch(lines, src)
@@ -109,6 +142,31 @@ func (m *Memory) WriteBatch(lines []uint64, src []byte) error {
 	m.tel.ObserveOp(telemetry.OpWriteBatch, m.telRank, time.Since(start))
 	if err != nil {
 		m.tel.CountOpError(telemetry.OpWriteBatch, m.telRank)
+	}
+	return err
+}
+
+// Flush seals every dirty metadata cache entry back to the module (in
+// deterministic address order) without evicting anything. After a nil
+// return, stored device state is externally consistent — bit-identical
+// to a write-through instance that served the same operations — which
+// is the contract snapshot/restore and raw Module consumers rely on.
+// A cheap no-op in write-through mode.
+func (m *Memory) Flush() error {
+	if m.tel == nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.flushMetadata()
+	}
+	m.tel.CountOp(telemetry.OpFlush, m.telRank)
+	start := time.Now()
+	m.mu.Lock()
+	err := m.flushMetadata()
+	m.publishMetaStats()
+	m.mu.Unlock()
+	m.tel.ObserveOp(telemetry.OpFlush, m.telRank, time.Since(start))
+	if err != nil {
+		m.tel.CountOpError(telemetry.OpFlush, m.telRank)
 	}
 	return err
 }

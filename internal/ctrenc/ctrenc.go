@@ -183,6 +183,21 @@ func (e *Engine) DecryptBatch(dst, src []byte, addrs, ctrs []uint64) error {
 	return e.EncryptBatch(dst, src, addrs, ctrs)
 }
 
+// XORPad applies a precomputed one-time pad to one line: dst = src XOR
+// pad. It is the commit half of the precompute-then-commit pipeline
+// (Pad/PadBatch generate pads for predicted (addr, counter) pairs while
+// the data access is in flight; XORPad spends one if the prediction
+// held). dst and src may alias. Counter-mode makes the same call serve
+// both directions.
+func XORPad(dst, src, pad []byte) error {
+	if len(dst) != LineSize || len(src) != LineSize || len(pad) != LineSize {
+		return fmt.Errorf("ctrenc: XORPad lines must be %d bytes, got %d/%d/%d: %w",
+			LineSize, len(dst), len(src), len(pad), ErrBadLength)
+	}
+	subtle.XORBytes(dst, src, pad)
+	return nil
+}
+
 func (e *Engine) xorPad(dst, src []byte, addr, counter uint64) error {
 	if len(dst) != LineSize || len(src) != LineSize {
 		return fmt.Errorf("ctrenc: lines must be %d bytes, got %d/%d: %w", LineSize, len(dst), len(src), ErrBadLength)

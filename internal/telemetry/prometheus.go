@@ -29,6 +29,9 @@ import (
 //	synergy_scrub_passes_total{rank=...}
 //	synergy_scrub_lines_scanned_total{rank=...}
 //	synergy_scrub_lines_corrected_total{rank=...}
+//	synergy_metacache_lookups_total{rank=...,result="hit"|"miss"}
+//	synergy_metacache_writebacks_total{rank=...}
+//	synergy_metacache_dirty_entries{rank=...}          (gauge)
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	ew := &errWriter{w: w}
@@ -42,7 +45,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		ew.sample("synergy_op_errors_total", lbl("op", name), op.Errors)
 	})
 
-	ew.family("synergy_op_latency_seconds", "histogram", "Operation latency. Single-line reads are sampled (see DESIGN.md §10); coarse ops are timed on every call.")
+	ew.family("synergy_op_latency_seconds", "histogram", "Operation latency. Single-line reads are sampled (see DESIGN.md §11); coarse ops are timed on every call.")
 	forEachOp(s, func(name string, op OpSnapshot) {
 		if name == OpTrial.String() {
 			return // trials are counted, never timed
@@ -107,6 +110,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	ew.family("synergy_scrub_lines_corrected_total", "counter", "Data lines corrected during scrub segments.")
 	for _, rk := range s.Ranks {
 		ew.sample("synergy_scrub_lines_corrected_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.ScrubCorrected)
+	}
+	ew.family("synergy_metacache_lookups_total", "counter", "Metadata-cache path lookups by result.")
+	for _, rk := range s.Ranks {
+		rl := lbl("rank", strconv.Itoa(rk.Rank))
+		ew.sample("synergy_metacache_lookups_total", rl+","+lbl("result", "hit"), rk.MetaCacheHits)
+		ew.sample("synergy_metacache_lookups_total", rl+","+lbl("result", "miss"), rk.MetaCacheMisses)
+	}
+	ew.family("synergy_metacache_writebacks_total", "counter", "Dirty metadata entries sealed and written back (eviction or flush).")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_metacache_writebacks_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.MetaWritebacks)
+	}
+	ew.family("synergy_metacache_dirty_entries", "gauge", "Metadata-cache entries currently dirty (awaiting writeback).")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_metacache_dirty_entries", lbl("rank", strconv.Itoa(rk.Rank)), rk.MetaDirty)
 	}
 	return ew.err
 }

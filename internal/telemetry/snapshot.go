@@ -41,6 +41,10 @@ type RankSnapshot struct {
 	ScrubPasses            uint64           `json:"scrub_passes"`
 	ScrubScanned           uint64           `json:"scrub_scanned"`
 	ScrubCorrected         uint64           `json:"scrub_corrected"`
+	MetaCacheHits          uint64           `json:"metacache_hits"`
+	MetaCacheMisses        uint64           `json:"metacache_misses"`
+	MetaWritebacks         uint64           `json:"metacache_writebacks"`
+	MetaDirty              uint64           `json:"metacache_dirty"`
 }
 
 // Snapshot captures the registry's current totals. On a disabled
@@ -85,6 +89,10 @@ func (rm *RankMetrics) snapshot() RankSnapshot {
 		ScrubPasses:            rm.scrubPasses.Load(),
 		ScrubScanned:           rm.scrubScanned.Load(),
 		ScrubCorrected:         rm.scrubCorrected.Load(),
+		MetaCacheHits:          rm.metaHits.Load(),
+		MetaCacheMisses:        rm.metaMisses.Load(),
+		MetaWritebacks:         rm.metaWritebacks.Load(),
+		MetaDirty:              rm.metaDirty.Load(),
 	}
 	for c := range rm.corrections {
 		rs.Corrections[c] = rm.corrections[c].Load()
@@ -133,6 +141,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			ScrubPasses:            subClamp(cur.ScrubPasses, p.ScrubPasses),
 			ScrubScanned:           subClamp(cur.ScrubScanned, p.ScrubScanned),
 			ScrubCorrected:         subClamp(cur.ScrubCorrected, p.ScrubCorrected),
+			MetaCacheHits:          subClamp(cur.MetaCacheHits, p.MetaCacheHits),
+			MetaCacheMisses:        subClamp(cur.MetaCacheMisses, p.MetaCacheMisses),
+			MetaWritebacks:         subClamp(cur.MetaWritebacks, p.MetaWritebacks),
+			// MetaDirty is a gauge: the delta view shows the current
+			// dirty count, not a difference.
+			MetaDirty: cur.MetaDirty,
 		}
 		for c := range cur.Corrections {
 			rd.Corrections[c] = subClamp(cur.Corrections[c], p.Corrections[c])

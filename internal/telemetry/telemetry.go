@@ -57,6 +57,10 @@ const (
 	OpScrub
 	// OpRepairChip is one RepairChip sweep.
 	OpRepairChip
+	// OpFlush is one metadata-cache flush: every dirty counter/tree
+	// entry sealed and written back (the write-back cache's durability
+	// point).
+	OpFlush
 	// OpTrial counts Monte Carlo reliability trials completed — the
 	// reliability engine's throughput signal (no latency histogram).
 	OpTrial
@@ -81,6 +85,8 @@ func (o Op) String() string {
 		return "scrub"
 	case OpRepairChip:
 		return "repair_chip"
+	case OpFlush:
+		return "flush"
 	case OpTrial:
 		return "trial"
 	default:
@@ -110,6 +116,11 @@ const (
 	// StageOTP covers decryption: XOR against the counter-mode one-time
 	// pad (precomputed or generated inline).
 	StageOTP
+	// StageMetaUpdate covers the write path's metadata advance: counter
+	// bumps at every tree level plus either the full reseal-and-store
+	// walk (write-through) or the in-cache dirty marking (write-back) —
+	// the stage the metadata cache exists to shrink.
+	StageMetaUpdate
 
 	// NumStages is the number of pipeline stages.
 	NumStages
@@ -128,6 +139,8 @@ func (s Stage) String() string {
 		return "reconstruct"
 	case StageOTP:
 		return "otp"
+	case StageMetaUpdate:
+		return "meta_update"
 	default:
 		return "unknown"
 	}
@@ -376,6 +389,29 @@ type RankMetrics struct {
 	scrubPasses            Counter
 	scrubScanned           Counter
 	scrubCorrected         Counter
+
+	// Metadata-cache gauges/counters, published by the owning engine
+	// with plain atomic stores at sampled operation boundaries (exactly
+	// one writer per rank block — the rank's Memory, under its lock) so
+	// the cache's map probes never pay read-modify-write atomics.
+	metaHits       atomic.Uint64
+	metaMisses     atomic.Uint64
+	metaWritebacks atomic.Uint64
+	metaDirty      atomic.Uint64
+}
+
+// SetMetaCache publishes the rank's metadata-cache running totals:
+// path-load hits and misses, dirty entries sealed and written back,
+// and the current dirty-entry count (a gauge). Single-writer: only the
+// rank's owning engine may call this. Nil-receiver safe.
+func (rm *RankMetrics) SetMetaCache(hits, misses, writebacks, dirty uint64) {
+	if rm == nil {
+		return
+	}
+	rm.metaHits.Store(hits)
+	rm.metaMisses.Store(misses)
+	rm.metaWritebacks.Store(writebacks)
+	rm.metaDirty.Store(dirty)
 }
 
 // NumChips is the chips per rank the per-chip correction counters

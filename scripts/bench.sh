@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Run the crypto hot-path benchmarks, the reliability-engine throughput
-# comparison, the degraded-mode read benchmarks and the telemetry
-# overhead pair, capturing machine-readable results in
-# BENCH_crypto.json, BENCH_reliability.json, BENCH_chaos.json and
-# BENCH_telemetry.json at the repo root.
+# Run the crypto hot-path benchmarks, the write-path benchmarks, the
+# reliability-engine throughput comparison, the degraded-mode read
+# benchmarks and the telemetry overhead pair, capturing
+# machine-readable results in BENCH_crypto.json, BENCH_writepath.json,
+# BENCH_reliability.json, BENCH_chaos.json and BENCH_telemetry.json at
+# the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count        -count value per crypto benchmark (default 5)
@@ -22,6 +23,20 @@ go test -run='^$' -bench='BenchmarkGFMul|BenchmarkSumLine|BenchmarkSum56|Benchma
 
 go run ./scripts/benchjson <"$RAW" >"$OUT"
 echo "wrote $OUT"
+
+# Write path: the write-back metadata cache against the write-through
+# baseline, the batched pipelines, and the per-stage write breakdown.
+# Budget: BenchmarkWriteHotPath ≤ 2× BenchmarkReadHotPath ns/op and
+# both batch benchmarks at 0 allocs/op (DESIGN.md "Write path &
+# metadata cache").
+WP_OUT="BENCH_writepath.json"
+WP_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$WP_RAW"' EXIT
+go test -run='^$' \
+    -bench='BenchmarkReadHotPath$|BenchmarkWriteHotPath$|BenchmarkWriteThroughHotPath|BenchmarkWriteBatchHotPath|BenchmarkReadBatchHotPath|BenchmarkWriteStageBreakdown' \
+    -benchmem -count="$COUNT" ./internal/core/ | tee "$WP_RAW"
+go run ./scripts/benchjson <"$WP_RAW" >"$WP_OUT"
+echo "wrote $WP_OUT"
 
 # Reliability engine: same seed and trial budget serially and with an
 # 8-worker pool. Per-trial deterministic seeding guarantees identical
@@ -42,7 +57,7 @@ echo "wrote $REL_OUT"
 # fault-tolerance trajectory next to the clean hot path.
 CHAOS_OUT="BENCH_chaos.json"
 CHAOS_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$CHAOS_RAW"' EXIT
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW"' EXIT
 go test -run='^$' -bench='BenchmarkDegradedRead' -benchmem -count="$COUNT" \
     ./internal/core/ | tee "$CHAOS_RAW"
 go run ./scripts/benchjson <"$CHAOS_RAW" >"$CHAOS_OUT"
@@ -51,13 +66,13 @@ echo "wrote $CHAOS_OUT"
 # Telemetry overhead: the same steady-state hot paths with a live
 # registry recording (counters exact, stages sampled 1-in-64) next to
 # the uninstrumented baseline. Budget: instrumented read within 5% of
-# disabled and still 0 allocs/op (DESIGN.md §10). Rounds are
+# disabled and still 0 allocs/op (DESIGN.md §11). Rounds are
 # interleaved (-count=1 per round) instead of one grouped -count run:
 # grouped, a load spike mid-run lands entirely on whichever side runs
 # later and fakes an overhead regression.
 TEL_OUT="BENCH_telemetry.json"
 TEL_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$CHAOS_RAW" "$TEL_RAW"' EXIT
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW"' EXIT
 i=0
 while [ "$i" -lt "$COUNT" ]; do
     go test -run='^$' \

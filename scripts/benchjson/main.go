@@ -25,6 +25,9 @@ type result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric columns (e.g. the write-path
+	// stage breakdown's "meta_update-ns"), keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -65,6 +68,15 @@ func parse(r *os.File) []result {
 				res.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			default:
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[fields[i+1]] = v
 			}
 		}
 		results = append(results, res)
