@@ -435,6 +435,9 @@ func (a *Array) Stats() Stats {
 		total.PoisonFastFails += s.PoisonFastFails
 		total.LinesHealed += s.LinesHealed
 		total.ChipRepairs += s.ChipRepairs
+		total.FastReads += s.FastReads
+		total.ReadEscalations += s.ReadEscalations
+		total.GenRetries += s.GenRetries
 	}
 	return total
 }

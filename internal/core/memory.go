@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"synergy/internal/ctrenc"
 	"synergy/internal/dimm"
@@ -94,16 +95,19 @@ type Config struct {
 
 // Memory is a functional Synergy secure memory on one 9-chip ECC-DIMM.
 //
-// Memory is safe for concurrent use: a rank-level mutex serializes the
-// command stream the way a per-rank memory controller queue would.
-// Read, Write and the batch variants take the exclusive lock — even a
-// read mutates engine state (node-cache fills, scoreboard updates,
-// stats, and the §IV-A pre-emptive correction commit write lines back)
-// — while pure observers (Stats, KnownBadChip) share a read lock.
-// Rank-level parallelism comes from Array, which routes disjoint ranks
-// to disjoint locks. Module and Layout expose raw hardware for fault
-// injection and are caller-synchronized: do not inject faults while
-// another goroutine is mid-access.
+// Memory is safe for concurrent use: a rank-level RWMutex serializes
+// the command stream the way a per-rank memory controller queue would.
+// The steady-state clean read — cache-hit counter, passing MAC,
+// healthy rank — runs entirely under the shared lock (see
+// fastread.go), so concurrent readers on one rank scale with cores.
+// Everything that mutates engine state — writes, cache fills, ECC
+// correction, scoreboard updates, the §IV-A pre-emptive commit,
+// poison bookkeeping — escalates to the exclusive lock; pure
+// observers (Stats, KnownBadChip) share the read lock. Rank-level
+// parallelism additionally comes from Array, which routes disjoint
+// ranks to disjoint locks. Module and Layout expose raw hardware for
+// fault injection and are caller-synchronized: do not inject faults
+// while another goroutine is mid-access.
 type Memory struct {
 	mu     sync.RWMutex
 	layout Layout
@@ -154,6 +158,20 @@ type Memory struct {
 	pcandBuf []pathEntry
 	wbBuf    []*cachedNode
 	lineBufs [2][LineSize]byte
+
+	// Shared-lock optimistic read machinery (fastread.go). gens holds
+	// the striped per-line seqlock-style generation slots: bumped by
+	// mutators under the exclusive lock, loaded by optimistic readers
+	// to classify a failed verify (writer interference vs genuine
+	// corruption). The counters are atomics — the fast path never
+	// holds the exclusive lock that guards m.stats — and Stats()
+	// merges them into the returned copy.
+	gens            [genStripes]atomic.Uint64
+	fastReads       atomic.Uint64 // reads served under the shared lock
+	fastVerifies    atomic.Uint64 // MAC verifications spent by fast attempts
+	fastPoisonFails atomic.Uint64 // poison fast-fails under the shared lock
+	genRetries      atomic.Uint64 // attempts retried after a generation conflict
+	escalations     [telemetry.NumEscReasons]atomic.Uint64
 }
 
 // Stats counts the engine's observable activity, in the units the
@@ -184,6 +202,10 @@ type Stats struct {
 	PoisonFastFails uint64 // reads failed fast on an already-poisoned line
 	LinesHealed     uint64 // poisoned lines cleared by a write or repair
 	ChipRepairs     uint64 // RepairChip invocations completed
+
+	FastReads       uint64 // reads served by the shared-lock optimistic path (subset of Reads)
+	ReadEscalations uint64 // optimistic attempts that fell back to the exclusive path
+	GenRetries      uint64 // optimistic attempts retried after a generation conflict
 }
 
 // ReadInfo describes what happened during one Read.
@@ -408,11 +430,26 @@ func (m *Memory) Module() *dimm.Module { return m.mod }
 // layout is immutable after New.
 func (m *Memory) Layout() Layout { return m.layout }
 
-// Stats returns a copy of the engine counters.
+// Stats returns a copy of the engine counters. Fast-path activity is
+// tracked in atomics (the shared-lock read never touches m.stats) and
+// folded in here: each fast read is one served read whose walk
+// stopped at an on-chip cached node, with exactly one MAC evaluation.
 func (m *Memory) Stats() Stats {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	s := m.stats
+	m.mu.RUnlock()
+	fast := m.fastReads.Load()
+	s.FastReads = fast
+	s.Reads += fast
+	s.NodeCacheStops += fast
+	s.MetaCacheHits += fast
+	s.MACComputations += m.fastVerifies.Load()
+	s.PoisonFastFails += m.fastPoisonFails.Load()
+	s.GenRetries = m.genRetries.Load()
+	for k := range m.escalations {
+		s.ReadEscalations += m.escalations[k].Load()
+	}
+	return s
 }
 
 // KnownBadChip returns the chip the scoreboard has condemned, or -1.
@@ -771,7 +808,14 @@ func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
 // integrity-tree traversal with Synergy's integrated error detection and
 // correction (paper §III-B, Fig. 7). On an uncorrectable mismatch it
 // returns ErrAttack and leaves dst unspecified.
+//
+// The steady-state clean read is served under the shared lock alone
+// (fastread.go); only cache misses, corrections, degraded mode and
+// generation conflicts take the exclusive lock.
 func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
+	if info, err, ok := m.fastRead(i, dst); ok {
+		return info, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.readCounted(i, dst, nil, 0)
@@ -784,17 +828,19 @@ type batchScratch struct {
 	addrs []uint64
 	ctrs  []uint64
 	pads  []byte
+	slow  []bool
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
-func (b *batchScratch) grow(n int) (addrs, ctrs []uint64, pads []byte) {
+func (b *batchScratch) grow(n int) (addrs, ctrs []uint64, pads []byte, slow []bool) {
 	if cap(b.addrs) < n {
 		b.addrs = make([]uint64, n)
 		b.ctrs = make([]uint64, n)
 		b.pads = make([]byte, n*LineSize)
+		b.slow = make([]bool, n)
 	}
-	return b.addrs[:n], b.ctrs[:n], b.pads[: n*LineSize : n*LineSize]
+	return b.addrs[:n], b.ctrs[:n], b.pads[: n*LineSize : n*LineSize], b.slow[:n]
 }
 
 // readBatch is ReadBatchInto without the telemetry wrapper (see the
@@ -810,12 +856,12 @@ func (m *Memory) readBatch(lines []uint64, dst []byte, infos []ReadInfo) error {
 	}
 	bs := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(bs)
-	addrs, ctrs, pads := bs.grow(len(lines))
+	addrs, ctrs, pads, slow := bs.grow(len(lines))
 
 	// Phase 1 (shared lock): unverified peek of each line's effective
 	// encryption counter — the cached copy when on-chip, the raw stored
 	// leaf otherwise. Out-of-range lines keep counter 0; they fail range
-	// checks in phase 3 before any pad is consulted.
+	// checks in the exclusive phase before any pad is consulted.
 	m.mu.RLock()
 	for k, i := range lines {
 		addrs[k], ctrs[k] = m.peekCounter(i)
@@ -825,15 +871,93 @@ func (m *Memory) readBatch(lines []uint64, dst []byte, infos []ReadInfo) error {
 	// Phase 2 (no lock): generate the whole batch's one-time pads.
 	havePads := m.enc.PadBatch(pads, addrs, ctrs) == nil
 
-	// Phase 3 (exclusive lock): serve the reads, using each precomputed
-	// pad when the trusted counter matches the peeked one. Every line is
-	// attempted; failures collect into one BatchError instead of
-	// aborting the batch, so a degraded-mode caller can skip or retry
-	// exactly the poisoned indices.
+	// Phase 3 (shared lock): optimistically serve every line whose
+	// counter is still on-chip and unchanged since phase 1 — verify the
+	// MAC against the trusted cached counter and XOR the precomputed
+	// pad, all without excluding concurrent readers. Lines that need
+	// any engine mutation (cache miss, pad gone stale under a racing
+	// write, MAC mismatch, poison, degraded mode) are marked slow.
+	nslow := 0
+	if havePads {
+		m.mu.RLock()
+		degraded := m.knownBad >= 0
+		for k, i := range lines {
+			slow[k] = true
+			if degraded || i >= m.layout.DataLines {
+				if degraded {
+					m.escalate(i, telemetry.EscDegraded)
+				}
+				nslow++
+				continue
+			}
+			if _, bad := m.poisoned[i]; bad {
+				nslow++
+				continue
+			}
+			ca, ctrSlot := m.layout.CounterAddr(i)
+			cn, hit := m.ncache.peek(ca)
+			if !hit {
+				m.escalate(i, telemetry.EscCacheMiss)
+				nslow++
+				continue
+			}
+			// Replay protection: only the cached (trusted) counter may
+			// authorize a fast serve. The pad was generated for the
+			// phase-1 peek; a differing trusted counter means a racing
+			// write advanced the line since.
+			var ctr uint64
+			if m.split {
+				ctr = cn.split.Counter(ctrSlot)
+			} else {
+				ctr = cn.node.Counters[ctrSlot]
+			}
+			if ctr != ctrs[k] {
+				m.escalate(i, telemetry.EscGenConflict)
+				nslow++
+				continue
+			}
+			dl, err := m.mod.ReadLine(addrs[k])
+			if err != nil {
+				nslow++
+				continue
+			}
+			m.fastVerifies.Add(1)
+			if !m.verifyData(addrs[k], ctr, &dl) {
+				m.escalate(i, telemetry.EscMismatch)
+				nslow++
+				continue
+			}
+			subtle.XORBytes(dst[k*LineSize:(k+1)*LineSize], dl.Data[:], pads[k*LineSize:(k+1)*LineSize])
+			infos[k] = ReadInfo{}
+			slow[k] = false
+			m.fastReads.Add(1)
+			m.tel.CountOp(telemetry.OpRead, int(i))
+			m.tel.CountFastRead(m.telRank, int(i))
+		}
+		m.mu.RUnlock()
+	} else {
+		for k := range slow {
+			slow[k] = true
+		}
+		nslow = len(lines)
+	}
+	if nslow == 0 {
+		return nil
+	}
+
+	// Phase 4 (exclusive lock): serve only the marked lines through the
+	// full path, still using each precomputed pad when the trusted
+	// counter matches the peeked one. Every line is attempted; failures
+	// collect into one BatchError instead of aborting the batch, so a
+	// degraded-mode caller can skip or retry exactly the poisoned
+	// indices.
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var be *BatchError
 	for k, i := range lines {
+		if !slow[k] {
+			continue
+		}
 		var pad []byte
 		if havePads {
 			pad = pads[k*LineSize : (k+1)*LineSize]
@@ -1054,6 +1178,12 @@ func regionOfLevel(level int) Region {
 }
 
 func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, info *ReadInfo) {
+	// A correction rewrote a stored line whose blast radius can span
+	// every data line under the repaired path node; bump every
+	// generation slot so concurrent optimistic readers whose verify
+	// straddled the repair retry instead of escalating. Corrections
+	// are rare — the sweep is off the hot path by definition.
+	m.bumpAllGens()
 	info.Corrected = true
 	info.CorrectedRegions = append(info.CorrectedRegions, r)
 	info.FaultyChips = append(info.FaultyChips, chip)
@@ -1104,7 +1234,7 @@ func (m *Memory) writeBatch(lines []uint64, src []byte) error {
 	}
 	bs := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(bs)
-	addrs, ctrs, pads := bs.grow(len(lines))
+	addrs, ctrs, pads, _ := bs.grow(len(lines))
 
 	m.mu.RLock()
 	for k, i := range lines {
@@ -1327,6 +1457,7 @@ func (m *Memory) storeDataLine(i, newCtr uint64, plain, pad []byte, padCtr uint6
 	// healed (a lingering permanent multi-chip fault re-poisons on the
 	// next read; that is the fault speaking, not stale state).
 	m.healLine(i)
+	m.bumpGen(i)
 	return nil
 }
 
@@ -1348,6 +1479,7 @@ func (m *Memory) poisonLine(i uint64) {
 	}
 	m.poisoned[i] = struct{}{}
 	m.stats.LinesPoisoned++
+	m.bumpGen(i)
 	m.tel.EmitPoison(telemetry.PoisonEvent{Rank: m.telRank, Line: i})
 }
 
@@ -1356,6 +1488,7 @@ func (m *Memory) healLine(i uint64) {
 	if _, ok := m.poisoned[i]; ok {
 		delete(m.poisoned, i)
 		m.stats.LinesHealed++
+		m.bumpGen(i)
 		m.tel.EmitPoison(telemetry.PoisonEvent{Rank: m.telRank, Line: i, Healed: true})
 	}
 }
@@ -1524,6 +1657,7 @@ func (m *Memory) reencryptGroup(target uint64, oldLeaf *integrity.SplitNode, new
 		if err := m.updateParity(j, cipher[:], tag[:]); err != nil {
 			return err
 		}
+		m.bumpGen(j)
 		m.stats.GroupLinesReencrypted++
 	}
 	return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"synergy/internal/integrity"
 )
 
@@ -34,20 +36,31 @@ import (
 //     advanced) parent counter, which is what preserves replay
 //     protection across the deferral window.
 //
-// The cache has no lock of its own: every access happens with the
-// owning Memory's exclusive lock held, except peek, which is read-only
-// and safe under the shared lock.
+// # Replacement policy
+//
+// Recency is CLOCK (second chance), not LRU: each entry carries an
+// atomic access bit that hits set and the eviction hand clears. The
+// choice is what makes the shared-lock read fast path legal — a cache
+// hit under Memory's RLock touches nothing but its entry's own atomic
+// bit, so concurrent readers never contend on list pointers the way a
+// move-to-front LRU would force them to. Structural mutation (insert,
+// remove, the hand sweep) still happens only under the owning Memory's
+// exclusive lock.
+//
+// The cache has no lock of its own: insert/remove/victim/get require
+// the owning Memory's exclusive lock; peek (and the access-bit set
+// inside it) is safe under the shared lock.
 
-// nodeCache is a fully-associative LRU of trusted path entries with
-// dirty tracking. Recency is an intrusive doubly-linked list (head =
-// most recent), making eviction O(1) instead of a full scan.
+// nodeCache is a fully-associative CLOCK cache of trusted path entries
+// with dirty tracking. Entries form a circular ring; hand points at
+// the next eviction candidate.
 type nodeCache struct {
 	cap   int
 	nodes map[uint64]*cachedNode
-	head  *cachedNode // most recently used
-	tail  *cachedNode // least recently used
+	hand  *cachedNode // next sweep position; nil iff the cache is empty
 
-	dirty int // number of dirty entries
+	dirty int         // number of dirty entries
+	free  *cachedNode // evicted entries recycled by insert (linked via next)
 }
 
 type cachedNode struct {
@@ -61,7 +74,22 @@ type cachedNode struct {
 	// leave the trust boundary.
 	dirty bool
 
-	prev, next *cachedNode
+	// accessed is the CLOCK reference bit: set (atomically — readers
+	// under the shared lock race each other here) on every hit, cleared
+	// by the eviction hand. It orders nothing; it only steers victim
+	// selection, so the relaxed read-check-store below is fine.
+	accessed atomic.Uint32
+
+	prev, next *cachedNode // circular ring, in insertion order behind the hand
+}
+
+// touch sets the access bit. Safe under the shared lock: the bit is
+// this entry's own atomic word, and the load-before-store keeps a hot
+// entry's cacheline in the shared state for concurrent readers.
+func (n *cachedNode) touch() {
+	if n.accessed.Load() == 0 {
+		n.accessed.Store(1)
+	}
 }
 
 // DefaultNodeCacheLines is the default write-through cache capacity in
@@ -71,11 +99,6 @@ type cachedNode struct {
 // cache (Config.MetadataCache) is sized explicitly by the caller.
 const DefaultNodeCacheLines = 32
 
-// evictScan bounds how far from the LRU end victim selection searches
-// for a clean entry before settling for a dirty one (which costs a
-// seal + writeback). Small and constant: eviction stays O(1).
-const evictScan = 8
-
 func newNodeCache(capacity int) *nodeCache {
 	if capacity < 0 {
 		capacity = 0
@@ -83,22 +106,25 @@ func newNodeCache(capacity int) *nodeCache {
 	return &nodeCache{cap: capacity, nodes: make(map[uint64]*cachedNode, capacity)}
 }
 
-// get returns the trusted entry for addr, if cached, refreshing its
-// recency. Requires the owning Memory's exclusive lock.
+// get returns the trusted entry for addr, if cached, setting its
+// access bit. Requires the owning Memory's exclusive lock.
 func (c *nodeCache) get(addr uint64) (*cachedNode, bool) {
 	n, ok := c.nodes[addr]
 	if ok {
-		c.touch(n)
+		n.touch()
 	}
 	return n, ok
 }
 
-// peek returns the trusted entry for addr without touching LRU state.
-// Safe under the owning Memory's shared lock (it mutates nothing), so
-// the optimistic batch paths can consult the cache while peeking
-// counters.
+// peek returns the trusted entry for addr, setting only its (atomic)
+// access bit. Safe under the owning Memory's shared lock — it mutates
+// no map or ring state — so the optimistic read paths can consult the
+// cache concurrently.
 func (c *nodeCache) peek(addr uint64) (*cachedNode, bool) {
 	n, ok := c.nodes[addr]
+	if ok {
+		n.touch()
+	}
 	return n, ok
 }
 
@@ -108,20 +134,48 @@ func (c *nodeCache) peek(addr uint64) (*cachedNode, bool) {
 // markDirty is the only way an entry becomes dirty. insert never
 // evicts — the owning Memory trims after its operation completes, so
 // mid-operation inserts (ancestor loads during a flush) can
-// transiently overflow cap.
+// transiently overflow cap. New entries join the ring just behind the
+// hand with their access bit set: a full sweep passes them last, and
+// the second chance keeps a just-inserted path from being its own
+// trim's first victim.
 func (c *nodeCache) insert(addr uint64, level int, index uint64, node integrity.Node, split integrity.SplitNode) *cachedNode {
 	if c.cap == 0 {
 		return nil
 	}
 	if old, ok := c.nodes[addr]; ok {
 		old.node, old.split = node, split
-		c.touch(old)
+		old.touch()
 		return old
 	}
-	n := &cachedNode{addr: addr, level: level, index: index, node: node, split: split}
+	// Recycle an evicted entry when one is free: a churning workload
+	// (working set beyond cap) would otherwise allocate a node per
+	// fill, and the write hot path holds a 0 allocs/op contract.
+	n := c.free
+	if n != nil {
+		c.free = n.next
+		n.addr, n.level, n.index = addr, level, index
+		n.node, n.split = node, split
+		n.dirty = false
+		n.prev, n.next = nil, nil
+	} else {
+		n = &cachedNode{addr: addr, level: level, index: index, node: node, split: split}
+	}
+	n.accessed.Store(1)
 	c.nodes[addr] = n
-	c.pushFront(n)
+	c.link(n)
 	return n
+}
+
+// link splices n into the ring just behind the hand.
+func (c *nodeCache) link(n *cachedNode) {
+	if c.hand == nil {
+		n.prev, n.next = n, n
+		c.hand = n
+		return
+	}
+	tail := c.hand.prev
+	tail.next, n.prev = n, tail
+	n.next, c.hand.prev = c.hand, n
 }
 
 // markDirty flags an entry as ahead of its stored copy.
@@ -140,31 +194,59 @@ func (c *nodeCache) markClean(n *cachedNode) {
 	}
 }
 
-// victim proposes an eviction candidate: the least recently used clean
-// entry among the evictScan oldest, or the overall LRU entry (which
-// the caller must flush first if dirty). ok is false on an empty cache.
+// victim proposes an eviction candidate by sweeping the CLOCK hand:
+// entries with the access bit set get a second chance (bit cleared,
+// hand advances), the first clean unreferenced entry wins, and if a
+// bounded sweep finds only dirty entries the oldest dirty one is
+// returned (the caller must flush it before remove). ok is false on an
+// empty cache. Requires the owning Memory's exclusive lock.
 func (c *nodeCache) victim() (*cachedNode, bool) {
-	if c.tail == nil {
+	if c.hand == nil {
 		return nil, false
 	}
-	n := c.tail
-	for i := 0; n != nil && i < evictScan; i++ {
-		if !n.dirty {
-			return n, true
+	var fallback *cachedNode
+	// Two full revolutions bound the sweep: the first may spend every
+	// step clearing access bits, the second must then find an
+	// unreferenced entry.
+	for i := 0; i < 2*len(c.nodes)+1; i++ {
+		v := c.hand
+		c.hand = v.next
+		if v.accessed.Swap(0) != 0 {
+			continue // second chance
 		}
-		n = n.prev
+		if !v.dirty {
+			return v, true
+		}
+		if fallback == nil {
+			fallback = v
+		}
 	}
-	return c.tail, true
+	if fallback != nil {
+		return fallback, true
+	}
+	return c.hand, true
 }
 
-// remove drops an entry from the cache. The entry must be clean: a
-// dirty entry's state would be silently lost.
+// remove drops an entry from the cache and parks it on the free list
+// for insert to recycle. The entry must be clean: a dirty entry's
+// state would be silently lost. No pointer to a removed entry may be
+// retained across the exclusive-lock section that removed it.
 func (c *nodeCache) remove(n *cachedNode) {
 	if n.dirty {
 		panic("core: removing dirty metadata cache entry")
 	}
 	delete(c.nodes, n.addr)
-	c.unlink(n)
+	if n.next == n {
+		c.hand = nil
+	} else {
+		if c.hand == n {
+			c.hand = n.next
+		}
+		n.prev.next = n.next
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, c.free
+	c.free = n
 }
 
 // dirtyEntries returns every dirty entry (unordered).
@@ -173,9 +255,17 @@ func (c *nodeCache) dirtyEntries() []*cachedNode {
 		return nil
 	}
 	out := make([]*cachedNode, 0, c.dirty)
-	for n := c.head; n != nil; n = n.next {
+	if c.hand == nil {
+		return out
+	}
+	n := c.hand
+	for {
 		if n.dirty {
 			out = append(out, n)
+		}
+		n = n.next
+		if n == c.hand {
+			break
 		}
 	}
 	return out
@@ -190,37 +280,4 @@ func (c *nodeCache) over() int {
 		return 0
 	}
 	return len(c.nodes) - c.cap
-}
-
-func (c *nodeCache) touch(n *cachedNode) {
-	if c.head == n {
-		return
-	}
-	c.unlink(n)
-	c.pushFront(n)
-}
-
-func (c *nodeCache) pushFront(n *cachedNode) {
-	n.prev, n.next = nil, c.head
-	if c.head != nil {
-		c.head.prev = n
-	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
-	}
-}
-
-func (c *nodeCache) unlink(n *cachedNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		c.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		c.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
 }

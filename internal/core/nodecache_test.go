@@ -65,26 +65,40 @@ func TestNodeCacheWritesRefreshCachedCounters(t *testing.T) {
 	}
 }
 
-func TestNodeCacheLRUEviction(t *testing.T) {
+func TestNodeCacheClockEviction(t *testing.T) {
 	c := newNodeCache(2)
 	c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
 	c.insert(2, -1, 2, integrity.Node{}, integrity.SplitNode{})
-	c.get(1) // refresh 1
+	// A full sweep clears the insert-time access bits; touch 1 after so
+	// only it holds a second chance when the next victim is chosen.
+	v, ok := c.victim()
+	if !ok {
+		t.Fatal("victim on populated cache returned !ok")
+	}
+	c.get(1) // re-arm 1's access bit
+	if v.addr == 1 {
+		// The first sweep's victim depends on hand position; re-pick
+		// after the touch so the assertion below is deterministic.
+		v, ok = c.victim()
+		if !ok {
+			t.Fatal("victim returned !ok")
+		}
+	}
 	c.insert(3, -1, 3, integrity.Node{}, integrity.SplitNode{})
 	// insert never evicts; the owner trims. Emulate one trim step.
 	if c.over() != 1 {
 		t.Fatalf("over = %d, want 1", c.over())
 	}
-	v, ok := c.victim()
-	if !ok || v.addr != 2 {
-		t.Fatalf("victim = %v/%v, want clean LRU entry 2", v, ok)
+	v, ok = c.victim()
+	if !ok || v.addr == 1 {
+		t.Fatalf("victim = %d/%v, want the unreferenced entry, not touched entry 1", v.addr, ok)
 	}
 	c.remove(v)
-	if _, ok := c.get(2); ok {
-		t.Fatal("LRU entry 2 not evicted")
+	if _, ok := c.get(v.addr); ok {
+		t.Fatal("victim not evicted")
 	}
 	if _, ok := c.get(1); !ok {
-		t.Fatal("recently used entry 1 evicted")
+		t.Fatal("recently touched entry 1 evicted")
 	}
 	if c.size() != 2 {
 		t.Fatalf("size = %d", c.size())
@@ -96,8 +110,8 @@ func TestNodeCacheVictimPrefersClean(t *testing.T) {
 	old := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
 	c.markDirty(old)
 	c.insert(2, -1, 2, integrity.Node{}, integrity.SplitNode{})
-	// Entry 1 is LRU but dirty: victim should skip to the clean entry 2
-	// within the bounded scan rather than force a writeback.
+	// Entry 1 is dirty: the sweep should settle on the clean entry 2
+	// (after clearing access bits) rather than force a writeback.
 	v, ok := c.victim()
 	if !ok || v.addr != 2 {
 		t.Fatalf("victim addr = %d, want clean entry 2", v.addr)
@@ -111,6 +125,33 @@ func TestNodeCacheVictimPrefersClean(t *testing.T) {
 	}
 	if got := c.dirtyEntries(); got != nil {
 		t.Fatalf("dirtyEntries = %v, want nil", got)
+	}
+}
+
+func TestNodeCacheAllDirtyFallsBackToDirtyVictim(t *testing.T) {
+	c := newNodeCache(2)
+	a := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
+	b := c.insert(2, -1, 2, integrity.Node{}, integrity.SplitNode{})
+	c.markDirty(a)
+	c.markDirty(b)
+	v, ok := c.victim()
+	if !ok || !v.dirty {
+		t.Fatalf("victim = %v/%v, want a dirty fallback", v, ok)
+	}
+}
+
+func TestNodeCachePeekSetsAccessBitOnly(t *testing.T) {
+	c := newNodeCache(2)
+	n := c.insert(1, -1, 1, integrity.Node{}, integrity.SplitNode{})
+	n.accessed.Store(0)
+	if _, ok := c.peek(1); !ok {
+		t.Fatal("peek missed a cached entry")
+	}
+	if n.accessed.Load() == 0 {
+		t.Fatal("peek did not set the CLOCK access bit")
+	}
+	if _, ok := c.peek(99); ok {
+		t.Fatal("peek invented an entry")
 	}
 }
 

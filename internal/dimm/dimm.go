@@ -13,6 +13,7 @@ package dimm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 const (
@@ -80,14 +81,18 @@ type fault struct {
 }
 
 // Module is one rank of a 9-chip ECC-DIMM addressed by line index.
-// It is not safe for concurrent use; the memory controller above it
-// serializes accesses, as real command buses do.
+// The memory controller above it serializes mutation, as real command
+// buses do: WriteLine and every fault-injection call require exclusive
+// access. ReadLine and PeekLine are safe to run concurrently with each
+// other (the access counters are atomic and the stored cells are only
+// read) but not with a concurrent mutator — core.Memory's rank RWMutex
+// provides exactly that discipline for its shared-lock read path.
 type Module struct {
 	lines      uint64
 	store      []Line
 	faults     []fault
-	readCount  uint64
-	writeCount uint64
+	readCount  atomic.Uint64
+	writeCount atomic.Uint64
 }
 
 // ErrOutOfRange reports an access beyond the module's capacity.
@@ -105,10 +110,10 @@ func New(lines uint64) (*Module, error) {
 func (m *Module) Lines() uint64 { return m.lines }
 
 // Reads returns the number of ReadLine calls served.
-func (m *Module) Reads() uint64 { return m.readCount }
+func (m *Module) Reads() uint64 { return m.readCount.Load() }
 
 // Writes returns the number of WriteLine calls served.
-func (m *Module) Writes() uint64 { return m.writeCount }
+func (m *Module) Writes() uint64 { return m.writeCount.Load() }
 
 // WriteLine stores a 72-byte line (64 B data + 8 B ECC-chip slice).
 // Writing heals transient faults at the address (the cells are rewritten)
@@ -124,7 +129,7 @@ func (m *Module) WriteLine(addr uint64, data []byte, ecc []byte) error {
 	l := &m.store[addr]
 	copy(l.Data[:], data)
 	copy(l.ECC[:], ecc)
-	m.writeCount++
+	m.writeCount.Add(1)
 	return nil
 }
 
@@ -145,7 +150,7 @@ func (m *Module) ReadLine(addr uint64) (Line, error) {
 			s[b] ^= f.mask[b]
 		}
 	}
-	m.readCount++
+	m.readCount.Add(1)
 	return l, nil
 }
 

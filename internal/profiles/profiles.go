@@ -17,21 +17,34 @@ type Flags struct {
 	CPU string
 	// Mem is the -memprofile destination ("" = off).
 	Mem string
+	// Mutex is the -mutexprofile destination ("" = off).
+	Mutex string
+	// MutexFraction is the -mutexprofilefraction sampling rate: 1/N of
+	// mutex contention events are recorded (0 = collection off). Any
+	// positive value also lights up /debug/pprof/mutex on a process
+	// serving ServeMetrics, whether or not -mutexprofile was given —
+	// the knob that shows where the rank locks actually contend.
+	MutexFraction int
 }
 
-// Register installs the two standard flags on fs.
+// Register installs the standard profiling flags on fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Mutex, "mutexprofile", "", "write a mutex contention profile to this file on exit (implies -mutexprofilefraction 1 unless set)")
+	fs.IntVar(&f.MutexFraction, "mutexprofilefraction", 0, "record 1/N of mutex contention events (0 = off); live view at /debug/pprof/mutex when -metrics is serving")
 }
 
-// Start begins CPU profiling when -cpuprofile was given and returns a
-// stop function that must run before the process exits (defer it from
-// a helper, not main: os.Exit skips defers). stop ends the CPU
-// profile and, when -memprofile was given, forces a GC and writes the
-// live-heap profile. Errors are reported on stderr prefixed with
-// prog; a failure to open the CPU profile aborts with a non-nil error
-// so the run is not wasted profiling nothing.
+// Start begins CPU profiling when -cpuprofile was given, enables
+// mutex-contention sampling when -mutexprofile or
+// -mutexprofilefraction was given, and returns a stop function that
+// must run before the process exits (defer it from a helper, not
+// main: os.Exit skips defers). stop ends the CPU profile, writes the
+// mutex profile when -mutexprofile was given, and, when -memprofile
+// was given, forces a GC and writes the live-heap profile. Errors are
+// reported on stderr prefixed with prog; a failure to open the CPU
+// profile aborts with a non-nil error so the run is not wasted
+// profiling nothing.
 func (f *Flags) Start(prog string) (stop func(), err error) {
 	var cpuFile *os.File
 	if f.CPU != "" {
@@ -44,11 +57,28 @@ func (f *Flags) Start(prog string) (stop func(), err error) {
 			return nil, fmt.Errorf("%s: -cpuprofile: %w", prog, err)
 		}
 	}
-	mem := f.Mem
+	if f.Mutex != "" && f.MutexFraction == 0 {
+		f.MutexFraction = 1
+	}
+	if f.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(f.MutexFraction)
+	}
+	mem, mutex := f.Mem, f.Mutex
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
+		}
+		if mutex != "" {
+			out, err := os.Create(mutex)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -mutexprofile: %v\n", prog, err)
+			} else {
+				if err := pprof.Lookup("mutex").WriteTo(out, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -mutexprofile: %v\n", prog, err)
+				}
+				out.Close()
+			}
 		}
 		if mem == "" {
 			return

@@ -1,0 +1,79 @@
+package profiles
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// -mutexprofile alone must enable contention sampling (fraction 1) and
+// write a parseable profile at stop; the fraction must be restored so
+// later tests are not silently profiled.
+func TestMutexProfileFlag(t *testing.T) {
+	prev := runtime.SetMutexProfileFraction(-1)
+	defer runtime.SetMutexProfileFraction(prev)
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "mutex.pb.gz")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f Flags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-mutexprofile", out}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 1 {
+		t.Fatalf("mutex profile fraction = %d, want 1 (implied by -mutexprofile)", got)
+	}
+
+	// Manufacture some contention so the profile has something to say.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck // empty section on purpose
+			}
+		}()
+	}
+	wg.Wait()
+
+	stop()
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatalf("mutex profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("mutex profile is empty")
+	}
+}
+
+// An explicit -mutexprofilefraction must win over the implied 1.
+func TestMutexProfileFractionExplicit(t *testing.T) {
+	prev := runtime.SetMutexProfileFraction(-1)
+	defer runtime.SetMutexProfileFraction(prev)
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f Flags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-mutexprofilefraction", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if got := runtime.SetMutexProfileFraction(-1); got != 5 {
+		t.Fatalf("mutex profile fraction = %d, want 5", got)
+	}
+}

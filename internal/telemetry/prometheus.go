@@ -32,6 +32,9 @@ import (
 //	synergy_metacache_lookups_total{rank=...,result="hit"|"miss"}
 //	synergy_metacache_writebacks_total{rank=...}
 //	synergy_metacache_dirty_entries{rank=...}          (gauge)
+//	synergy_read_fast_total{rank=...}
+//	synergy_read_gen_retries_total{rank=...}
+//	synergy_read_escalations_total{rank=...,reason=...}
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	ew := &errWriter{w: w}
@@ -124,6 +127,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	ew.family("synergy_metacache_dirty_entries", "gauge", "Metadata-cache entries currently dirty (awaiting writeback).")
 	for _, rk := range s.Ranks {
 		ew.sample("synergy_metacache_dirty_entries", lbl("rank", strconv.Itoa(rk.Rank)), rk.MetaDirty)
+	}
+	ew.family("synergy_read_fast_total", "counter", "Reads served entirely under the shared lock (optimistic fast path).")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_read_fast_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.FastReads)
+	}
+	ew.family("synergy_read_gen_retries_total", "counter", "Optimistic read attempts retried after a generation conflict.")
+	for _, rk := range s.Ranks {
+		ew.sample("synergy_read_gen_retries_total", lbl("rank", strconv.Itoa(rk.Rank)), rk.GenRetries)
+	}
+	ew.family("synergy_read_escalations_total", "counter", "Optimistic read attempts that escalated to the exclusive slow path, by reason.")
+	for _, rk := range s.Ranks {
+		rl := lbl("rank", strconv.Itoa(rk.Rank))
+		for e, n := range rk.Escalations {
+			ew.sample("synergy_read_escalations_total", rl+","+lbl("reason", EscReason(e).String()), n)
+		}
 	}
 	return ew.err
 }

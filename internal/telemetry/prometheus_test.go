@@ -54,6 +54,10 @@ func TestWritePrometheus(t *testing.T) {
 	r.CountScrubSegment(0, 128, 1)
 	r.EmitRepair(RepairEvent{Rank: 1, Chip: 7})
 	r.AddTrials(10_000)
+	r.CountFastRead(0, 0)
+	r.CountGenRetry(0, 0)
+	r.CountEscalation(0, EscCacheMiss, 0)
+	r.CountEscalation(0, EscMismatch, 0)
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
@@ -71,6 +75,9 @@ func TestWritePrometheus(t *testing.T) {
 		"synergy_poison_events_total",
 		"synergy_scrub_passes_total",
 		"synergy_chip_repairs_total",
+		"synergy_read_fast_total",
+		"synergy_read_gen_retries_total",
+		"synergy_read_escalations_total",
 	} {
 		if families[want] == 0 {
 			t.Errorf("family %s missing from exposition", want)
@@ -84,6 +91,10 @@ func TestWritePrometheus(t *testing.T) {
 		`synergy_ops_total{op="trial"} 10000`,
 		`synergy_poison_events_total{rank="0",event="poisoned"} 1`,
 		`synergy_scrub_lines_scanned_total{rank="0"} 128`,
+		`synergy_read_fast_total{rank="0"} 1`,
+		`synergy_read_gen_retries_total{rank="0"} 1`,
+		`synergy_read_escalations_total{rank="0",reason="cache_miss"} 1`,
+		`synergy_read_escalations_total{rank="0",reason="mismatch"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing sample %q", want)

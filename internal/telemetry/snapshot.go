@@ -45,6 +45,13 @@ type RankSnapshot struct {
 	MetaCacheMisses        uint64           `json:"metacache_misses"`
 	MetaWritebacks         uint64           `json:"metacache_writebacks"`
 	MetaDirty              uint64           `json:"metacache_dirty"`
+
+	// Optimistic read-path counters: reads served under the shared
+	// lock, generation-conflict retries, and escalations to the
+	// exclusive path indexed by EscReason.
+	FastReads   uint64                `json:"fast_reads"`
+	GenRetries  uint64                `json:"gen_retries"`
+	Escalations [NumEscReasons]uint64 `json:"read_escalations_by_reason"`
 }
 
 // Snapshot captures the registry's current totals. On a disabled
@@ -93,9 +100,14 @@ func (rm *RankMetrics) snapshot() RankSnapshot {
 		MetaCacheMisses:        rm.metaMisses.Load(),
 		MetaWritebacks:         rm.metaWritebacks.Load(),
 		MetaDirty:              rm.metaDirty.Load(),
+		FastReads:              rm.fastReads.Load(),
+		GenRetries:             rm.genRetries.Load(),
 	}
 	for c := range rm.corrections {
 		rs.Corrections[c] = rm.corrections[c].Load()
+	}
+	for e := range rm.escalations {
+		rs.Escalations[e] = rm.escalations[e].Load()
 	}
 	return rs
 }
@@ -146,10 +158,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			MetaWritebacks:         subClamp(cur.MetaWritebacks, p.MetaWritebacks),
 			// MetaDirty is a gauge: the delta view shows the current
 			// dirty count, not a difference.
-			MetaDirty: cur.MetaDirty,
+			MetaDirty:  cur.MetaDirty,
+			FastReads:  subClamp(cur.FastReads, p.FastReads),
+			GenRetries: subClamp(cur.GenRetries, p.GenRetries),
 		}
 		for c := range cur.Corrections {
 			rd.Corrections[c] = subClamp(cur.Corrections[c], p.Corrections[c])
+		}
+		for e := range cur.Escalations {
+			rd.Escalations[e] = subClamp(cur.Escalations[e], p.Escalations[e])
 		}
 		d.Ranks = append(d.Ranks, rd)
 	}

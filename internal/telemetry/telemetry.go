@@ -146,6 +146,48 @@ func (s Stage) String() string {
 	}
 }
 
+// EscReason classifies why an optimistic (shared-lock) read gave up
+// and escalated to the exclusive slow path — the rungs of the
+// escalation ladder (DESIGN.md §12).
+type EscReason uint8
+
+const (
+	// EscCacheMiss: the line's counter leaf was not in the on-chip
+	// metadata cache, so there is no trusted counter to verify against
+	// without a cache fill (a structural mutation).
+	EscCacheMiss EscReason = iota
+	// EscMismatch: the data-line MAC failed against the trusted cached
+	// counter with no concurrent writer detected — genuine corruption
+	// that needs the correction machinery.
+	EscMismatch
+	// EscDegraded: the rank is in degraded mode (a condemned chip), so
+	// every read must run the §IV-A pre-emptive path exclusively.
+	EscDegraded
+	// EscGenConflict: generation-conflict retries were exhausted —
+	// mutators kept landing on the line between optimistic attempts.
+	EscGenConflict
+
+	// NumEscReasons is the number of escalation reasons.
+	NumEscReasons
+)
+
+// String returns the reason's snake-case label (the Prometheus
+// "reason" label).
+func (e EscReason) String() string {
+	switch e {
+	case EscCacheMiss:
+		return "cache_miss"
+	case EscMismatch:
+		return "mismatch"
+	case EscDegraded:
+		return "degraded"
+	case EscGenConflict:
+		return "gen_conflict"
+	default:
+		return "unknown"
+	}
+}
+
 // DefaultSampleEvery is the default sampling period for hot-path
 // latency observations: one in every 64 reads gets stage-by-stage
 // clock reads; the rest pay only counter updates.
@@ -390,6 +432,15 @@ type RankMetrics struct {
 	scrubScanned           Counter
 	scrubCorrected         Counter
 
+	// Optimistic read-path counters: reads served entirely under the
+	// shared lock, attempts retried after a generation conflict, and
+	// escalations to the exclusive path by reason. Striped — many
+	// concurrent readers record here, which is the whole point of the
+	// fast path.
+	fastReads   Counter
+	genRetries  Counter
+	escalations [NumEscReasons]Counter
+
 	// Metadata-cache gauges/counters, published by the owning engine
 	// with plain atomic stores at sampled operation boundaries (exactly
 	// one writer per rank block — the rank's Memory, under its lock) so
@@ -434,6 +485,33 @@ func (r *Registry) CountFailClosed(rank, shard int) {
 func (r *Registry) CountPreemptive(rank, shard int) {
 	if rm := r.Rank(rank); rm != nil {
 		rm.preemptive.AddAt(shard, 1)
+	}
+}
+
+// CountFastRead adds one read served entirely under the shared lock
+// (the optimistic fast path). shard spreads concurrent readers of one
+// rank across counter stripes — pass something reader-local, e.g. the
+// line index.
+func (r *Registry) CountFastRead(rank, shard int) {
+	if rm := r.Rank(rank); rm != nil {
+		rm.fastReads.AddAt(shard, 1)
+	}
+}
+
+// CountGenRetry adds one optimistic read attempt retried after a
+// generation conflict (a concurrent mutator advanced the line's
+// generation between snapshot and verify).
+func (r *Registry) CountGenRetry(rank, shard int) {
+	if rm := r.Rank(rank); rm != nil {
+		rm.genRetries.AddAt(shard, 1)
+	}
+}
+
+// CountEscalation adds one optimistic read attempt that gave up and
+// took the exclusive slow path, by reason.
+func (r *Registry) CountEscalation(rank int, reason EscReason, shard int) {
+	if rm := r.Rank(rank); rm != nil && reason < NumEscReasons {
+		rm.escalations[reason].AddAt(shard, 1)
 	}
 }
 

@@ -1,10 +1,10 @@
 #!/usr/bin/env sh
 # Run the crypto hot-path benchmarks, the write-path benchmarks, the
 # reliability-engine throughput comparison, the degraded-mode read
-# benchmarks and the telemetry overhead pair, capturing
-# machine-readable results in BENCH_crypto.json, BENCH_writepath.json,
-# BENCH_reliability.json, BENCH_chaos.json and BENCH_telemetry.json at
-# the repo root.
+# benchmarks, the telemetry overhead pair and the concurrency scaling
+# sweep, capturing machine-readable results in BENCH_crypto.json,
+# BENCH_writepath.json, BENCH_reliability.json, BENCH_chaos.json,
+# BENCH_telemetry.json and BENCH_concurrency.json at the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count        -count value per crypto benchmark (default 5)
@@ -82,3 +82,16 @@ while [ "$i" -lt "$COUNT" ]; do
 done
 go run ./scripts/benchjson <"$TEL_RAW" >"$TEL_OUT"
 echo "wrote $TEL_OUT"
+
+# Concurrency scaling: the shared-lock optimistic read path across a
+# GOMAXPROCS sweep. single-rank-readheavy is the cores-vs-throughput
+# curve for ONE rank (flat before the RLock fast path, scaling after);
+# multi-rank is the rank-parallelism the sharded router realizes on
+# top of it. The -cpu suffix on each series name is the core count.
+CONC_OUT="BENCH_concurrency.json"
+CONC_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW" "$CONC_RAW"' EXIT
+go test -run='^$' -bench='BenchmarkConcurrentThroughput' -benchmem \
+    -cpu=1,2,4,8 -count="$COUNT" . | tee "$CONC_RAW"
+go run ./scripts/benchjson <"$CONC_RAW" >"$CONC_OUT"
+echo "wrote $CONC_OUT"
