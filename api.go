@@ -366,4 +366,3 @@ func RunExperiment(exp Experiment, opts ...ExperimentOption) (ExperimentResult, 
 		Summary: fig.Summary,
 	}, nil
 }
-

@@ -60,6 +60,7 @@ func parseConfig(args []string, stderr io.Writer) (cliOptions, error) {
 	fs.IntVar(&cfg.Rounds, "rounds", 0, "operations per worker (deterministic budget; 0 = use -duration, or 64)")
 	fs.DurationVar(&cfg.Duration, "duration", 0, "wall-clock budget instead of -rounds")
 	fs.BoolVar(&cfg.Permanent, "permanent", false, "cycle whole-chip permanent faults through RepairChip")
+	fs.BoolVar(&cfg.Network, "network", false, "route all traffic through an in-process synergy-server (HTTP/JSON RPC)")
 	fs.DurationVar(&cfg.ScrubInterval, "scrub-interval", 500*time.Microsecond, "background scrubber tick")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable report")
 	fs.StringVar(&o.metrics, "metrics", "", "serve live telemetry (/metrics, /metrics.json) on this address during the run")
@@ -106,7 +107,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	} else {
-		fmt.Fprintf(stdout, "synergy-chaos: seed %d, %d workers, %v\n", rep.Seed, rep.Workers, elapsed.Round(time.Millisecond))
+		transport := "direct"
+		if cfg.Network {
+			transport = "rpc"
+		}
+		fmt.Fprintf(stdout, "synergy-chaos: seed %d, %d workers, %s transport, %v\n",
+			rep.Seed, rep.Workers, transport, elapsed.Round(time.Millisecond))
 		fmt.Fprintf(stdout, "  events       %d (digest %s)\n", rep.EventCount, rep.EventDigest[:16])
 		fmt.Fprintf(stdout, "  reads        %d verified, %d failed closed\n", rep.Reads, rep.FailClosed)
 		fmt.Fprintf(stdout, "  writes       %d\n", rep.Writes)

@@ -1,0 +1,125 @@
+// Command synergy-server puts a Synergy secure-memory array on the
+// wire: an HTTP/JSON service with per-tenant keyspaces (each tenant
+// gets its own Array — own keys, own integrity-tree roots), bearer
+// token auth, bounded per-rank admission queues, and automatic load
+// shedding when the corrected-error pattern looks like an injection
+// storm (§IV-B analysis). Telemetry — including per-RPC latency
+// histograms — is served on -metrics next to the engine counters.
+//
+// Usage:
+//
+//	synergy-server                                  # one open tenant on :7070
+//	synergy-server -addr :7070 -metrics :9091
+//	synergy-server -tenant alpha:s3cret:4096:4 -tenant beta:hunter2:1024:2
+//	synergy-server -allow-inject                    # enable the fault-injection test hook
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"synergy"
+	"synergy/internal/core"
+	"synergy/internal/server"
+)
+
+// tenantFlags collects repeated -tenant name:token:lines:ranks specs
+// (token may be empty to accept unauthenticated requests).
+type tenantFlags []server.TenantConfig
+
+func (t *tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(*t)) }
+
+func (t *tenantFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want name:token:lines:ranks, got %q", spec)
+	}
+	lines, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("lines in %q: %w", spec, err)
+	}
+	ranks, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return fmt.Errorf("ranks in %q: %w", spec, err)
+	}
+	*t = append(*t, server.TenantConfig{
+		Name:  parts[0],
+		Token: parts[1],
+		Array: core.Config{DataLines: lines, Ranks: ranks, MetadataCache: 256},
+	})
+	return nil
+}
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	var (
+		tenants tenantFlags
+		cfg     server.Config
+	)
+	fs := flag.NewFlagSet("synergy-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":7070", "service listen address")
+	metrics := fs.String("metrics", "", "serve telemetry (/metrics, /metrics.json) on this address")
+	fs.Var(&tenants, "tenant", "tenant spec name:token:lines:ranks (repeatable; token may be empty)")
+	fs.IntVar(&cfg.QueueDepth, "queue-depth", 64, "admission slots per (tenant, rank)")
+	fs.DurationVar(&cfg.QueueWait, "queue-wait", 2*time.Millisecond, "max wait for an admission slot before 429")
+	fs.DurationVar(&cfg.ScrubInterval, "scrub-interval", time.Second, "background patrol scrubber tick (0 disables)")
+	fs.DurationVar(&cfg.AnalyzeEvery, "analyze-every", 250*time.Millisecond, "load-shedding watcher window")
+	shedMin := fs.Uint64("shed-min-corrections", 8, "corrected errors per window that (with a suspected-DoS assessment) engage shedding")
+	fs.BoolVar(&cfg.AllowInject, "allow-inject", false, "enable POST /v1/inject (fault-injection test hook — never in production)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.ShedMinCorrections = *shedMin
+	if len(tenants) == 0 {
+		tenants = tenantFlags{{
+			Name:  "default",
+			Token: "",
+			Array: core.Config{DataLines: 4096, Ranks: 4, MetadataCache: 256},
+		}}
+	}
+	cfg.Tenants = tenants
+	cfg.Telemetry = synergy.NewTelemetry()
+
+	if *metrics != "" {
+		msrv, err := synergy.ServeMetrics(*metrics, cfg.Telemetry)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(stderr, "synergy-server: telemetry on http://%s/metrics\n", msrv.Addr)
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "synergy-server: serving %d tenant(s) on %s\n", len(cfg.Tenants), s.Addr)
+
+	<-ctx.Done()
+	fmt.Fprintln(stderr, "synergy-server: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return s.Close(sctx)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "synergy-server: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}

@@ -27,8 +27,14 @@ import (
 	"synergy"
 )
 
-// opOrder fixes the display order: hot ops first, then maintenance.
-var opOrder = []string{"read", "write", "read_batch", "write_batch", "scrub", "repair_chip", "trial"}
+// opOrder fixes the display order: engine hot ops first, then the
+// synergy-server RPC surface, then maintenance.
+var opOrder = []string{
+	"read", "write", "read_batch", "write_batch",
+	"rpc_read", "rpc_write", "rpc_read_batch", "rpc_write_batch",
+	"rpc_scrub", "rpc_repair", "rpc_rejected",
+	"scrub", "repair_chip", "trial",
+}
 
 // stageOrder follows the secure-read pipeline of DESIGN.md §4: fetch
 // the counter, walk the tree, verify the data MAC, reconstruct on
@@ -53,7 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
-	for frame := 0; *count == 0 || frame < *count; frame++ {
+	for frame := 0; *count == 0 || frame < *count; {
 		select {
 		case <-ctx.Done():
 			return nil
@@ -63,10 +69,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("synergy-top: %s: %w", url, err)
 		}
+		if restarted(prev, cur) {
+			// The endpoint's counters regressed: the monitored process
+			// restarted since the last poll. Diffing against the old
+			// baseline would clamp every rate to zero and silently
+			// render the new process as idle — resync instead and
+			// spend this poll rebuilding the baseline.
+			fmt.Fprintf(stdout, "synergy-top: endpoint restarted — baseline resynced\n\n")
+			prev = cur
+			continue
+		}
 		render(stdout, cur.Sub(prev), cur.Elapsed(prev))
 		prev = cur
+		frame++
 	}
 	return nil
+}
+
+// restarted reports whether cur's monotonic totals regressed below
+// prev's — impossible within one process lifetime, so it means the
+// endpoint restarted and reset its registry.
+func restarted(prev, cur synergy.TelemetrySnapshot) bool {
+	for name, p := range prev.Ops {
+		c := cur.Ops[name]
+		if c.Count < p.Count || c.Errors < p.Errors {
+			return true
+		}
+	}
+	for _, pr := range prev.Ranks {
+		if pr.Rank >= len(cur.Ranks) {
+			return true
+		}
+		cr := cur.Ranks[pr.Rank]
+		if cr.Poisoned < pr.Poisoned || cr.Repairs < pr.Repairs || cr.ScrubScanned < pr.ScrubScanned {
+			return true
+		}
+		for chip, n := range pr.Corrections {
+			if cr.Corrections[chip] < n {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func fetchSnapshot(ctx context.Context, client *http.Client, url string) (synergy.TelemetrySnapshot, error) {
@@ -96,13 +140,13 @@ func render(w io.Writer, d synergy.TelemetrySnapshot, elapsed time.Duration) {
 	}
 	fmt.Fprintf(w, "synergy-top  %s window\n", elapsed.Round(time.Millisecond))
 
-	fmt.Fprintf(w, "  %-12s %12s %10s %10s %10s\n", "OP", "OPS/S", "ERR/S", "MEAN", "P99")
+	fmt.Fprintf(w, "  %-15s %12s %10s %10s %10s\n", "OP", "OPS/S", "ERR/S", "MEAN", "P99")
 	for _, name := range opOrder {
 		op, ok := d.Ops[name]
 		if !ok || op.Count == 0 && op.Errors == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "  %-12s %12.0f %10.0f %10s %10s\n",
+		fmt.Fprintf(w, "  %-15s %12.0f %10.0f %10s %10s\n",
 			name, float64(op.Count)/sec, float64(op.Errors)/sec,
 			fmtDur(op.Latency.Mean()), fmtDur(op.Latency.Quantile(0.99)))
 	}

@@ -97,3 +97,63 @@ func TestFmtDur(t *testing.T) {
 		}
 	}
 }
+
+// A process restart resets the endpoint's monotonic counters; the
+// poller must notice the regression and resync its baseline instead of
+// rendering the new process as idle.
+func TestRestartedDetection(t *testing.T) {
+	snap := func(reads uint64, scrubScanned uint64) synergy.TelemetrySnapshot {
+		return synergy.TelemetrySnapshot{
+			Ops:   map[string]synergy.TelemetryOpSnapshot{"read": {Count: reads}},
+			Ranks: []synergy.TelemetryRankSnapshot{{Rank: 0, ScrubScanned: scrubScanned}},
+		}
+	}
+	prev := snap(1000, 50)
+	if restarted(prev, snap(1500, 80)) {
+		t.Error("growing counters flagged as a restart")
+	}
+	if restarted(prev, snap(1000, 50)) {
+		t.Error("identical counters flagged as a restart")
+	}
+	if !restarted(prev, snap(3, 80)) {
+		t.Error("op-count regression not detected")
+	}
+	if !restarted(prev, snap(1500, 2)) {
+		t.Error("rank-counter regression not detected")
+	}
+	if !restarted(prev, synergy.TelemetrySnapshot{
+		Ops: map[string]synergy.TelemetryOpSnapshot{"read": {Count: 1500}},
+	}) {
+		t.Error("vanished rank not detected as a restart")
+	}
+	var chipReset synergy.TelemetrySnapshot
+	chipReset = snap(1500, 80)
+	chipReset.Ranks[0].Corrections[3] = 4
+	if restarted(chipReset, chipReset) {
+		t.Error("self-comparison flagged as a restart")
+	}
+	regressed := snap(1500, 80)
+	prevChips := snap(1000, 50)
+	prevChips.Ranks[0].Corrections[3] = 4
+	if !restarted(prevChips, regressed) {
+		t.Error("per-chip correction regression not detected")
+	}
+}
+
+// The RPC surface of synergy-server renders under its own op labels.
+func TestRenderRPCOps(t *testing.T) {
+	d := synergy.TelemetrySnapshot{
+		Ops: map[string]synergy.TelemetryOpSnapshot{
+			"rpc_read":     {Count: 900, Latency: hist(900, 850*time.Microsecond)},
+			"rpc_rejected": {Count: 12},
+		},
+	}
+	var sb strings.Builder
+	render(&sb, d, time.Second)
+	out := sb.String()
+	for _, want := range []string{"rpc_read", "850.0µs", "rpc_rejected", "900", "12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q in:\n%s", want, out)
+		}
+	}
+}

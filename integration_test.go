@@ -5,8 +5,8 @@
 package synergy_test
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"

@@ -34,6 +34,7 @@ import (
 
 	"synergy/internal/core"
 	"synergy/internal/dimm"
+	"synergy/internal/server"
 	"synergy/internal/telemetry"
 )
 
@@ -73,6 +74,13 @@ type Config struct {
 	// repairs, per-stage read latency). Purely observational: the
 	// event streams and digest do not depend on it.
 	Telemetry *telemetry.Registry
+	// Network routes all traffic (seeding, worker reads/writes, the
+	// heal-and-verify epilogue) through an in-process synergy-server
+	// over HTTP/JSON instead of calling the Array directly, so the
+	// zero-SDC invariant is checked end to end through the wire
+	// contract. Fault injection stays a direct device access — it
+	// simulates the hardware, not a client.
+	Network bool
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +204,7 @@ func (a *actor) emit(e Event) {
 type harness struct {
 	cfg      Config
 	arr      *core.Array
+	client   *server.Client // non-nil in Network mode: the RPC transport
 	deadline time.Time
 
 	mu         sync.Mutex
@@ -261,10 +270,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 	h := &harness{cfg: cfg, arr: arr}
+	var netSrv *server.Server
+	if cfg.Network {
+		if netSrv, h.client, err = startNetwork(arr); err != nil {
+			return nil, err
+		}
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = netSrv.Close(cctx)
+			h.client.Close()
+		}()
+	}
 	// Seed every line with its pattern-0 payload before any concurrency
 	// starts, so the workers' shadow models are exact from round one.
 	for i := uint64(0); i < cfg.Lines; i++ {
-		if err := arr.Write(i, fill(i, 0)); err != nil {
+		if err := h.writeLine(i, fill(i, 0)); err != nil {
 			return nil, fmt.Errorf("chaos: seeding line %d: %w", i, err)
 		}
 	}
@@ -313,12 +334,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	for w, shadow := range shadows {
 		for line, b := range shadow {
 			b ^= 0xA5
-			if err := arr.Write(line, fill(line, b)); err != nil {
+			if err := h.writeLine(line, fill(line, b)); err != nil {
 				h.violate("w%d: heal write(%d): %v", w, line, err)
 				continue
 			}
 			h.writes++
-			if _, err := arr.Read(line, buf); err != nil {
+			if err := h.readLine(line, buf); err != nil {
 				h.violate("w%d: final read(%d): %v", w, line, err)
 				continue
 			}
@@ -398,7 +419,7 @@ func (h *harness) worker(ctx context.Context, id int, a *actor) map[uint64]byte 
 
 	write := func(line uint64, b byte) {
 		a.emit(Event{Op: "write", Line: line, Chip: -1, Chip2: -1, Arg: b})
-		if err := h.arr.Write(line, fill(line, b)); err != nil {
+		if err := h.writeLine(line, fill(line, b)); err != nil {
 			h.violate("%s: Write(%d): %v", a.name, line, err)
 			return
 		}
@@ -408,7 +429,7 @@ func (h *harness) worker(ctx context.Context, id int, a *actor) map[uint64]byte 
 
 	read := func(line uint64) {
 		a.emit(Event{Op: "read", Line: line, Chip: -1, Chip2: -1})
-		_, err := h.arr.Read(line, buf)
+		err := h.readLine(line, buf)
 		switch {
 		case err == nil:
 			reads++

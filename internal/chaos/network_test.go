@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+)
+
+// The network transport must not change what the harness decides —
+// only how the traffic travels. Same seed, same rounds: the event
+// digest over RPC is bit-identical to the direct-call digest, and the
+// zero-SDC invariant holds end to end through the wire contract.
+func TestNetworkTransportZeroSDC(t *testing.T) {
+	cfg := Config{Seed: 42, Workers: 2, Lines: 32, Ranks: 2, Rounds: 16}
+	direct := mustRun(t, cfg)
+	cfg.Network = true
+	net := mustRun(t, cfg)
+	if net.EventDigest != direct.EventDigest {
+		t.Fatalf("network transport changed the event stream:\ndirect %s\nrpc    %s",
+			direct.EventDigest, net.EventDigest)
+	}
+	if net.Reads == 0 || net.Writes == 0 {
+		t.Fatalf("no traffic flowed over RPC: %+v", net)
+	}
+}
+
+// Permanent-fault cycles (InjectPermanent / ClearFault / RepairChip)
+// are device-side actors; they must compose with RPC traffic.
+func TestNetworkPermanentFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("permanent-fault network run in -short mode")
+	}
+	mustRun(t, Config{Seed: 7, Workers: 2, Lines: 32, Ranks: 2, Rounds: 24, Permanent: true, Network: true})
+}
+
+// TestDegradedCycleOverRPC pins the acceptance bar for the network
+// actor: one full poison → shed → repair → recover cycle, driven
+// entirely as an RPC client, with zero SDCs.
+func TestDegradedCycleOverRPC(t *testing.T) {
+	rep, err := RunDegraded(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("RunDegraded: %v", err)
+	}
+	for _, s := range rep.SDCs {
+		t.Errorf("SDC: %s", s)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.ShedEngaged {
+		t.Error("load shedding never engaged")
+	}
+	if rep.ScrubUnderLoad.Scanned != 64 {
+		t.Errorf("scrub under load scanned %d lines, want 64", rep.ScrubUnderLoad.Scanned)
+	}
+	if rep.FailClosed < 2 {
+		t.Errorf("FailClosed = %d, want the poison fast-fail pair", rep.FailClosed)
+	}
+	if rep.Reads == 0 {
+		t.Error("no verified reads")
+	}
+}

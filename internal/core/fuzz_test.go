@@ -17,8 +17,8 @@ import (
 // Run with `go test -fuzz=FuzzReconstructData ./internal/core`.
 func FuzzReconstructData(f *testing.F) {
 	f.Add([]byte("seed line payload"), uint8(3), uint8(1), uint8(6), uint64(0x8000000000000000), uint64(1))
-	f.Add([]byte{}, uint8(0), uint8(8), uint8(8), uint64(0xFF), uint64(0)) // ECC chip, second mask empty
-	f.Add([]byte{0xA5}, uint8(7), uint8(2), uint8(2), uint64(1), uint64(2)) // same chip twice
+	f.Add([]byte{}, uint8(0), uint8(8), uint8(8), uint64(0xFF), uint64(0))     // ECC chip, second mask empty
+	f.Add([]byte{0xA5}, uint8(7), uint8(2), uint8(2), uint64(1), uint64(2))    // same chip twice
 	f.Add([]byte{1, 2, 3}, uint8(5), uint8(0), uint8(4), uint64(0), uint64(0)) // no corruption at all
 
 	f.Fuzz(func(t *testing.T, payload []byte, lineSel, chipA, chipB uint8, maskA, maskB uint64) {

@@ -178,7 +178,7 @@ func TestRepairChipRebuildsStoredSlices(t *testing.T) {
 	for _, chip := range []int{0, 4, dimm.ECCChip} {
 		m := newMemory(t, 128)
 		for i := uint64(0); i < 128; i++ {
-			m.Write(i, fillLine(byte(i) ^ byte(chip)))
+			m.Write(i, fillLine(byte(i)^byte(chip)))
 		}
 		// Trash the chip's stored slice on every module line — data,
 		// counters, parity and tree alike (a dead chip returns garbage).

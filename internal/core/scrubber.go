@@ -18,7 +18,7 @@ type Scrubber struct {
 	done     chan struct{}
 
 	mu      sync.Mutex
-	cursors []uint64   // next rank-local line to scan, per rank
+	cursors []uint64    // next rank-local line to scan, per rank
 	running ScrubReport // accumulated over the current (partial) pass
 	last    ScrubReport // report of the most recently completed pass
 	passes  uint64      // completed passes
@@ -77,6 +77,10 @@ func (s *Scrubber) LastReport() (ScrubReport, bool) {
 
 func (s *Scrubber) run(ctx context.Context) {
 	defer close(s.done)
+	// First pass immediately: a freshly started server must not sit
+	// with zero patrol coverage for a full interval before the ticker
+	// first fires.
+	s.pass(ctx)
 	t := time.NewTicker(s.interval)
 	defer t.Stop()
 	for {
@@ -93,7 +97,14 @@ func (s *Scrubber) run(ctx context.Context) {
 // its cursor. Ranks run sequentially — patrol scrubbing is a
 // background chore and should not saturate all cores the way the
 // foreground Array.Scrub may.
+//
+// Pass completion is decided by finishIfDone on every exit path, not
+// only by the fall-through after a clean sweep: an interruption that
+// lands exactly when the final rank's cursor reached the end must
+// still publish the pass, or Passes()/LastReport() lag a full tick
+// behind reality until the next all-continue sweep.
 func (s *Scrubber) pass(ctx context.Context) {
+	defer s.finishIfDone()
 	for r, m := range s.a.ranks {
 		s.mu.Lock()
 		start := s.cursors[r]
@@ -113,13 +124,25 @@ func (s *Scrubber) pass(ctx context.Context) {
 			return // interrupted; cursors keep the progress
 		}
 	}
-	// All ranks reached the end: the pass is complete.
+}
+
+// finishIfDone completes the pass when every rank's cursor has reached
+// the end of its data region: the accumulated report becomes the last
+// completed pass, cursors rewind, and the pass counter advances.
+// Called on every exit from pass, so an interrupted-but-actually-done
+// pass is published eagerly instead of waiting for the next tick.
+func (s *Scrubber) finishIfDone() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r, m := range s.a.ranks {
+		if s.cursors[r] < m.layout.DataLines {
+			return
+		}
+	}
 	s.last = s.running
 	s.running = ScrubReport{}
 	for r := range s.cursors {
 		s.cursors[r] = 0
 	}
 	s.passes++
-	s.mu.Unlock()
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// newScrubArray builds a small multi-rank array with every line
+// written, so scrub passes have real sealed state to verify.
+func newScrubArray(t *testing.T, lines uint64, ranks int) *Array {
+	t.Helper()
+	arr, err := NewArray(Config{DataLines: lines, Ranks: ranks})
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < lines; i++ {
+		buf[0] = byte(i)
+		if err := arr.Write(i, buf); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	return arr
+}
+
+// The patrol scrubber must start its first pass immediately, not a
+// full ticker interval after StartScrubber: with an interval of an
+// hour, a completed pass within seconds proves the first pass did not
+// wait for the first tick.
+func TestScrubberFirstPassImmediate(t *testing.T) {
+	arr := newScrubArray(t, 64, 2)
+	s := arr.StartScrubber(context.Background(), time.Hour)
+	defer s.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Passes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no pass completed within 5s of StartScrubber (interval 1h): first pass waited for the ticker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep, ok := s.LastReport()
+	if !ok {
+		t.Fatal("Passes() > 0 but LastReport reports no completed pass")
+	}
+	if rep.Scanned != 64 {
+		t.Fatalf("first pass scanned %d lines, want 64", rep.Scanned)
+	}
+}
+
+// A pass that exits while every rank's cursor is at the end — an
+// interruption landing exactly at the end of the last rank — must be
+// published eagerly, not deferred to the next tick's all-continue
+// sweep.
+func TestScrubberEagerPassCompletion(t *testing.T) {
+	arr := newScrubArray(t, 64, 2)
+	s := &Scrubber{a: arr, cursors: make([]uint64, arr.Ranks())}
+
+	// Simulate the interrupted-at-the-very-end state: every cursor has
+	// reached its rank's end, progress accumulated in running, but the
+	// pass never fell through its completion block.
+	for r := range s.cursors {
+		s.cursors[r] = arr.ranks[r].layout.DataLines
+	}
+	s.running = ScrubReport{Scanned: 64, Corrected: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the pass resumes under a dead context; completion must not need a live one
+	s.pass(ctx)
+
+	if got := s.Passes(); got != 1 {
+		t.Fatalf("Passes() = %d after all-ranks-done exit, want 1", got)
+	}
+	rep, ok := s.LastReport()
+	if !ok {
+		t.Fatal("LastReport: no completed pass after all-ranks-done exit")
+	}
+	if rep.Scanned != 64 || rep.Corrected != 3 {
+		t.Fatalf("LastReport = %+v, want the accumulated running report {Scanned:64 Corrected:3}", rep)
+	}
+	for r, c := range s.cursors {
+		if c != 0 {
+			t.Fatalf("cursor[%d] = %d after completion, want 0", r, c)
+		}
+	}
+	if s.running.Scanned != 0 || s.running.Corrected != 0 || len(s.running.Poisoned) != 0 {
+		t.Fatalf("running report not reset after completion: %+v", s.running)
+	}
+}
+
+// finishIfDone must not complete a pass while any rank still has lines
+// to scan.
+func TestScrubberNoEarlyCompletion(t *testing.T) {
+	arr := newScrubArray(t, 64, 2)
+	s := &Scrubber{a: arr, cursors: make([]uint64, arr.Ranks())}
+	s.cursors[0] = arr.ranks[0].layout.DataLines // rank 0 done, rank 1 untouched
+	s.running = ScrubReport{Scanned: 32}
+	s.finishIfDone()
+	if got := s.Passes(); got != 0 {
+		t.Fatalf("Passes() = %d with rank 1 unfinished, want 0", got)
+	}
+	if _, ok := s.LastReport(); ok {
+		t.Fatal("LastReport reported a completed pass with rank 1 unfinished")
+	}
+}

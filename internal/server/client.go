@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"synergy/internal/core"
+)
+
+// Client is the Go binding for one tenant of a synergy-server. Its
+// methods mirror the core.Array surface and return the same error
+// shapes: errors.Is(err, core.ErrPoisoned) and core.IsFailClosed work
+// across the wire, and batch calls rebuild *core.BatchError with
+// per-line failures in ascending index order.
+type Client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// NewClient binds addr (host:port) with the given tenant token. The
+// transport allows enough idle connections for a load generator to
+// keep every rank's queue busy without churning sockets.
+func NewClient(addr, token string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		base:  "http://" + addr,
+		token: token,
+		http:  &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// Close releases idle connections.
+func (c *Client) Close() {
+	if tr, ok := c.http.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// do runs one round trip: encode req (nil for GET), decode a 2xx body
+// into out, or map an error envelope back to the sentinel-wrapped
+// error the equivalent local call would return.
+func (c *Client) do(ctx context.Context, method, path string, req, out any) error {
+	var body io.Reader
+	if req != nil {
+		buf, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("client: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	if req != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	hr.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			return fmt.Errorf("client: %s: HTTP %d (unreadable error body: %v)", path, resp.StatusCode, err)
+		}
+		return codeToError(eb.Code, eb.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Read fetches one line into dst (len ≥ core.LineSize).
+func (c *Client) Read(ctx context.Context, line uint64, dst []byte) (core.ReadInfo, error) {
+	var resp readResp
+	if err := c.do(ctx, http.MethodPost, "/v1/read", readReq{Line: line}, &resp); err != nil {
+		return core.ReadInfo{}, err
+	}
+	if len(resp.Data) != core.LineSize {
+		return core.ReadInfo{}, fmt.Errorf("client: read line %d: server returned %d bytes, want %d", line, len(resp.Data), core.LineSize)
+	}
+	copy(dst, resp.Data)
+	return core.ReadInfo{Corrected: resp.Corrected, Preemptive: resp.Preemptive}, nil
+}
+
+// Write stores one line (len(data) must be core.LineSize).
+func (c *Client) Write(ctx context.Context, line uint64, data []byte) error {
+	return c.do(ctx, http.MethodPost, "/v1/write", writeReq{Line: line, Data: data}, nil)
+}
+
+// ReadBatch fetches lines into dst (len(lines)*core.LineSize bytes).
+// Like core.Array.ReadBatchInto, a partially failed batch returns a
+// *core.BatchError and every non-failed slot of dst is valid; failed
+// slots are zeroed. infos may be nil.
+func (c *Client) ReadBatch(ctx context.Context, lines []uint64, dst []byte, infos []core.ReadInfo) error {
+	if len(dst) < len(lines)*core.LineSize {
+		return fmt.Errorf("client: read batch: dst holds %d bytes, want %d: %w", len(dst), len(lines)*core.LineSize, core.ErrBadLineSize)
+	}
+	var resp batchReadResp
+	if err := c.do(ctx, http.MethodPost, "/v1/read_batch", batchReadReq{Lines: lines}, &resp); err != nil {
+		return err
+	}
+	if len(lines) > 0 && len(resp.Data) != len(lines)*core.LineSize {
+		return fmt.Errorf("client: read batch: server returned %d bytes, want %d", len(resp.Data), len(lines)*core.LineSize)
+	}
+	copy(dst, resp.Data)
+	if infos != nil {
+		for i := range infos {
+			infos[i] = core.ReadInfo{}
+		}
+		for _, k := range resp.Corrected {
+			if k >= 0 && k < len(infos) {
+				infos[k].Corrected = true
+			}
+		}
+	}
+	return failuresFromWire(resp.Failed)
+}
+
+// WriteBatch stores lines from src (len(lines)*core.LineSize bytes),
+// returning a *core.BatchError for per-line failures.
+func (c *Client) WriteBatch(ctx context.Context, lines []uint64, src []byte) error {
+	var resp batchWriteResp
+	if err := c.do(ctx, http.MethodPost, "/v1/write_batch", batchWriteReq{Lines: lines, Data: src}, &resp); err != nil {
+		return err
+	}
+	return failuresFromWire(resp.Failed)
+}
+
+// Scrub runs one foreground patrol pass over the tenant's array.
+func (c *Client) Scrub(ctx context.Context) (core.ScrubReport, error) {
+	var resp scrubResp
+	if err := c.do(ctx, http.MethodPost, "/v1/scrub", struct{}{}, &resp); err != nil {
+		return core.ScrubReport{}, err
+	}
+	return core.ScrubReport{Scanned: resp.Scanned, Corrected: resp.Corrected, Poisoned: resp.Poisoned}, nil
+}
+
+// RepairChip replaces a failed chip on one rank and rebuilds it.
+func (c *Client) RepairChip(ctx context.Context, rank, chip int) error {
+	return c.do(ctx, http.MethodPost, "/v1/repair", repairReq{Rank: rank, Chip: chip}, nil)
+}
+
+// Inject plants transient chip faults on one line's stored slices
+// (server must run with AllowInject).
+func (c *Client) Inject(ctx context.Context, line uint64, chips []int, mask byte) error {
+	return c.do(ctx, http.MethodPost, "/v1/inject", injectReq{Line: line, Chips: chips, Mask: mask}, nil)
+}
+
+// Stats returns the tenant engine's aggregated counters.
+func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
+	var st core.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return core.Stats{}, err
+	}
+	return st, nil
+}
+
+// Info returns the tenant keyspace geometry and shedding state.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	var resp infoResp
+	if err := c.do(ctx, http.MethodGet, "/v1/info", nil, &resp); err != nil {
+		return Info{}, err
+	}
+	return Info(resp), nil
+}
+
+// Info is the client-facing view of GET /v1/info.
+type Info struct {
+	Tenant   string
+	Lines    uint64
+	Ranks    int
+	Shedding bool
+}
+
+// IsRetryable reports whether err is a transient service refusal
+// (backpressure or shedding) that a client should back off and retry,
+// as opposed to a data-integrity failure.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrShedding)
+}

@@ -1,0 +1,552 @@
+// Package server puts the Synergy array on the wire: an HTTP/JSON
+// service exposing per-tenant secure-memory keyspaces with token
+// auth, bounded per-rank admission queues (backpressure), and
+// automatic load shedding when the §IV-B corrected-error analysis
+// (core.ErrorLog.Analyze) flags an adversarial error-injection storm.
+//
+// Topology: every tenant owns a full *core.Array — its own encryption
+// and MAC keys, its own integrity-tree roots per rank — so tenants are
+// cryptographically isolated, not merely address-partitioned. The
+// data plane (read/write/batch) rides the engine's concurrent serving
+// surface; scrub and repair are control-plane calls that bypass
+// admission and shedding, because they are how an operator recovers a
+// degraded tenant.
+//
+// Every request is timed end to end into the shared telemetry
+// registry under the rpc_* op labels, so ServeMetrics exposes p50/p99
+// service SLOs next to the engine-side numbers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/dimm"
+	"synergy/internal/telemetry"
+)
+
+// maxBody bounds any request body (a 64 MiB batch is ~1M lines —
+// far beyond MaxBatchLines; the bound exists to stop hostile payloads
+// before JSON decoding, not to size real traffic).
+const maxBody = 64 << 20
+
+// DefaultMaxBatchLines bounds the per-request batch size.
+const DefaultMaxBatchLines = 4096
+
+// TenantConfig declares one keyspace.
+type TenantConfig struct {
+	// Name labels the tenant in /v1/info and logs.
+	Name string
+	// Token is the bearer token that selects this tenant. Tokens must
+	// be unique across tenants; the empty token makes the tenant the
+	// default for unauthenticated requests (useful for local tools).
+	Token string
+	// Array configures the engine built for this tenant (DataLines,
+	// Ranks, MetadataCache, ...). Ignored when Backend is set. The
+	// server forces Telemetry to the server's registry.
+	Array core.Config
+	// Backend, when non-nil, serves this tenant from an existing
+	// engine instead of building one — the chaos harness uses this to
+	// put its instrumented array behind the wire. The caller keeps
+	// lifecycle ownership (scrub, flush).
+	Backend *core.Array
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Tenants is the keyspace roster. At least one is required.
+	Tenants []TenantConfig
+	// QueueDepth bounds each (tenant, rank) admission queue: at most
+	// this many requests may be queued-or-executing on one rank at
+	// once; the rest get 429. Default 64.
+	QueueDepth int
+	// QueueWait is how long a request may wait for an admission slot
+	// before 429 — the "bounded queue" part of backpressure. Default
+	// 2ms; negative means reject immediately.
+	QueueWait time.Duration
+	// ScrubInterval starts a background patrol scrubber per tenant
+	// array. 0 disables (e.g. when the caller scrubs its Backend
+	// itself).
+	ScrubInterval time.Duration
+	// AnalyzeEvery is the shedding watcher tick: each window the
+	// server re-runs ErrorLog.Analyze per rank and measures the
+	// window's corrected-error delta. Default 250ms.
+	AnalyzeEvery time.Duration
+	// ShedMinCorrections is the per-window corrected-error count that,
+	// together with a suspected-DoS assessment, engages shedding.
+	// Default 8.
+	ShedMinCorrections uint64
+	// MaxBatchLines bounds one batch request. Default 4096.
+	MaxBatchLines int
+	// AllowInject enables POST /v1/inject, the fault-injection test
+	// hook. Never enable it on a real deployment.
+	AllowInject bool
+	// Telemetry receives rpc_* op counters and latency histograms
+	// (and is forced onto tenant arrays the server builds). Nil
+	// disables instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 2 * time.Millisecond
+	}
+	if c.AnalyzeEvery <= 0 {
+		c.AnalyzeEvery = 250 * time.Millisecond
+	}
+	if c.ShedMinCorrections == 0 {
+		c.ShedMinCorrections = 8
+	}
+	if c.MaxBatchLines <= 0 {
+		c.MaxBatchLines = DefaultMaxBatchLines
+	}
+	return c
+}
+
+// Server is a running (or startable) synergy-server instance.
+type Server struct {
+	// Addr is the bound listener address, set by Start — useful with
+	// ":0".
+	Addr string
+
+	cfg     Config
+	tel     *telemetry.Registry
+	tenants []*tenant
+	byToken map[string]*tenant
+	mux     *http.ServeMux
+
+	httpSrv   *http.Server
+	ln        net.Listener
+	serveErr  chan error
+	watchStop context.CancelFunc
+	watchDone chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the service and its tenant engines (Start binds the
+// listener).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("server: at least one tenant required")
+	}
+	s := &Server{
+		cfg:      cfg,
+		tel:      cfg.Telemetry,
+		byToken:  make(map[string]*tenant, len(cfg.Tenants)),
+		serveErr: make(chan error, 1),
+	}
+	for i, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("server: tenant %d: empty name", i)
+		}
+		if _, dup := s.byToken[tc.Token]; dup {
+			return nil, fmt.Errorf("server: tenant %q: duplicate token", tc.Name)
+		}
+		arr := tc.Backend
+		owned := false
+		if arr == nil {
+			acfg := tc.Array
+			acfg.Telemetry = cfg.Telemetry
+			var err error
+			arr, err = core.NewArray(acfg)
+			if err != nil {
+				return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
+			}
+			owned = true
+		}
+		t := &tenant{
+			name:            tc.Name,
+			token:           tc.Token,
+			index:           i,
+			arr:             arr,
+			owned:           owned,
+			slots:           make([]chan struct{}, arr.Ranks()),
+			lastCorrections: make([]uint64, arr.Ranks()),
+		}
+		for r := range t.slots {
+			t.slots[r] = make(chan struct{}, cfg.QueueDepth)
+		}
+		s.tenants = append(s.tenants, t)
+		s.byToken[tc.Token] = t
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Start binds addr (":0" picks an ephemeral port, published via
+// s.Addr), starts serving, and launches the shedding watcher and —
+// when configured — the per-tenant patrol scrubbers.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	s.Addr = ln.Addr().String()
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { s.serveErr <- s.httpSrv.Serve(ln) }()
+
+	wctx, cancel := context.WithCancel(context.Background())
+	s.watchStop = cancel
+	s.watchDone = make(chan struct{})
+	go s.watch(wctx)
+	if s.cfg.ScrubInterval > 0 {
+		for _, t := range s.tenants {
+			t.scrubber = t.arr.StartScrubber(wctx, s.cfg.ScrubInterval)
+		}
+	}
+	return nil
+}
+
+// watch is the shedding watcher: every AnalyzeEvery it re-evaluates
+// each tenant's §IV-B assessment and window correction rate.
+func (s *Server) watch(ctx context.Context) {
+	defer close(s.watchDone)
+	tick := time.NewTicker(s.cfg.AnalyzeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			for _, t := range s.tenants {
+				t.analyze(s.cfg.ShedMinCorrections)
+			}
+		}
+	}
+}
+
+// Close drains in-flight requests (bounded by ctx), stops the watcher
+// and scrubbers, and flushes every tenant's cached metadata so stored
+// state is externally consistent at exit. Idempotent.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		var errs []error
+		if s.httpSrv != nil {
+			if err := s.httpSrv.Shutdown(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("server: shutdown: %w", err))
+			}
+			if err := <-s.serveErr; err != nil && err != http.ErrServerClosed {
+				errs = append(errs, err)
+			}
+		}
+		if s.watchStop != nil {
+			s.watchStop()
+			<-s.watchDone
+		}
+		for _, t := range s.tenants {
+			if t.scrubber != nil {
+				t.scrubber.Stop()
+			}
+			if err := t.arr.Sync(); err != nil {
+				errs = append(errs, fmt.Errorf("server: tenant %q flush: %w", t.name, err))
+			}
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}
+
+// Handler exposes the route table (tests drive it via httptest too).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tenant returns the named tenant's engine (nil when unknown) — the
+// in-process escape hatch for harnesses that need direct fault
+// injection next to RPC traffic.
+func (s *Server) Tenant(name string) *core.Array {
+	for _, t := range s.tenants {
+		if t.name == name {
+			return t.arr
+		}
+	}
+	return nil
+}
+
+// ShedEngagements returns how many times the named tenant's watcher
+// has transitioned into shedding (0 for unknown tenants).
+func (s *Server) ShedEngagements(name string) uint64 {
+	for _, t := range s.tenants {
+		if t.name == name {
+			return t.shedEngaged.Load()
+		}
+	}
+	return 0
+}
+
+// routes builds the endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// Data plane: admission + shedding apply.
+	s.route(mux, "POST /v1/read", telemetry.OpRPCRead, true, s.handleRead)
+	s.route(mux, "POST /v1/write", telemetry.OpRPCWrite, true, s.handleWrite)
+	s.route(mux, "POST /v1/read_batch", telemetry.OpRPCReadBatch, true, s.handleReadBatch)
+	s.route(mux, "POST /v1/write_batch", telemetry.OpRPCWriteBatch, true, s.handleWriteBatch)
+	// Control plane: how an operator patrols and recovers a tenant —
+	// never queued behind data traffic, never shed.
+	s.route(mux, "POST /v1/scrub", telemetry.OpRPCScrub, false, s.handleScrub)
+	s.route(mux, "POST /v1/repair", telemetry.OpRPCRepair, false, s.handleRepair)
+	s.route(mux, "POST /v1/inject", telemetry.OpRPCRepair, false, s.handleInject)
+	s.route(mux, "GET /v1/stats", telemetry.OpRPCRead, false, s.handleStats)
+	s.route(mux, "GET /v1/info", telemetry.OpRPCRead, false, s.handleInfo)
+	return mux
+}
+
+// route wraps a handler with auth, the shedding gate (data plane
+// only), telemetry, and JSON encoding.
+func (s *Server) route(mux *http.ServeMux, pattern string, op telemetry.Op, dataPlane bool,
+	h func(t *tenant, r *http.Request) (int, any)) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.authTenant(r)
+		if !ok {
+			writeJSON(w, http.StatusUnauthorized, errorBody{codeUnauthorized, ErrUnauthorized.Error()})
+			return
+		}
+		start := time.Now()
+		var status int
+		var body any
+		if dataPlane && t.shedding.Load() {
+			status, body = errResponse(ErrShedding)
+		} else {
+			status, body = h(t, r)
+		}
+		s.tel.CountOp(op, t.index)
+		s.tel.ObserveOp(op, t.index, time.Since(start))
+		if status >= 400 {
+			s.tel.CountOpError(op, t.index)
+		}
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			s.tel.CountOp(telemetry.OpRPCRejected, t.index)
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, body)
+	})
+}
+
+// authTenant resolves the request's bearer token to a tenant. A
+// missing Authorization header maps to the empty-token tenant when one
+// is configured.
+func (s *Server) authTenant(r *http.Request) (*tenant, bool) {
+	token := r.Header.Get("X-Synergy-Token")
+	if token == "" {
+		if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+			token = auth[7:]
+		}
+	}
+	t, ok := s.byToken[token]
+	return t, ok
+}
+
+func decode(r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(nil, r.Body, maxBody)
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if body == nil {
+		body = struct{}{}
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// errResponse maps an error to its (status, wire body) pair.
+func errResponse(err error) (int, any) {
+	status, code := statusAndCode(err)
+	return status, errorBody{Code: code, Error: err.Error()}
+}
+
+func badRequest(err error) (int, any) {
+	return http.StatusBadRequest, errorBody{Code: codeBadRequest, Error: err.Error()}
+}
+
+func (s *Server) handleRead(t *tenant, r *http.Request) (int, any) {
+	var req readReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	release, err := t.admitOne(t.rankOf(req.Line), s.cfg.QueueWait)
+	if err != nil {
+		return errResponse(err)
+	}
+	defer release()
+	buf := make([]byte, core.LineSize)
+	info, err := t.arr.Read(req.Line, buf)
+	if err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, readResp{Data: buf, Corrected: info.Corrected, Preemptive: info.Preemptive}
+}
+
+func (s *Server) handleWrite(t *tenant, r *http.Request) (int, any) {
+	var req writeReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	release, err := t.admitOne(t.rankOf(req.Line), s.cfg.QueueWait)
+	if err != nil {
+		return errResponse(err)
+	}
+	defer release()
+	if err := t.arr.Write(req.Line, req.Data); err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, struct{}{}
+}
+
+// batchMask computes the rank set a batch touches (out-of-range lines
+// still mod cleanly; the engine rejects them after admission).
+func (t *tenant) batchMask(lines []uint64) []bool {
+	mask := make([]bool, t.arr.Ranks())
+	for _, l := range lines {
+		mask[t.rankOf(l)] = true
+	}
+	return mask
+}
+
+func (s *Server) handleReadBatch(t *tenant, r *http.Request) (int, any) {
+	var req batchReadReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	if len(req.Lines) == 0 {
+		return http.StatusOK, batchReadResp{}
+	}
+	if len(req.Lines) > s.cfg.MaxBatchLines {
+		return badRequest(fmt.Errorf("batch of %d lines exceeds the %d-line limit", len(req.Lines), s.cfg.MaxBatchLines))
+	}
+	release, err := t.admitRanks(t.batchMask(req.Lines), s.cfg.QueueWait)
+	if err != nil {
+		return errResponse(err)
+	}
+	defer release()
+	dst := make([]byte, len(req.Lines)*core.LineSize)
+	infos := make([]core.ReadInfo, len(req.Lines))
+	berr := t.arr.ReadBatchInto(req.Lines, dst, infos)
+	resp := batchReadResp{Data: dst}
+	for k, info := range infos {
+		if info.Corrected {
+			resp.Corrected = append(resp.Corrected, k)
+		}
+	}
+	if berr != nil {
+		var be *core.BatchError
+		if !errors.As(berr, &be) {
+			return errResponse(berr) // malformed batch: rejected whole
+		}
+		resp.Failed = failuresToWire(be)
+		// Failed slots carry unspecified bytes; never ship them.
+		for _, f := range be.Failed {
+			clear(dst[f.Index*core.LineSize : (f.Index+1)*core.LineSize])
+		}
+	}
+	return http.StatusOK, resp
+}
+
+func (s *Server) handleWriteBatch(t *tenant, r *http.Request) (int, any) {
+	var req batchWriteReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	if len(req.Lines) == 0 {
+		return http.StatusOK, batchWriteResp{}
+	}
+	if len(req.Lines) > s.cfg.MaxBatchLines {
+		return badRequest(fmt.Errorf("batch of %d lines exceeds the %d-line limit", len(req.Lines), s.cfg.MaxBatchLines))
+	}
+	release, err := t.admitRanks(t.batchMask(req.Lines), s.cfg.QueueWait)
+	if err != nil {
+		return errResponse(err)
+	}
+	defer release()
+	berr := t.arr.WriteBatch(req.Lines, req.Data)
+	resp := batchWriteResp{}
+	if berr != nil {
+		var be *core.BatchError
+		if !errors.As(berr, &be) {
+			return errResponse(berr)
+		}
+		resp.Failed = failuresToWire(be)
+	}
+	return http.StatusOK, resp
+}
+
+func (s *Server) handleScrub(t *tenant, r *http.Request) (int, any) {
+	rep, err := t.arr.Scrub(r.Context())
+	if err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, scrubResp{Scanned: rep.Scanned, Corrected: rep.Corrected, Poisoned: rep.Poisoned}
+}
+
+func (s *Server) handleRepair(t *tenant, r *http.Request) (int, any) {
+	var req repairReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	if err := t.arr.RepairChip(req.Rank, req.Chip); err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, struct{}{}
+}
+
+func (s *Server) handleInject(t *tenant, r *http.Request) (int, any) {
+	if !s.cfg.AllowInject {
+		return http.StatusForbidden, errorBody{codeBadRequest, "fault injection disabled (start the server with -allow-inject)"}
+	}
+	var req injectReq
+	if err := decode(r, &req); err != nil {
+		return badRequest(err)
+	}
+	if req.Line >= t.arr.DataLines() {
+		return errResponse(fmt.Errorf("line %d: %w", req.Line, core.ErrOutOfRange))
+	}
+	if len(req.Chips) == 0 {
+		req.Chips = []int{2}
+	}
+	if req.Mask == 0 {
+		req.Mask = 1
+	}
+	m := t.arr.Rank(t.rankOf(req.Line))
+	inner := req.Line / uint64(t.arr.Ranks())
+	faults := make([]core.ChipFault, len(req.Chips))
+	for k, c := range req.Chips {
+		if c < 0 || c >= dimm.Chips {
+			return badRequest(fmt.Errorf("chip %d out of range [0,%d)", c, dimm.Chips))
+		}
+		faults[k] = core.ChipFault{Chip: c, Mask: [dimm.SliceSize]byte{req.Mask, byte(k + 1)}}
+	}
+	if err := m.InjectTransients(m.Layout().DataAddr(inner), faults); err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, struct{}{}
+}
+
+func (s *Server) handleStats(t *tenant, _ *http.Request) (int, any) {
+	return http.StatusOK, t.arr.Stats()
+}
+
+func (s *Server) handleInfo(t *tenant, _ *http.Request) (int, any) {
+	return http.StatusOK, infoResp{
+		Tenant:   t.name,
+		Lines:    t.arr.DataLines(),
+		Ranks:    t.arr.Ranks(),
+		Shedding: t.shedding.Load(),
+	}
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/telemetry"
+)
+
+// startServer boots a server on an ephemeral port and registers
+// cleanup. Callers get the server plus a client bound to tenant
+// "alpha".
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.Tenants == nil {
+		cfg.Tenants = []TenantConfig{{
+			Name:  "alpha",
+			Token: "alpha-token",
+			Array: core.Config{DataLines: 64, Ranks: 2},
+		}}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	c := NewClient(s.Addr, "alpha-token")
+	t.Cleanup(c.Close)
+	return s, c
+}
+
+func line(fill byte) []byte {
+	b := make([]byte, core.LineSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	tel := telemetry.New()
+	_, c := startServer(t, Config{Telemetry: tel})
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.Tenant != "alpha" || info.Lines != 64 || info.Ranks != 2 || info.Shedding {
+		t.Fatalf("Info = %+v", info)
+	}
+
+	want := line(0xAB)
+	if err := c.Write(ctx, 7, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, core.LineSize)
+	if _, err := c.Read(ctx, 7, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read data != written data")
+	}
+
+	// Batch across both ranks round-trips and reports no failures.
+	lines := []uint64{1, 2, 3, 4}
+	src := make([]byte, len(lines)*core.LineSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := c.WriteBatch(ctx, lines, src); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	dst := make([]byte, len(lines)*core.LineSize)
+	if err := c.ReadBatch(ctx, lines, dst, nil); err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("batch read != batch write")
+	}
+
+	// A foreground scrub covers the whole keyspace.
+	rep, err := c.Scrub(ctx)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.Scanned != 64 || len(rep.Poisoned) != 0 {
+		t.Fatalf("Scrub report = %+v", rep)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("Stats shows no traffic: %+v", st)
+	}
+
+	// RPC ops landed in the shared registry under their own labels.
+	snap := tel.Snapshot()
+	for _, op := range []string{"rpc_read", "rpc_write", "rpc_read_batch", "rpc_write_batch", "rpc_scrub"} {
+		if snap.Ops[op].Count == 0 {
+			t.Errorf("telemetry op %q not counted", op)
+		}
+	}
+	if snap.Ops["rpc_read"].Latency.Count == 0 {
+		t.Error("rpc_read latency histogram empty")
+	}
+
+	// Out-of-range and short-line errors cross the wire as the core
+	// sentinels.
+	if _, err := c.Read(ctx, 64, got); !errors.Is(err, core.ErrOutOfRange) {
+		t.Errorf("read line 64: got %v, want ErrOutOfRange", err)
+	}
+	if err := c.Write(ctx, 0, []byte{1, 2, 3}); !errors.Is(err, core.ErrBadLineSize) {
+		t.Errorf("short write: got %v, want ErrBadLineSize", err)
+	}
+}
+
+func TestServerAuth(t *testing.T) {
+	s, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	bad := NewClient(s.Addr, "wrong-token")
+	defer bad.Close()
+	if _, err := bad.Info(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong token: got %v, want ErrUnauthorized", err)
+	}
+	none := NewClient(s.Addr, "")
+	defer none.Close()
+	if _, err := none.Info(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("missing token: got %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestServerTenantIsolation(t *testing.T) {
+	s, ca := startServer(t, Config{Tenants: []TenantConfig{
+		{Name: "alpha", Token: "alpha-token", Array: core.Config{DataLines: 64, Ranks: 2}},
+		{Name: "beta", Token: "beta-token", Array: core.Config{DataLines: 64, Ranks: 2}},
+	}})
+	cb := NewClient(s.Addr, "beta-token")
+	defer cb.Close()
+	ctx := context.Background()
+
+	if err := ca.Write(ctx, 3, line(0x5A)); err != nil {
+		t.Fatalf("alpha write: %v", err)
+	}
+	got := make([]byte, core.LineSize)
+	if _, err := cb.Read(ctx, 3, got); err != nil {
+		t.Fatalf("beta read: %v", err)
+	}
+	if bytes.Equal(got, line(0x5A)) {
+		t.Fatal("beta observed alpha's plaintext: tenants share a keyspace")
+	}
+}
+
+// TestServerPoisonLifecycle drives the full degraded-mode story over
+// RPC: an uncorrectable fault fails closed, the line fast-fails as
+// poisoned (410 → core.ErrPoisoned client-side), a batch containing it
+// still serves the healthy lines with the failure listed, and a write
+// heals it.
+func TestServerPoisonLifecycle(t *testing.T) {
+	_, c := startServer(t, Config{AllowInject: true})
+	ctx := context.Background()
+
+	const victim = 9
+	if err := c.Write(ctx, victim, line(0x11)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Two corrupted chips exceed chipkill's single-symbol budget.
+	if err := c.Inject(ctx, victim, []int{2, 5}, 0xFF); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	buf := make([]byte, core.LineSize)
+	_, err := c.Read(ctx, victim, buf)
+	if !core.IsFailClosed(err) {
+		t.Fatalf("read of double-fault line: got %v, want fail-closed", err)
+	}
+	// Now poisoned: the fast-fail sentinel crosses the wire.
+	if _, err := c.Read(ctx, victim, buf); !errors.Is(err, core.ErrPoisoned) {
+		t.Fatalf("second read: got %v, want ErrPoisoned", err)
+	}
+
+	// Batch with the poisoned line: healthy lines served, failure
+	// listed as a *core.BatchError at the right index.
+	lines := []uint64{2, victim, 4}
+	src := make([]byte, len(lines)*core.LineSize)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	if err := c.WriteBatch(ctx, []uint64{2, 4}, append(append([]byte{}, src[:core.LineSize]...), src[2*core.LineSize:]...)); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	dst := make([]byte, len(lines)*core.LineSize)
+	berr := c.ReadBatch(ctx, lines, dst, nil)
+	var be *core.BatchError
+	if !errors.As(berr, &be) {
+		t.Fatalf("batch with poisoned line: got %v, want *core.BatchError", berr)
+	}
+	if len(be.Failed) != 1 || be.Failed[0].Index != 1 || be.Failed[0].Line != victim {
+		t.Fatalf("BatchError.Failed = %+v", be.Failed)
+	}
+	if !errors.Is(be.Failed[0].Err, core.ErrPoisoned) {
+		t.Fatalf("failed line error = %v, want ErrPoisoned", be.Failed[0].Err)
+	}
+	if !errors.Is(berr, core.ErrPoisoned) {
+		t.Fatal("errors.Is(batch err, ErrPoisoned) should hold")
+	}
+	if !bytes.Equal(dst[:core.LineSize], src[:core.LineSize]) {
+		t.Fatal("healthy line 2 not served in degraded batch")
+	}
+	for _, b := range dst[core.LineSize : 2*core.LineSize] {
+		if b != 0 {
+			t.Fatal("poisoned slot not zeroed on the wire")
+		}
+	}
+
+	// A write heals the line.
+	if err := c.Write(ctx, victim, line(0x22)); err != nil {
+		t.Fatalf("healing write: %v", err)
+	}
+	if _, err := c.Read(ctx, victim, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if !bytes.Equal(buf, line(0x22)) {
+		t.Fatal("healed line serves stale data")
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{QueueWait: -1, QueueDepth: 2, Telemetry: tel})
+	ctx := context.Background()
+
+	// Deterministically saturate rank 0's admission queue.
+	tn := s.tenants[0]
+	for i := 0; i < 2; i++ {
+		tn.slots[0] <- struct{}{}
+	}
+	defer func() {
+		<-tn.slots[0]
+		<-tn.slots[0]
+	}()
+
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(ctx, 0, buf); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("read on saturated rank: got %v, want ErrBackpressure", err)
+	}
+	if !IsRetryable(errors.Join(ErrBackpressure)) {
+		t.Fatal("backpressure should be retryable")
+	}
+	// Rank 1 is unaffected.
+	if _, err := c.Read(ctx, 1, buf); err != nil {
+		t.Fatalf("read on free rank: %v", err)
+	}
+	// A batch touching the saturated rank is rejected whole, and its
+	// already-acquired slots are released (rank 1 still serves).
+	if err := c.ReadBatch(ctx, []uint64{1, 2}, make([]byte, 2*core.LineSize), nil); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("batch across saturated rank: got %v, want ErrBackpressure", err)
+	}
+	if _, err := c.Read(ctx, 1, buf); err != nil {
+		t.Fatalf("rank 1 after failed batch admission: %v", err)
+	}
+	if n := tel.Snapshot().Ops["rpc_rejected"].Count; n < 2 {
+		t.Fatalf("rpc_rejected = %d, want >= 2", n)
+	}
+}
+
+// TestServerShedAndRecover drives a correctable-error storm spread
+// over many chips — the §IV-B suspected-DoS signature — until the
+// watcher sheds data-plane load, then stops the storm and verifies
+// the tenant recovers on its own.
+func TestServerShedAndRecover(t *testing.T) {
+	_, c := startServer(t, Config{
+		Tenants: []TenantConfig{{
+			Name:  "alpha",
+			Token: "alpha-token",
+			Array: core.Config{DataLines: 64, Ranks: 1},
+		}},
+		AllowInject:        true,
+		AnalyzeEvery:       10 * time.Millisecond,
+		ShedMinCorrections: 4,
+	})
+	ctx := context.Background()
+
+	buf := make([]byte, core.LineSize)
+	deadline := time.Now().Add(15 * time.Second)
+	shedObserved := false
+	for !shedObserved {
+		if time.Now().After(deadline) {
+			t.Fatal("shedding never engaged under a multi-chip error storm")
+		}
+		// Single-chip (correctable) faults across 4 distinct chips.
+		for i, chip := range []int{1, 3, 5, 7} {
+			l := uint64(10 + i)
+			if err := c.Inject(ctx, l, []int{chip}, 0x01); err != nil {
+				t.Fatalf("Inject: %v", err)
+			}
+			if _, err := c.Read(ctx, l, buf); err != nil {
+				if errors.Is(err, ErrShedding) {
+					shedObserved = true
+					break
+				}
+				t.Fatalf("read of single-fault line: %v", err)
+			}
+		}
+	}
+
+	// Storm over: the per-window correction delta drains to zero and
+	// the watcher disengages shedding.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if _, err := c.Read(ctx, 0, buf); err == nil {
+			break
+		} else if !errors.Is(err, ErrShedding) {
+			t.Fatalf("read while recovering: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shedding never disengaged after the storm stopped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"synergy/internal/core"
+)
+
+// This file is the wire contract shared by the server and the client:
+// the JSON request/response bodies of every /v1 endpoint and the error
+// taxonomy that maps engine sentinels onto HTTP statuses and machine
+// codes — and back, so a client-side errors.Is(err, core.ErrPoisoned)
+// behaves exactly like a local call's.
+
+// Service-level sentinel errors (the engine sentinels pass through
+// from internal/core unchanged).
+var (
+	// ErrBackpressure is returned when a request could not get an
+	// admission slot on its rank's bounded queue within the configured
+	// wait: the rank is saturated, the caller should back off and
+	// retry. HTTP 429.
+	ErrBackpressure = errors.New("server: rank admission queue full")
+	// ErrShedding is returned while the tenant is load-shedding: the
+	// §IV-B analysis flagged the corrected-error pattern as a
+	// suspected DoS storm and data-plane traffic is refused until the
+	// storm subsides. HTTP 503.
+	ErrShedding = errors.New("server: load shedding (suspected error-injection storm)")
+	// ErrUnauthorized is returned for a missing or unknown tenant
+	// token. HTTP 401.
+	ErrUnauthorized = errors.New("server: unauthorized")
+)
+
+// Error codes carried in errorBody.Code.
+const (
+	codeBadRequest   = "bad_request"
+	codeUnauthorized = "unauthorized"
+	codeOutOfRange   = "out_of_range"
+	codeBadLineSize  = "bad_line_size"
+	codePoisoned     = "poisoned"
+	codeAttack       = "attack"
+	codeBackpressure = "backpressure"
+	codeShedding     = "shedding"
+	codeInternal     = "internal"
+)
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// statusAndCode maps an engine/service error to its HTTP status and
+// wire code. Fail-closed outcomes keep distinct codes so clients can
+// branch the way local callers branch on the sentinels.
+func statusAndCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrPoisoned):
+		// The line is unavailable until a write or repair heals it:
+		// Gone, not a server fault.
+		return http.StatusGone, codePoisoned
+	case errors.Is(err, core.ErrAttack):
+		return http.StatusInternalServerError, codeAttack
+	case errors.Is(err, core.ErrOutOfRange):
+		return http.StatusBadRequest, codeOutOfRange
+	case errors.Is(err, core.ErrBadLineSize):
+		return http.StatusBadRequest, codeBadLineSize
+	case errors.Is(err, ErrBackpressure):
+		return http.StatusTooManyRequests, codeBackpressure
+	case errors.Is(err, ErrShedding):
+		return http.StatusServiceUnavailable, codeShedding
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusUnauthorized, codeUnauthorized
+	default:
+		return http.StatusInternalServerError, codeInternal
+	}
+}
+
+// codeToError rebuilds the client-side error for a wire code, wrapping
+// the matching sentinel so errors.Is works through the RPC boundary.
+func codeToError(code, msg string) error {
+	var sentinel error
+	switch code {
+	case codePoisoned:
+		sentinel = core.ErrPoisoned
+	case codeAttack:
+		sentinel = core.ErrAttack
+	case codeOutOfRange:
+		sentinel = core.ErrOutOfRange
+	case codeBadLineSize:
+		sentinel = core.ErrBadLineSize
+	case codeBackpressure:
+		sentinel = ErrBackpressure
+	case codeShedding:
+		sentinel = ErrShedding
+	case codeUnauthorized:
+		sentinel = ErrUnauthorized
+	default:
+		return fmt.Errorf("server: remote error (%s): %s", code, msg)
+	}
+	return fmt.Errorf("server: remote: %s: %w", msg, sentinel)
+}
+
+// readReq / readResp are POST /v1/read. Data JSON-encodes as base64.
+type readReq struct {
+	Line uint64 `json:"line"`
+}
+
+type readResp struct {
+	Data       []byte `json:"data"`
+	Corrected  bool   `json:"corrected,omitempty"`
+	Preemptive bool   `json:"preemptive,omitempty"`
+}
+
+// writeReq is POST /v1/write (response is an empty JSON object).
+type writeReq struct {
+	Line uint64 `json:"line"`
+	Data []byte `json:"data"`
+}
+
+// lineFailure is one failed line of a batch, mirroring core.LineError
+// with the error flattened to (code, message).
+type lineFailure struct {
+	Index int    `json:"index"`
+	Line  uint64 `json:"line"`
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// batchReadReq / batchReadResp are POST /v1/read_batch. A well-formed
+// batch returns 200 even with per-line failures: Data holds every
+// served line (failed slots are zeroed) and Failed lists the rest in
+// ascending index order, exactly the *core.BatchError contract.
+type batchReadReq struct {
+	Lines []uint64 `json:"lines"`
+}
+
+type batchReadResp struct {
+	Data      []byte        `json:"data"`
+	Corrected []int         `json:"corrected_indices,omitempty"`
+	Failed    []lineFailure `json:"failed,omitempty"`
+}
+
+// batchWriteReq / batchWriteResp are POST /v1/write_batch.
+type batchWriteReq struct {
+	Lines []uint64 `json:"lines"`
+	Data  []byte   `json:"data"`
+}
+
+type batchWriteResp struct {
+	Failed []lineFailure `json:"failed,omitempty"`
+}
+
+// scrubResp is POST /v1/scrub: one foreground pass over the tenant's
+// array (core.ScrubReport with global line addresses).
+type scrubResp struct {
+	Scanned   uint64   `json:"scanned"`
+	Corrected int      `json:"corrected"`
+	Poisoned  []uint64 `json:"poisoned,omitempty"`
+}
+
+// repairReq is POST /v1/repair: replace a chip and rebuild its slices.
+type repairReq struct {
+	Rank int `json:"rank"`
+	Chip int `json:"chip"`
+}
+
+// injectReq is POST /v1/inject (only with Config.AllowInject): plant a
+// transient fault on the stored slices of one line — the test/bench
+// hook for exercising correction, poison, and shedding paths over RPC.
+type injectReq struct {
+	Line  uint64 `json:"line"`
+	Chips []int  `json:"chips"`
+	Mask  byte   `json:"mask"`
+}
+
+// infoResp is GET /v1/info: the tenant keyspace geometry a client
+// needs to generate traffic.
+type infoResp struct {
+	Tenant   string `json:"tenant"`
+	Lines    uint64 `json:"lines"`
+	Ranks    int    `json:"ranks"`
+	Shedding bool   `json:"shedding"`
+}
+
+// failuresToWire flattens a *core.BatchError into wire lineFailures.
+func failuresToWire(be *core.BatchError) []lineFailure {
+	out := make([]lineFailure, len(be.Failed))
+	for k, le := range be.Failed {
+		_, code := statusAndCode(le.Err)
+		out[k] = lineFailure{Index: le.Index, Line: le.Line, Code: code, Error: le.Err.Error()}
+	}
+	return out
+}
+
+// failuresFromWire rebuilds the *core.BatchError a local batch call
+// would have returned.
+func failuresFromWire(fs []lineFailure) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	be := &core.BatchError{Failed: make([]core.LineError, len(fs))}
+	for k, f := range fs {
+		be.Failed[k] = core.LineError{Index: f.Index, Line: f.Line, Err: codeToError(f.Code, f.Error)}
+	}
+	return be
+}

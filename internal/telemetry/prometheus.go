@@ -50,8 +50,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	ew.family("synergy_op_latency_seconds", "histogram", "Operation latency. Single-line reads are sampled (see DESIGN.md §11); coarse ops are timed on every call.")
 	forEachOp(s, func(name string, op OpSnapshot) {
-		if name == OpTrial.String() {
-			return // trials are counted, never timed
+		if name == OpTrial.String() || name == OpRPCRejected.String() {
+			return // trials and rejections are counted, never timed
 		}
 		ew.histogram("synergy_op_latency_seconds", lbl("op", name), op.Latency)
 	})

@@ -65,6 +65,21 @@ const (
 	// reliability engine's throughput signal (no latency histogram).
 	OpTrial
 
+	// RPC-layer operations: requests served by internal/server, timed
+	// end to end (auth + admission + engine + serialization), so the
+	// /metrics endpoint carries true per-op service SLOs next to the
+	// engine-side numbers. Errors include rejected requests.
+	OpRPCRead
+	OpRPCWrite
+	OpRPCReadBatch
+	OpRPCWriteBatch
+	OpRPCScrub
+	OpRPCRepair
+	// OpRPCRejected counts requests refused before reaching the engine
+	// — admission-queue backpressure and poison-storm load shedding
+	// (no latency histogram: rejection is the fast path by design).
+	OpRPCRejected
+
 	// NumOps is the number of instrumented operations.
 	NumOps
 )
@@ -89,6 +104,20 @@ func (o Op) String() string {
 		return "flush"
 	case OpTrial:
 		return "trial"
+	case OpRPCRead:
+		return "rpc_read"
+	case OpRPCWrite:
+		return "rpc_write"
+	case OpRPCReadBatch:
+		return "rpc_read_batch"
+	case OpRPCWriteBatch:
+		return "rpc_write_batch"
+	case OpRPCScrub:
+		return "rpc_scrub"
+	case OpRPCRepair:
+		return "rpc_repair"
+	case OpRPCRejected:
+		return "rpc_rejected"
 	default:
 		return "unknown"
 	}

@@ -1,14 +1,17 @@
 #!/usr/bin/env sh
 # Run the crypto hot-path benchmarks, the write-path benchmarks, the
 # reliability-engine throughput comparison, the degraded-mode read
-# benchmarks, the telemetry overhead pair and the concurrency scaling
-# sweep, capturing machine-readable results in BENCH_crypto.json,
-# BENCH_writepath.json, BENCH_reliability.json, BENCH_chaos.json,
-# BENCH_telemetry.json and BENCH_concurrency.json at the repo root.
+# benchmarks, the telemetry overhead pair, the concurrency scaling
+# sweep and the network-service load run, capturing machine-readable
+# results in BENCH_crypto.json, BENCH_writepath.json,
+# BENCH_reliability.json, BENCH_chaos.json, BENCH_telemetry.json,
+# BENCH_concurrency.json and BENCH_server.json at the repo root.
 #
 # Usage: scripts/bench.sh [count]
-#   count        -count value per crypto benchmark (default 5)
-#   REL_TRIALS   Monte Carlo trials per reliability run (default 2000000)
+#   count           -count value per crypto benchmark (default 5)
+#   REL_TRIALS      Monte Carlo trials per reliability run (default 2000000)
+#   SRV_DURATION    synergy-load run length (default 10s)
+#   SRV_ADDR        synergy-server address for the load run (default 127.0.0.1:7493)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -95,3 +98,29 @@ go test -run='^$' -bench='BenchmarkConcurrentThroughput' -benchmem \
     -cpu=1,2,4,8 -count="$COUNT" . | tee "$CONC_RAW"
 go run ./scripts/benchjson <"$CONC_RAW" >"$CONC_OUT"
 echo "wrote $CONC_OUT"
+
+# Network service: boot synergy-server, drive the closed-loop mix
+# (reads, writes, batches) against one tenant, and store the per-op
+# p50/p99 service latencies and throughput. This is the end-to-end
+# SLO number the /metrics endpoint reports live under the rpc_* ops.
+SRV_OUT="BENCH_server.json"
+SRV_ADDR="${SRV_ADDR:-127.0.0.1:7493}"
+SRV_DURATION="${SRV_DURATION:-10s}"
+go build -o /tmp/synergy-server-bench ./cmd/synergy-server
+/tmp/synergy-server-bench -addr "$SRV_ADDR" -tenant "bench:bench-token:4096:4" &
+SRV_PID=$!
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW" "$CONC_RAW"; kill "$SRV_PID" 2>/dev/null || true' EXIT
+i=0
+while ! curl -fsS "http://$SRV_ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "bench: synergy-server never came up on $SRV_ADDR" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+go run ./cmd/synergy-load -addr "$SRV_ADDR" -token bench-token \
+    -duration "$SRV_DURATION" -workers 16 -read-frac 0.9 -batch-frac 0.1 -json >"$SRV_OUT"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+echo "wrote $SRV_OUT"
