@@ -25,6 +25,7 @@ import (
 
 	"synergy/internal/core"
 	"synergy/internal/experiments"
+	"synergy/internal/persist"
 	"synergy/internal/reliability"
 	"synergy/internal/telemetry"
 )
@@ -84,6 +85,24 @@ var (
 	// ErrUnknownExperiment is returned by RunExperiment for an
 	// experiment identifier that names no figure.
 	ErrUnknownExperiment = errors.New("synergy: unknown experiment")
+	// ErrSnapshotCorrupt is returned by Restore when a snapshot is
+	// complete but invalid: a flipped bit, tampering, malformed framing,
+	// or verification under the wrong keys. Restore fails closed — no
+	// array state changes.
+	ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
+	// ErrSnapshotTorn is returned by Restore for an incomplete snapshot
+	// — a crash truncated the write before the sealed footer landed.
+	ErrSnapshotTorn = core.ErrSnapshotTorn
+	// ErrSnapshotMismatch is returned by Restore when a valid snapshot
+	// describes a different geometry (lines, ranks, counter
+	// organization) than the target array.
+	ErrSnapshotMismatch = core.ErrSnapshotMismatch
+	// ErrNoSnapshot is returned when the snapshot store holds no
+	// committed snapshot — the fresh-boot signal.
+	ErrNoSnapshot = core.ErrNoSnapshot
+	// ErrArrayLive is returned by Array.Restore while background
+	// scrubbers are still running; stop them first.
+	ErrArrayLive = core.ErrArrayLive
 )
 
 // IsFailClosed reports whether err is one of the fail-closed outcomes
@@ -104,6 +123,34 @@ func IsFailClosed(err error) bool { return core.IsFailClosed(err) }
 // Flush/Sync; reads, scrubbing, and repair remain fully coherent
 // throughout because they consult the cache first.
 func New(cfg Config) (*Array, error) { return core.NewArray(cfg) }
+
+// SnapshotStore is where sealed snapshots are committed and read back:
+// a single-slot, last-writer-wins store whose Begin/Commit protocol is
+// crash-atomic — a crash mid-write always leaves the previously
+// committed snapshot readable. See NewFileStore and NewMemStore.
+type SnapshotStore = persist.Store
+
+// NewFileStore builds a crash-atomic file-backed SnapshotStore: the
+// snapshot is staged beside path and renamed into place only after a
+// full fsync, so path always holds either the old or the new snapshot.
+func NewFileStore(path string) *persist.FileStore { return persist.NewFileStore(path) }
+
+// NewMemStore builds an in-memory SnapshotStore — for tests and for
+// fault injection (see internal/chaos).
+func NewMemStore() *persist.MemStore { return persist.NewMemStore() }
+
+// Restore builds an Array from cfg and loads the store's committed
+// snapshot into it — the boot-time recovery path. cfg must describe
+// the snapshot's geometry and carry the keys it was sealed under. On
+// any verification failure (ErrSnapshotCorrupt, ErrSnapshotTorn,
+// ErrSnapshotMismatch, ErrNoSnapshot) no array is returned: a snapshot
+// that cannot be proven authentic never yields readable memory.
+//
+// Checkpointing is the inverse: Array.Snapshot(ctx, store) quiesces
+// the array and writes a sealed checkpoint.
+func Restore(cfg Config, store SnapshotStore) (*Array, error) {
+	return core.RestoreArray(cfg, store)
+}
 
 // LineError is one failed line of a batched operation: its position in
 // the batch, its (global) line address, and the underlying error.

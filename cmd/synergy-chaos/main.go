@@ -42,6 +42,7 @@ import (
 // observability knobs that wrap around the run.
 type cliOptions struct {
 	cfg     chaos.Config
+	crash   bool
 	jsonOut bool
 	metrics string
 	prof    profiles.Flags
@@ -61,6 +62,8 @@ func parseConfig(args []string, stderr io.Writer) (cliOptions, error) {
 	fs.DurationVar(&cfg.Duration, "duration", 0, "wall-clock budget instead of -rounds")
 	fs.BoolVar(&cfg.Permanent, "permanent", false, "cycle whole-chip permanent faults through RepairChip")
 	fs.BoolVar(&cfg.Network, "network", false, "route all traffic through an in-process synergy-server (HTTP/JSON RPC)")
+	fs.BoolVar(&o.crash, "crash", false, "run the crash-safety scenario: checkpoint/crash/restore cycles under snapshot-store fault injection")
+	fs.IntVar(&cfg.CrashCycles, "crash-cycles", 0, "checkpoint/crash/restore cycles with -crash (0 = 8)")
 	fs.DurationVar(&cfg.ScrubInterval, "scrub-interval", 500*time.Microsecond, "background scrubber tick")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable report")
 	fs.StringVar(&o.metrics, "metrics", "", "serve live telemetry (/metrics, /metrics.json) on this address during the run")
@@ -94,7 +97,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Telemetry = reg
 	}
 	start := time.Now()
-	rep, err := chaos.Run(ctx, cfg)
+	var rep *chaos.Report
+	if o.crash {
+		rep, err = chaos.RunCrash(ctx, cfg)
+	} else {
+		rep, err = chaos.Run(ctx, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -118,6 +126,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  writes       %d\n", rep.Writes)
 		fmt.Fprintf(stdout, "  injections   %d transient, %d permanent-fault cycles\n", rep.Injected, rep.PermCycles)
 		fmt.Fprintf(stdout, "  scrub passes %d\n", rep.ScrubPasses)
+		if o.crash {
+			fmt.Fprintf(stdout, "  durability   %d snapshots: %d restored verified, %d refused fail-closed\n",
+				rep.Snapshots, rep.Restores, rep.RestoresRefused)
+		}
 		fmt.Fprintf(stdout, "  corrections  %d (%d reconstruction attempts, %d preemptive)\n",
 			rep.Stats.CorrectionEvents, rep.Stats.ReconstructionAttempts, rep.Stats.PreemptiveFixes)
 		fmt.Fprintf(stdout, "  poison       %d poisoned, %d healed, %d repairs\n",

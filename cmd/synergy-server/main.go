@@ -11,6 +11,7 @@
 //	synergy-server                                  # one open tenant on :7070
 //	synergy-server -addr :7070 -metrics :9091
 //	synergy-server -tenant alpha:s3cret:4096:4 -tenant beta:hunter2:1024:2
+//	synergy-server -data /var/lib/synergy            # durable: restore on boot, checkpoint on SIGTERM
 //	synergy-server -allow-inject                    # enable the fault-injection test hook
 package main
 
@@ -74,6 +75,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	fs.DurationVar(&cfg.AnalyzeEvery, "analyze-every", 250*time.Millisecond, "load-shedding watcher window")
 	shedMin := fs.Uint64("shed-min-corrections", 8, "corrected errors per window that (with a suspected-DoS assessment) engage shedding")
 	fs.BoolVar(&cfg.AllowInject, "allow-inject", false, "enable POST /v1/inject (fault-injection test hook — never in production)")
+	fs.StringVar(&cfg.DataDir, "data", "", "snapshot directory: restore each tenant on boot, checkpoint every tenant on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,9 +99,26 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "synergy-server: telemetry on http://%s/metrics\n", msrv.Addr)
 	}
 
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o700); err != nil {
+			return fmt.Errorf("creating -data dir: %w", err)
+		}
+	}
+
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.DataDir != "" {
+		// Restore before the listener opens: a tenant must never serve
+		// fresh-array reads when a committed checkpoint exists, and a
+		// tampered checkpoint must refuse the whole boot (non-zero
+		// exit), never fall back to an empty array.
+		n, err := s.RestoreAll(ctx)
+		if err != nil {
+			return fmt.Errorf("restore on boot: %w", err)
+		}
+		fmt.Fprintf(stderr, "synergy-server: restored %d tenant(s) from %s\n", n, cfg.DataDir)
 	}
 	if err := s.Start(*addr); err != nil {
 		return err
@@ -110,7 +129,16 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	fmt.Fprintln(stderr, "synergy-server: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return s.Close(sctx)
+	if err := s.Close(sctx); err != nil {
+		return err
+	}
+	if cfg.DataDir != "" {
+		if err := s.SnapshotAll(sctx); err != nil {
+			return fmt.Errorf("checkpoint on shutdown: %w", err)
+		}
+		fmt.Fprintf(stderr, "synergy-server: checkpointed all tenants to %s\n", cfg.DataDir)
+	}
+	return nil
 }
 
 func main() {

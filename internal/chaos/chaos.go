@@ -74,6 +74,9 @@ type Config struct {
 	// repairs, per-stage read latency). Purely observational: the
 	// event streams and digest do not depend on it.
 	Telemetry *telemetry.Registry
+	// CrashCycles is the number of checkpoint → crash → restore cycles
+	// RunCrash executes (default 8). Ignored by Run.
+	CrashCycles int
 	// Network routes all traffic (seeding, worker reads/writes, the
 	// heal-and-verify epilogue) through an in-process synergy-server
 	// over HTTP/JSON instead of calling the Array directly, so the
@@ -150,6 +153,11 @@ type Report struct {
 	// scrubber completed.
 	ScrubPasses uint64
 
+	// Durability tallies (RunCrash only).
+	Snapshots       uint64 // checkpoint attempts, every fate
+	Restores        uint64 // restores that installed a verified snapshot
+	RestoresRefused uint64 // restores refused fail-closed with a typed sentinel
+
 	// SDCs lists every read that returned wrong data — the invariant
 	// the whole design exists to prevent. Must be empty.
 	SDCs []string
@@ -215,6 +223,11 @@ type harness struct {
 	failClosed uint64
 	injected   uint64
 	permCycles uint64
+
+	// Durability tallies (RunCrash only).
+	snapshots       uint64
+	restores        uint64
+	restoresRefused uint64
 }
 
 func (h *harness) sdc(format string, args ...any) {

@@ -1,0 +1,370 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/dimm"
+	"synergy/internal/persist"
+)
+
+// This file is the crash-safety scenario: RunCrash cycles the engine
+// through checkpoint → crash → reboot → restore under an injecting
+// snapshot store that models every way a process death can mangle the
+// artifact — death before the commit (the previous snapshot must
+// survive), a short write committed by a non-atomic store (torn tail),
+// and a flipped bit in the committed image. Each cycle then verifies:
+//
+//   - A verified restore rewinds every line to the exact checkpointed
+//     bytes (checked against a shadow of the checkpoint), with zero
+//     SDCs, and poisoned lines stay poisoned across the round trip.
+//   - A mangled snapshot is refused with a typed sentinel
+//     (ErrSnapshotTorn / ErrSnapshotCorrupt, via errors.Is) and the
+//     refused restore leaves the live array byte-for-byte untouched.
+//
+// Determinism follows the package contract: the single crash actor
+// draws every decision from its seeded RNG and never branches on racy
+// outcomes, so the event stream (and digest) is a pure function of
+// (Seed, Config). A patrol scrubber races the traffic bursts and is
+// stopped before each "crash", exactly like a process dying.
+
+// Snapshot fates the injecting store can impose on a commit.
+const (
+	crashClean = iota // commit lands intact
+	crashDrop         // process died before the commit: old artifact survives
+	crashTorn         // non-atomic store committed a truncated tail
+	crashFlip         // one bit of the committed artifact flipped
+	crashModes
+)
+
+var crashModeNames = [crashModes]string{"clean", "drop", "torn", "flip"}
+
+// faultyStore wraps a MemStore and mangles the next Commit according
+// to mode. Open always serves the committed artifact verbatim — the
+// corruption happened at write time, reads are honest.
+type faultyStore struct {
+	inner    *persist.MemStore
+	mode     int
+	cutFrac  uint32 // crashTorn: where to truncate
+	flipFrac uint32 // crashFlip: which byte
+	flipMask byte   // crashFlip: which bits (non-zero)
+}
+
+func (f *faultyStore) Begin() (persist.SnapshotWriter, error) {
+	return &faultyWriter{f: f}, nil
+}
+
+func (f *faultyStore) Open() (io.ReadCloser, error) { return f.inner.Open() }
+
+// faultyWriter buffers the whole snapshot and applies the store's
+// configured fate at Commit — the moment a real crash would bite.
+type faultyWriter struct {
+	f   *faultyStore
+	buf bytes.Buffer
+}
+
+func (w *faultyWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *faultyWriter) Abort() error                { return nil }
+
+func (w *faultyWriter) Commit() error {
+	img := w.buf.Bytes()
+	switch w.f.mode {
+	case crashDrop:
+		// Died between the last write and the rename: nothing commits,
+		// the previously committed artifact stays.
+		return nil
+	case crashTorn:
+		if len(img) > 1 {
+			img = img[:1+int(w.f.cutFrac)%(len(img)-1)]
+		}
+	case crashFlip:
+		img = append([]byte(nil), img...)
+		img[int(w.f.flipFrac)%len(img)] ^= w.f.flipMask
+	}
+	iw, err := w.f.inner.Begin()
+	if err != nil {
+		return err
+	}
+	if _, err := iw.Write(img); err != nil {
+		return err
+	}
+	return iw.Commit()
+}
+
+// RunCrash executes the crash/restore scenario: Config.CrashCycles
+// cycles of seeded traffic (with a racing patrol scrubber), one fresh
+// poisoned line per cycle, a snapshot whose fate the seeded RNG picks,
+// a simulated process death, and a restore that is verified line by
+// line against the applicable shadow model. Config.Rounds is the
+// per-cycle traffic budget. The returned error covers setup only;
+// invariant breaks land in Report.SDCs / Violations.
+func RunCrash(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arr, err := core.NewArray(core.Config{
+		DataLines: cfg.Lines, Ranks: cfg.Ranks,
+		// Write-back metadata cache on purpose: every snapshot must
+		// first seal dirty cached metadata (the Flush composition), or
+		// restores would come back inconsistent.
+		MetadataCache: 64,
+		Telemetry:     cfg.Telemetry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	h := &harness{cfg: cfg, arr: arr}
+	st := &faultyStore{inner: persist.NewMemStore()}
+	a := newActor("crash", cfg.Seed^0x13370C0DE, cfg.KeepEvents)
+	if cfg.Duration > 0 {
+		h.deadline = time.Now().Add(cfg.Duration)
+	}
+
+	// cur is the live shadow; snapShadow/snapPoison mirror the store's
+	// committed artifact when committedGood (cloned at each clean
+	// commit).
+	cur := make(map[uint64]byte, cfg.Lines)
+	curPoison := make(map[uint64]bool)
+	buf := make([]byte, core.LineSize)
+	for i := uint64(0); i < cfg.Lines; i++ {
+		if err := h.writeLine(i, fill(i, 0)); err != nil {
+			return nil, fmt.Errorf("chaos: seeding line %d: %w", i, err)
+		}
+		cur[i] = 0
+	}
+	var snapShadow map[uint64]byte
+	var snapPoison map[uint64]bool
+	committed, committedGood := false, false
+
+	clone := func(m map[uint64]byte) map[uint64]byte {
+		out := make(map[uint64]byte, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	cloneP := func(m map[uint64]bool) map[uint64]bool {
+		out := make(map[uint64]bool, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+
+	// verify sweeps every line against the active shadow: exact bytes
+	// for clean lines, ErrPoisoned for poisoned ones. Runs quiesced
+	// (no scrubber), so outcomes are exact.
+	verify := func(tag string, shadow map[uint64]byte, poison map[uint64]bool) {
+		for i := uint64(0); i < cfg.Lines; i++ {
+			err := h.readLine(i, buf)
+			if poison[i] {
+				if !core.IsFailClosed(err) {
+					if err == nil {
+						h.sdc("crash: %s: line %d read data while poisoned in the shadow", tag, i)
+					} else {
+						h.violate("crash: %s: poisoned line %d: %v, want fail-closed", tag, i, err)
+					}
+				} else {
+					h.failClosed++
+				}
+				continue
+			}
+			if err != nil {
+				h.violate("crash: %s: line %d: %v", tag, i, err)
+				continue
+			}
+			h.reads++
+			if !bytes.Equal(buf, fill(i, shadow[i])) {
+				h.sdc("crash: %s: line %d returned wrong data", tag, i)
+			}
+		}
+	}
+
+	cycles := cfg.CrashCycles
+	if cycles <= 0 {
+		cycles = 8
+	}
+	for cy := 0; cy < cycles && !h.expired(ctx); cy++ {
+		// Traffic burst with the patrol scrubber racing it, like a
+		// serving process between checkpoints.
+		scrub := arr.StartScrubber(context.Background(), cfg.ScrubInterval)
+		for r := 0; r < cfg.Rounds && !h.expired(ctx); r++ {
+			line := uint64(a.rng.Intn(int(cfg.Lines)))
+			if a.rng.Intn(100) < 60 || curPoison[line] {
+				b := byte(a.rng.Intn(256))
+				a.emit(Event{Op: "write", Line: line, Chip: -1, Chip2: -1, Arg: b})
+				if err := h.writeLine(line, fill(line, b)); err != nil {
+					h.violate("crash: write(%d): %v", line, err)
+					continue
+				}
+				h.writes++
+				cur[line] = b
+				delete(curPoison, line) // a write heals poison
+			} else {
+				a.emit(Event{Op: "read", Line: line, Chip: -1, Chip2: -1})
+				if err := h.readLine(line, buf); err != nil {
+					h.violate("crash: read(%d): %v", line, err)
+				} else {
+					h.reads++
+					if !bytes.Equal(buf, fill(line, cur[line])) {
+						h.sdc("crash: line %d: wrong data mid-burst", line)
+					}
+				}
+			}
+		}
+
+		// Poison one fresh victim so every checkpoint carries poison:
+		// re-seal it, corrupt two chips (uncorrectable), and let the
+		// read fail closed.
+		victim := uint64(a.rng.Intn(int(cfg.Lines)))
+		vb := byte(a.rng.Intn(256))
+		c1 := a.rng.Intn(dimm.Chips)
+		c2 := (c1 + 1 + a.rng.Intn(dimm.Chips-1)) % dimm.Chips
+		mask := byte(1 + a.rng.Intn(255))
+		a.emit(Event{Op: "poison", Line: victim, Chip: c1, Chip2: c2, Arg: mask})
+		if err := h.writeLine(victim, fill(victim, vb)); err != nil {
+			h.violate("crash: victim write(%d): %v", victim, err)
+		}
+		m, inner := h.route(victim)
+		if err := m.InjectTransients(m.Layout().DataAddr(inner), []core.ChipFault{
+			{Chip: c1, Mask: [dimm.SliceSize]byte{mask}},
+			{Chip: c2, Mask: [dimm.SliceSize]byte{mask, 1}},
+		}); err != nil {
+			h.violate("crash: inject(%d): %v", victim, err)
+		}
+		h.injected++
+		if err := h.readLine(victim, buf); !core.IsFailClosed(err) {
+			h.sdc("crash: line %d read through a two-chip fault (err=%v)", victim, err)
+		} else {
+			h.failClosed++
+		}
+		cur[victim] = vb
+		curPoison[victim] = true
+
+		// Checkpoint under a seeded fate, then "SIGKILL": the scrubber
+		// dies with the process.
+		mode := a.rng.Intn(crashModes)
+		st.mode = mode
+		st.cutFrac = a.rng.Uint32()
+		st.flipFrac = a.rng.Uint32()
+		st.flipMask = byte(1 + a.rng.Intn(255))
+		a.emit(Event{Op: "snapshot-" + crashModeNames[mode], Chip: -1, Chip2: -1})
+		if err := arr.Snapshot(ctx, st); err != nil {
+			h.violate("crash: snapshot (mode %s): %v", crashModeNames[mode], err)
+			scrub.Stop()
+			break
+		}
+		h.mu.Lock()
+		h.snapshots++
+		h.mu.Unlock()
+		switch mode {
+		case crashClean:
+			snapShadow, snapPoison = clone(cur), cloneP(curPoison)
+			committed, committedGood = true, true
+		case crashTorn, crashFlip:
+			committed, committedGood = true, false
+		}
+		scrub.Stop()
+
+		// "Reboot": restore from whatever the store now holds and
+		// verify fail-closed typing plus the full device image.
+		a.emit(Event{Op: "restore", Chip: -1, Chip2: -1})
+		rerr := arr.Restore(ctx, st)
+		switch {
+		case !committed:
+			if !errors.Is(rerr, core.ErrNoSnapshot) {
+				h.violate("crash: restore with nothing committed: %v, want ErrNoSnapshot", rerr)
+			}
+			h.mu.Lock()
+			h.restoresRefused++
+			h.mu.Unlock()
+			verify("fresh-boot", cur, curPoison)
+		case committedGood:
+			if rerr != nil {
+				h.violate("crash: restore of a good snapshot: %v", rerr)
+				verify("failed-good-restore", cur, curPoison)
+				break
+			}
+			h.mu.Lock()
+			h.restores++
+			h.mu.Unlock()
+			cur, curPoison = clone(snapShadow), cloneP(snapPoison)
+			verify("restored", cur, curPoison)
+		default: // committed artifact is mangled: torn or flipped
+			if !errors.Is(rerr, core.ErrSnapshotTorn) && !errors.Is(rerr, core.ErrSnapshotCorrupt) {
+				if rerr == nil {
+					h.sdc("crash: mangled snapshot (mode %s) restored successfully", crashModeNames[mode])
+				} else {
+					h.violate("crash: mangled restore (mode %s): %v, want a typed sentinel", crashModeNames[mode], rerr)
+				}
+			} else {
+				h.mu.Lock()
+				h.restoresRefused++
+				h.mu.Unlock()
+			}
+			// Refused: the live array must be untouched.
+			verify("refused-restore", cur, curPoison)
+		}
+
+		// Heal every poisoned line so the next burst starts clean.
+		for i := uint64(0); i < cfg.Lines; i++ {
+			if !curPoison[i] {
+				continue
+			}
+			b := cur[i] ^ 0x3C
+			a.emit(Event{Op: "heal", Line: i, Chip: -1, Chip2: -1, Arg: b})
+			if err := h.writeLine(i, fill(i, b)); err != nil {
+				h.violate("crash: heal write(%d): %v", i, err)
+				continue
+			}
+			h.writes++
+			cur[i] = b
+			delete(curPoison, i)
+		}
+	}
+
+	// Quiesced global checks, as in Run.
+	if left := arr.Poisoned(); len(left) != 0 {
+		h.violate("crash: poisoned lines survived the heal pass: %v", left)
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		m := arr.Rank(r)
+		s := m.Stats()
+		if total := m.ErrorLog().Total(); total != s.CorrectionEvents {
+			h.violate("crash: rank %d: error log holds %d corrections, stats say %d",
+				r, total, s.CorrectionEvents)
+		}
+	}
+
+	rep := &Report{
+		Seed:            cfg.Seed,
+		Workers:         1,
+		Rounds:          cfg.Rounds,
+		Reads:           h.reads,
+		Writes:          h.writes,
+		FailClosed:      h.failClosed,
+		Injected:        h.injected,
+		Snapshots:       h.snapshots,
+		Restores:        h.restores,
+		RestoresRefused: h.restoresRefused,
+		SDCs:            h.sdcs,
+		Violations:      h.violations,
+		Stats:           arr.Stats(),
+		EventCount:      a.seq,
+	}
+	if cfg.KeepEvents {
+		rep.Events = a.events
+	}
+	sum := sha256.New()
+	fmt.Fprintf(sum, "%s:%x\n", a.name, a.hash.Sum(nil))
+	rep.EventDigest = hex.EncodeToString(sum.Sum(nil))
+	return rep, nil
+}

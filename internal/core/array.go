@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Array is a multi-rank Synergy memory: the Table III system has 2
@@ -30,6 +31,11 @@ type Array struct {
 	ranks        []*Memory
 	linesPerRank uint64
 	dataLines    uint64
+
+	// scrubbers counts live background patrol scrubbers on this array.
+	// Restore refuses to run while it is non-zero: a patrol pass racing
+	// a whole-device install would verify a mix of old and new state.
+	scrubbers atomic.Int64
 }
 
 // NewArray builds an Array of cfg.Ranks independent Synergy ranks

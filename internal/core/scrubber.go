@@ -46,6 +46,7 @@ func (a *Array) StartScrubber(ctx context.Context, interval time.Duration) *Scru
 		done:     make(chan struct{}),
 		cursors:  make([]uint64, len(a.ranks)),
 	}
+	a.scrubbers.Add(1)
 	go s.run(sctx)
 	return s
 }
@@ -77,6 +78,10 @@ func (s *Scrubber) LastReport() (ScrubReport, bool) {
 
 func (s *Scrubber) run(ctx context.Context) {
 	defer close(s.done)
+	// Deregister before done closes (deferred funcs run LIFO), so once
+	// Stop returns the array no longer counts this scrubber as live and
+	// a Restore may proceed.
+	defer s.a.scrubbers.Add(-1)
 	// First pass immediately: a freshly started server must not sit
 	// with zero patrol coverage for a full interval before the ticker
 	// first fires.

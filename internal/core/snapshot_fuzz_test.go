@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"synergy/internal/persist"
+)
+
+// FuzzSnapshotRoundTrip drives snapshot/restore with arbitrary array
+// contents and histories — including post-poison and post-repair
+// arrays — and requires the restored device state to be bit-identical
+// and every line to read back exactly as at snapshot time.
+//
+// Run with `go test -fuzz=FuzzSnapshotRoundTrip ./internal/core`.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), uint8(3), true, false)
+	f.Add([]byte{}, uint8(200), false, true)
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint8(17), true, true)
+
+	f.Fuzz(func(t *testing.T, seed []byte, sel uint8, doPoison, doRepair bool) {
+		const lines, ranks = 48, 2
+		a := newArray(t, lines, ranks)
+		for i := uint64(0); i < lines; i++ {
+			line := make([]byte, LineSize)
+			for b := range line {
+				line[b] = byte(i) * 5
+				if len(seed) > 0 {
+					line[b] ^= seed[(int(i)+b)%len(seed)]
+				}
+			}
+			if err := a.Write(i, line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		victim := uint64(sel) % lines
+		if doPoison {
+			poisonLineOf(t, a, victim)
+		}
+		if doRepair {
+			m := a.Rank(0)
+			if _, err := m.Module().InjectPermanent(4, 0, m.Module().Lines()-1, [8]byte{0x0F}); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, LineSize)
+			for i := uint64(0); i < lines; i += uint64(ranks) { // rank 0's lines
+				_, _ = a.Read(i, buf)
+			}
+			if err := a.RepairChip(0, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Capture ground truth at snapshot time.
+		wantImgs := moduleImages(t, a)
+		wantPlain := make([][]byte, lines)
+		wantErr := make([]bool, lines)
+		buf := make([]byte, LineSize)
+		for i := uint64(0); i < lines; i++ {
+			if _, err := a.Read(i, buf); err != nil {
+				wantErr[i] = true
+				continue
+			}
+			wantPlain[i] = append([]byte(nil), buf...)
+		}
+
+		st := persist.NewMemStore()
+		if err := a.Snapshot(context.Background(), st); err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		b, err := RestoreArray(Config{DataLines: lines, Ranks: ranks, FaultThreshold: 3}, st)
+		if err != nil {
+			t.Fatalf("RestoreArray: %v", err)
+		}
+		for r, img := range moduleImages(t, b) {
+			if !bytes.Equal(img, wantImgs[r]) {
+				t.Fatalf("rank %d device image not bit-identical after round trip", r)
+			}
+		}
+		for i := uint64(0); i < lines; i++ {
+			_, err := b.Read(i, buf)
+			if wantErr[i] {
+				if !errors.Is(err, ErrPoisoned) {
+					t.Fatalf("line %d: %v, want ErrPoisoned to survive the round trip", i, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("line %d after restore: %v", i, err)
+			}
+			if !bytes.Equal(buf, wantPlain[i]) {
+				t.Fatalf("line %d: restored plaintext differs", i)
+			}
+		}
+	})
+}
+
+// FuzzRestoreCorrupt hands Restore arbitrarily mangled snapshots —
+// any byte flipped, any truncation point, arbitrary appended garbage —
+// and requires a typed fail-closed sentinel every time, with the target
+// array left serving its pre-restore contents.
+//
+// Run with `go test -fuzz=FuzzRestoreCorrupt ./internal/core`.
+func FuzzRestoreCorrupt(f *testing.F) {
+	f.Add(uint32(0), byte(0x01), false)
+	f.Add(uint32(40), byte(0x80), true)
+	f.Add(uint32(1<<20), byte(0xFF), true)
+
+	f.Fuzz(func(t *testing.T, pos uint32, xor byte, truncate bool) {
+		const lines = 16
+		a := newArray(t, lines, 1)
+		for i := uint64(0); i < lines; i++ {
+			if err := a.Write(i, fillLine(byte(i)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := persist.NewMemStore()
+		if err := a.Snapshot(context.Background(), st); err != nil {
+			t.Fatal(err)
+		}
+		img, _ := st.Bytes()
+		if truncate {
+			img = img[:int(pos)%len(img)]
+		} else {
+			if xor == 0 {
+				xor = 1
+			}
+			img[int(pos)%len(img)] ^= xor
+		}
+		st.SetBytes(img)
+
+		err := a.Restore(context.Background(), st)
+		if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotTorn) {
+			t.Fatalf("mangled restore (pos=%d xor=%#x trunc=%v): err=%v, want a typed sentinel", pos, xor, truncate, err)
+		}
+		buf := make([]byte, LineSize)
+		for i := uint64(0); i < lines; i++ {
+			if _, err := a.Read(i, buf); err != nil || !bytes.Equal(buf, fillLine(byte(i)+1)) {
+				t.Fatalf("line %d damaged by refused restore: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"synergy/internal/persist"
+)
+
+// poisonLineOf drives global line g of a into the poisoned state the
+// honest way: a two-chip transient (uncorrectable), a read that fails
+// closed, and the fast-fail re-read.
+func poisonLineOf(t testing.TB, a *Array, g uint64) {
+	t.Helper()
+	m, inner, err := a.route(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Layout().DataAddr(inner)
+	faults := []ChipFault{
+		{Chip: 1, Mask: [8]byte{0x01}},
+		{Chip: 5, Mask: [8]byte{0x80}},
+	}
+	if err := m.InjectTransients(addr, faults); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	if _, err := a.Read(g, buf); !IsFailClosed(err) {
+		t.Fatalf("two-chip corruption read: %v, want fail-closed", err)
+	}
+	if _, err := a.Read(g, buf); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("re-read: %v, want ErrPoisoned", err)
+	}
+}
+
+// moduleImages serializes every rank's raw device image.
+func moduleImages(t testing.TB, a *Array) [][]byte {
+	t.Helper()
+	imgs := make([][]byte, a.Ranks())
+	for r := range imgs {
+		mod := a.Rank(r).Module()
+		imgs[r] = make([]byte, mod.ImageSize())
+		if err := mod.Serialize(imgs[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return imgs
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	const lines, ranks = 192, 2
+	a := newArray(t, lines, ranks)
+	for i := uint64(0); i < lines; i++ {
+		if err := a.Write(i, fillLine(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poisonLineOf(t, a, 17)
+
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	wantImgs := moduleImages(t, a)
+
+	// Diverge: overwrite everything (healing line 17's poison too).
+	for i := uint64(0); i < lines; i++ {
+		if err := a.Write(i, fillLine(byte(i)^0xFF)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Poisoned(); len(got) != 0 {
+		t.Fatalf("rewrite left poison: %v", got)
+	}
+
+	if err := a.Restore(context.Background(), st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Device state is bit-identical to snapshot time.
+	for r, img := range moduleImages(t, a) {
+		if !bytes.Equal(img, wantImgs[r]) {
+			t.Fatalf("rank %d device image differs after restore", r)
+		}
+	}
+	// Reads serve snapshot-time plaintext; the poisoned line stays
+	// poisoned across the round trip.
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < lines; i++ {
+		if i == 17 {
+			if _, err := a.Read(i, buf); !errors.Is(err, ErrPoisoned) {
+				t.Fatalf("line 17: %v, want ErrPoisoned after restore", err)
+			}
+			continue
+		}
+		if _, err := a.Read(i, buf); err != nil {
+			t.Fatalf("line %d after restore: %v", i, err)
+		}
+		if !bytes.Equal(buf, fillLine(byte(i))) {
+			t.Fatalf("line %d reads post-divergence data after restore", i)
+		}
+	}
+	if got := a.Poisoned(); len(got) != 1 || got[0] != 17 {
+		t.Fatalf("Poisoned() = %v, want [17]", got)
+	}
+}
+
+func TestRestoreArrayBootPath(t *testing.T) {
+	cfg := Config{DataLines: 96, Ranks: 3, FaultThreshold: 3}
+	a, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 96; i++ {
+		if err := a.Write(i, fillLine(byte(i)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poisonLineOf(t, a, 5)
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := RestoreArray(cfg, st)
+	if err != nil {
+		t.Fatalf("RestoreArray: %v", err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < 96; i++ {
+		_, err := b.Read(i, buf)
+		if i == 5 {
+			if !errors.Is(err, ErrPoisoned) {
+				t.Fatalf("line 5: %v, want ErrPoisoned in restored array", err)
+			}
+			continue
+		}
+		if err != nil || !bytes.Equal(buf, fillLine(byte(i)+1)) {
+			t.Fatalf("line %d in restored array: %v", i, err)
+		}
+	}
+}
+
+func TestRestoreWrongKeyFailsClosed(t *testing.T) {
+	keyA := make([]byte, 16)
+	keyA[0] = 0xA1
+	keyB := make([]byte, 16)
+	keyB[0] = 0xB2
+	a, err := NewArray(Config{DataLines: 64, MACKey: keyA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(0, fillLine(9)); err != nil {
+		t.Fatal(err)
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := RestoreArray(Config{DataLines: 64, MACKey: keyB}, st)
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("wrong-key restore: %v, want ErrSnapshotCorrupt", err)
+	}
+	if arr != nil {
+		t.Fatal("wrong-key restore returned a usable array alongside the error")
+	}
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	a := newArray(t, 128, 4)
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{DataLines: 128, Ranks: 2, FaultThreshold: 3},                      // rank count differs
+		{DataLines: 256, Ranks: 4, FaultThreshold: 3},                      // capacity differs
+		{DataLines: 128, Ranks: 4, FaultThreshold: 3, SplitCounters: true}, // organization differs
+	} {
+		if _, err := RestoreArray(cfg, st); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("cfg %+v: %v, want ErrSnapshotMismatch", cfg, err)
+		}
+	}
+}
+
+func TestRestoreEmptyStore(t *testing.T) {
+	a := newArray(t, 64, 1)
+	if err := a.Restore(context.Background(), persist.NewMemStore()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("restore from empty store: %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestRestoreRejectsLiveArray pins the quiesce contract: a running
+// patrol scrubber blocks Restore with ErrArrayLive; stopping it
+// unblocks.
+func TestRestoreRejectsLiveArray(t *testing.T) {
+	a := newArray(t, 64, 2)
+	if err := a.Write(0, fillLine(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	s := a.StartScrubber(context.Background(), time.Millisecond)
+	if err := a.Restore(context.Background(), st); !errors.Is(err, ErrArrayLive) {
+		t.Fatalf("restore with live scrubber: %v, want ErrArrayLive", err)
+	}
+	s.Stop()
+	if err := a.Restore(context.Background(), st); err != nil {
+		t.Fatalf("restore after scrubber stop: %v", err)
+	}
+}
+
+// TestSnapshotQuiesceUnderLoad races a patrol scrubber and a flusher
+// goroutine (writes + explicit Flush cycles) against Snapshot, then
+// shuts both down cleanly and proves the taken snapshot restores to a
+// consistent array. Run under -race this pins that quiesce composes
+// with the background machinery instead of deadlocking or tearing.
+func TestSnapshotQuiesceUnderLoad(t *testing.T) {
+	a, err := NewArray(Config{DataLines: 96, Ranks: 2, FaultThreshold: 3, MetadataCache: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 96; i++ {
+		if err := a.Write(i, fillLine(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scrub := a.StartScrubber(context.Background(), time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "flusher": dirty the write-back cache and flush it
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = a.Write(i%96, fillLine(byte(i)))
+			if i%8 == 0 {
+				_ = a.Flush(context.Background())
+			}
+		}
+	}()
+
+	st := persist.NewMemStore()
+	for k := 0; k < 5; k++ {
+		if err := a.Snapshot(context.Background(), st); err != nil {
+			t.Fatalf("snapshot %d under load: %v", k, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	scrub.Stop()
+
+	if err := a.Restore(context.Background(), st); err != nil {
+		t.Fatalf("restore after quiesce: %v", err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < 96; i++ {
+		if _, err := a.Read(i, buf); err != nil {
+			t.Fatalf("line %d after restore: %v", i, err)
+		}
+	}
+}
+
+// TestRestoreFailureLeavesArrayServing pins fail-closed atomicity: a
+// refused restore must leave the running array exactly as it was.
+func TestRestoreFailureLeavesArrayServing(t *testing.T) {
+	a := newArray(t, 64, 2)
+	for i := uint64(0); i < 64; i++ {
+		if err := a.Write(i, fillLine(byte(i)+7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := st.Bytes()
+	img[len(img)/2] ^= 0x10
+	st.SetBytes(img)
+
+	if err := a.Restore(context.Background(), st); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("tampered restore: %v, want ErrSnapshotCorrupt", err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < 64; i++ {
+		if _, err := a.Read(i, buf); err != nil || !bytes.Equal(buf, fillLine(byte(i)+7)) {
+			t.Fatalf("line %d damaged by refused restore: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotSealsDirtyMetadata pins the Flush composition: with a
+// write-back metadata cache full of dirty entries, Snapshot must seal
+// them before imaging, so the restored array reads every hot line.
+func TestSnapshotSealsDirtyMetadata(t *testing.T) {
+	cfg := Config{DataLines: 96, Ranks: 2, FaultThreshold: 3, MetadataCache: 256}
+	a, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 96; i++ {
+		if err := a.Write(i, fillLine(byte(i)*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush/Sync here: the cache is dirty on purpose.
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreArray(cfg, st)
+	if err != nil {
+		t.Fatalf("RestoreArray: %v", err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < 96; i++ {
+		if _, err := b.Read(i, buf); err != nil || !bytes.Equal(buf, fillLine(byte(i)*3)) {
+			t.Fatalf("line %d: dirty metadata not sealed into snapshot: %v", i, err)
+		}
+	}
+}
+
+func TestSnapshotAfterRepair(t *testing.T) {
+	a := newArray(t, 64, 1)
+	for i := uint64(0); i < 64; i++ {
+		if err := a.Write(i, fillLine(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := a.Rank(0)
+	if _, err := m.Module().InjectPermanent(2, 0, m.Module().Lines()-1, [8]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	for i := uint64(0); i < 64; i++ { // corrected reads drive the scoreboard
+		if _, err := a.Read(i, buf); err != nil {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+	}
+	if err := a.RepairChip(0, 2); err != nil {
+		t.Fatalf("RepairChip: %v", err)
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreArray(Config{DataLines: 64, Ranks: 1, FaultThreshold: 3}, st)
+	if err != nil {
+		t.Fatalf("RestoreArray: %v", err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, err := b.Read(i, buf); err != nil || !bytes.Equal(buf, fillLine(byte(i))) {
+			t.Fatalf("post-repair line %d: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	a := newArray(b, 4096, 2)
+	for i := uint64(0); i < 4096; i++ {
+		if err := a.Write(i, fillLine(byte(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		b.Fatal(err)
+	}
+	img, _ := st.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Snapshot(context.Background(), st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestore(b *testing.B) {
+	a := newArray(b, 4096, 2)
+	for i := uint64(0); i < 4096; i++ {
+		if err := a.Write(i, fillLine(byte(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := persist.NewMemStore()
+	if err := a.Snapshot(context.Background(), st); err != nil {
+		b.Fatal(err)
+	}
+	img, _ := st.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Restore(context.Background(), st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -167,6 +167,45 @@ func (m *Module) PeekLine(addr uint64) (Line, bool) {
 	return m.store[addr], true
 }
 
+// ImageSize returns the byte length of the module's raw cell image
+// (72 bytes per line: 64 data + 8 ECC).
+func (m *Module) ImageSize() int { return int(m.lines) * (LineSize + SliceSize) }
+
+// Serialize copies the raw stored cells — every line's data and ECC
+// slices, exactly as written, with no read-path faults applied — into
+// dst, which must be exactly ImageSize bytes. It is the snapshot
+// source: the caller (core.Memory) holds its rank lock, so no writer
+// is concurrent. Active fault models are runtime state and are not
+// part of the image.
+func (m *Module) Serialize(dst []byte) error {
+	if len(dst) != m.ImageSize() {
+		return fmt.Errorf("dimm: Serialize needs %d bytes, got %d", m.ImageSize(), len(dst))
+	}
+	for i := range m.store {
+		off := i * (LineSize + SliceSize)
+		copy(dst[off:], m.store[i].Data[:])
+		copy(dst[off+LineSize:], m.store[i].ECC[:])
+	}
+	return nil
+}
+
+// RestoreImage replaces every stored cell from a Serialize image of the
+// same geometry. Unlike WriteLine it does not count as device accesses
+// and does not interact with fault models: it is the restore sink, a
+// whole-device install the controller performs before serving traffic.
+// Permanent faults injected on this module stay active across it.
+func (m *Module) RestoreImage(src []byte) error {
+	if len(src) != m.ImageSize() {
+		return fmt.Errorf("dimm: RestoreImage needs %d bytes, got %d", m.ImageSize(), len(src))
+	}
+	for i := range m.store {
+		off := i * (LineSize + SliceSize)
+		copy(m.store[i].Data[:], src[off:off+LineSize])
+		copy(m.store[i].ECC[:], src[off+LineSize:off+LineSize+SliceSize])
+	}
+	return nil
+}
+
 // FaultID identifies an injected permanent fault for later clearing.
 type FaultID int
 

@@ -1,0 +1,223 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"hash"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"synergy/internal/gmac"
+)
+
+// testMAC builds a keyed section-MAC factory the way the engine does:
+// one gmac keyed hasher per (id, seq) binding.
+func testMAC(t testing.TB, keyByte byte) MACFactory {
+	t.Helper()
+	key := make([]byte, gmac.KeySize)
+	key[0] = keyByte
+	m, err := gmac.New(key)
+	if err != nil {
+		t.Fatalf("gmac.New: %v", err)
+	}
+	return func(id, seq uint32) hash.Hash64 {
+		return m.NewHasher(0x534E4150<<32|uint64(id), uint64(seq))
+	}
+}
+
+func sampleSections() []Section {
+	return []Section{
+		{ID: 1, Payload: []byte("geometry")},
+		{ID: 2, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{ID: 2, Payload: []byte{}}, // empty payloads are legal
+		{ID: 7, Payload: []byte{0, 1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	mac := testMAC(t, 0x11)
+	st := NewMemStore()
+	want := sampleSections()
+	if err := WriteSnapshot(st, mac, want); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := ReadSnapshot(st, mac)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d sections, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("section %d: got (%d, %x), want (%d, %x)", i, got[i].ID, got[i].Payload, want[i].ID, want[i].Payload)
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	if _, err := ReadSnapshot(NewMemStore(), testMAC(t, 1)); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store read: %v, want ErrNoSnapshot", err)
+	}
+	if _, err := NewFileStore(filepath.Join(t.TempDir(), "missing.snap")).Open(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing file open: %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestWrongKeyFailsClosed(t *testing.T) {
+	st := NewMemStore()
+	if err := WriteSnapshot(st, testMAC(t, 0x11), sampleSections()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	secs, err := ReadSnapshot(st, testMAC(t, 0x22))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("wrong-key read: err=%v, want ErrSnapshotCorrupt", err)
+	}
+	if secs != nil {
+		t.Fatalf("wrong-key read returned %d sections alongside the error", len(secs))
+	}
+}
+
+// TestEveryByteFlipRefused proves the fail-closed property exhaustively
+// on a small image: flipping any single byte must yield a typed
+// sentinel and no sections.
+func TestEveryByteFlipRefused(t *testing.T) {
+	mac := testMAC(t, 0x33)
+	st := NewMemStore()
+	if err := WriteSnapshot(st, mac, sampleSections()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	img, _ := st.Bytes()
+	for i := range img {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0x40
+		secs, err := Decode(mut, mac)
+		if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotTorn) {
+			t.Fatalf("flip at byte %d: err=%v, want a snapshot sentinel", i, err)
+		}
+		if secs != nil {
+			t.Fatalf("flip at byte %d: returned sections alongside the error", i)
+		}
+	}
+}
+
+func TestEveryTruncationIsTorn(t *testing.T) {
+	mac := testMAC(t, 0x44)
+	st := NewMemStore()
+	if err := WriteSnapshot(st, mac, sampleSections()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	img, _ := st.Bytes()
+	for n := 0; n < len(img); n++ {
+		if _, err := Decode(img[:n], mac); !errors.Is(err, ErrSnapshotTorn) {
+			t.Fatalf("truncated to %d/%d bytes: err=%v, want ErrSnapshotTorn", n, len(img), err)
+		}
+	}
+	// Appended garbage breaks the length pin the same way.
+	if _, err := Decode(append(append([]byte(nil), img...), 0xEE), mac); !errors.Is(err, ErrSnapshotTorn) {
+		t.Fatalf("appended garbage: want ErrSnapshotTorn")
+	}
+}
+
+func TestFileStoreCommitAndReplace(t *testing.T) {
+	mac := testMAC(t, 0x55)
+	st := NewFileStore(filepath.Join(t.TempDir(), "array.snap"))
+	if err := WriteSnapshot(st, mac, []Section{{ID: 1, Payload: []byte("gen1")}}); err != nil {
+		t.Fatalf("first WriteSnapshot: %v", err)
+	}
+	if err := WriteSnapshot(st, mac, []Section{{ID: 1, Payload: []byte("gen2")}}); err != nil {
+		t.Fatalf("second WriteSnapshot: %v", err)
+	}
+	secs, err := ReadSnapshot(st, mac)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(secs) != 1 || string(secs[0].Payload) != "gen2" {
+		t.Fatalf("got %+v, want the replacing snapshot", secs)
+	}
+	if _, err := os.Stat(st.tmpPath()); !os.IsNotExist(err) {
+		t.Fatalf("staging file survived a commit: %v", err)
+	}
+}
+
+// TestFileStoreTornStaging models a crash mid-snapshot: bytes land in
+// the staging file but Commit never runs. The previously committed
+// snapshot must stay fully readable, and the next Begin must truncate
+// the remnant.
+func TestFileStoreTornStaging(t *testing.T) {
+	mac := testMAC(t, 0x66)
+	st := NewFileStore(filepath.Join(t.TempDir(), "array.snap"))
+	if err := WriteSnapshot(st, mac, []Section{{ID: 1, Payload: []byte("good")}}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	w, err := st.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := w.Write([]byte("half a snapsh")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Crash: neither Commit nor Abort. The torn remnant sits in .tmp.
+	secs, err := ReadSnapshot(st, mac)
+	if err != nil {
+		t.Fatalf("read after torn staging: %v", err)
+	}
+	if len(secs) != 1 || string(secs[0].Payload) != "good" {
+		t.Fatalf("committed snapshot damaged by a torn staging write: %+v", secs)
+	}
+	if err := WriteSnapshot(st, mac, []Section{{ID: 1, Payload: []byte("next")}}); err != nil {
+		t.Fatalf("WriteSnapshot over a torn remnant: %v", err)
+	}
+	if _, err := os.Stat(st.tmpPath()); !os.IsNotExist(err) {
+		t.Fatalf("staging remnant survived the next commit")
+	}
+}
+
+func TestAbortLeavesCommitted(t *testing.T) {
+	mac := testMAC(t, 0x77)
+	for _, st := range []Store{NewMemStore(), NewFileStore(filepath.Join(t.TempDir(), "a.snap"))} {
+		if err := WriteSnapshot(st, mac, []Section{{ID: 3, Payload: []byte("keep")}}); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+		w, err := st.Begin()
+		if err != nil {
+			t.Fatalf("Begin: %v", err)
+		}
+		if _, err := w.Write([]byte("discard me")); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := w.Abort(); err != nil {
+			t.Fatalf("Abort: %v", err)
+		}
+		secs, err := ReadSnapshot(st, mac)
+		if err != nil || len(secs) != 1 || string(secs[0].Payload) != "keep" {
+			t.Fatalf("%T: committed snapshot lost after abort: %v %+v", st, err, secs)
+		}
+	}
+}
+
+func TestSectionsNotRelocatable(t *testing.T) {
+	// Two snapshots whose only difference is section order: swapping
+	// payloads between (id, seq) slots must fail the MAC binding even
+	// though every payload is individually authentic.
+	mac := testMAC(t, 0x88)
+	a := NewMemStore()
+	if err := WriteSnapshot(a, mac, []Section{{ID: 1, Payload: []byte("AAAA")}, {ID: 1, Payload: []byte("BBBB")}}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	img, _ := a.Bytes()
+	// Swap the two 4-byte payloads in place (same ids, same lengths).
+	first := bytes.Index(img, []byte("AAAA"))
+	second := bytes.Index(img, []byte("BBBB"))
+	if first < 0 || second < 0 {
+		t.Fatal("payloads not found in image")
+	}
+	copy(img[first:], "BBBB")
+	copy(img[second:], "AAAA")
+	// Fix the whole-file checksum so only the keyed MACs stand between
+	// the attacker and a successful swap.
+	if _, err := Decode(img, mac); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("swapped sections: err=%v, want ErrSnapshotCorrupt", err)
+	}
+}

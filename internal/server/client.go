@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"synergy/internal/core"
@@ -22,6 +24,52 @@ type Client struct {
 	base  string
 	token string
 	http  *http.Client
+	retry *RetryPolicy // nil: no automatic retries
+}
+
+// RetryPolicy tunes the client's automatic retries for transient
+// service refusals (HTTP 429 backpressure, 503 shedding) on idempotent
+// operations — reads, batch reads, scrub, stats, info. Writes are
+// never retried automatically: the caller cannot tell a lost response
+// from a lost request, and replaying a write the server actually
+// applied would advance counters a second time.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; each retry doubles it
+	// (default 10ms). The actual sleep is jittered over
+	// [delay/2, delay] to decorrelate competing clients.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff, including a server Retry-After hint
+	// (default 1s).
+	MaxDelay time.Duration
+	// PerTryTimeout, when positive, bounds each attempt separately so
+	// one stalled try cannot eat the whole context budget.
+	PerTryTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// WithRetry returns a client that retries idempotent operations under
+// the given policy. The returned client shares the transport with c;
+// c itself is unchanged.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	p = p.withDefaults()
+	nc := *c
+	nc.retry = &p
+	return &nc
 }
 
 // NewClient binds addr (host:port) with the given tenant token. The
@@ -47,21 +95,84 @@ func (c *Client) Close() {
 	}
 }
 
-// do runs one round trip: encode req (nil for GET), decode a 2xx body
-// into out, or map an error envelope back to the sentinel-wrapped
-// error the equivalent local call would return.
+// do runs a non-idempotent call: exactly one round trip, no retries.
 func (c *Client) do(ctx context.Context, method, path string, req, out any) error {
+	_, err := c.roundTrip(ctx, method, path, req, out)
+	return err
+}
+
+// doIdem runs an idempotent call: under a WithRetry policy, transient
+// refusals (backpressure, shedding) are retried with capped
+// exponential backoff plus jitter, honoring the server's Retry-After
+// hint. Any other error — and exhaustion of the attempt budget —
+// returns the last error unchanged, so errors.Is still sees the
+// sentinels.
+func (c *Client) doIdem(ctx context.Context, method, path string, req, out any) error {
+	if c.retry == nil {
+		return c.do(ctx, method, path, req, out)
+	}
+	p := *c.retry
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		tryCtx, cancel := ctx, context.CancelFunc(func() {})
+		if p.PerTryTimeout > 0 {
+			tryCtx, cancel = context.WithTimeout(ctx, p.PerTryTimeout)
+		}
+		hint, err := c.roundTrip(tryCtx, method, path, req, out)
+		cancel()
+		if err == nil || attempt >= p.MaxAttempts || !IsRetryable(err) {
+			return err
+		}
+		wait := delay
+		if hint > wait {
+			wait = hint
+		}
+		if wait > p.MaxDelay {
+			wait = p.MaxDelay
+		}
+		// Jitter over [wait/2, wait] so a fleet of backed-off clients
+		// does not return in lockstep.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+		delay *= 2
+	}
+}
+
+// parseRetryAfter reads a Retry-After header in its delta-seconds form
+// (the only form this server emits); anything else is no hint.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// roundTrip runs one round trip: encode req (nil for GET), decode a
+// 2xx body into out, or map an error envelope back to the
+// sentinel-wrapped error the equivalent local call would return. The
+// returned duration is the server's Retry-After hint (0 if absent).
+func (c *Client) roundTrip(ctx context.Context, method, path string, req, out any) (time.Duration, error) {
 	var body io.Reader
 	if req != nil {
 		buf, err := json.Marshal(req)
 		if err != nil {
-			return fmt.Errorf("client: encode %s: %w", path, err)
+			return 0, fmt.Errorf("client: encode %s: %w", path, err)
 		}
 		body = bytes.NewReader(buf)
 	}
 	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", path, err)
+		return 0, fmt.Errorf("client: %s: %w", path, err)
 	}
 	if req != nil {
 		hr.Header.Set("Content-Type", "application/json")
@@ -69,31 +180,32 @@ func (c *Client) do(ctx context.Context, method, path string, req, out any) erro
 	hr.Header.Set("Authorization", "Bearer "+c.token)
 	resp, err := c.http.Do(hr)
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", path, err)
+		return 0, fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
+	hint := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode >= 400 {
 		var eb errorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
-			return fmt.Errorf("client: %s: HTTP %d (unreadable error body: %v)", path, resp.StatusCode, err)
+			return hint, fmt.Errorf("client: %s: HTTP %d (unreadable error body: %v)", path, resp.StatusCode, err)
 		}
-		return codeToError(eb.Code, eb.Error)
+		return hint, codeToError(eb.Code, eb.Error)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("client: decode %s: %w", path, err)
+			return hint, fmt.Errorf("client: decode %s: %w", path, err)
 		}
 	}
-	return nil
+	return hint, nil
 }
 
 // Read fetches one line into dst (len ≥ core.LineSize).
 func (c *Client) Read(ctx context.Context, line uint64, dst []byte) (core.ReadInfo, error) {
 	var resp readResp
-	if err := c.do(ctx, http.MethodPost, "/v1/read", readReq{Line: line}, &resp); err != nil {
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/read", readReq{Line: line}, &resp); err != nil {
 		return core.ReadInfo{}, err
 	}
 	if len(resp.Data) != core.LineSize {
@@ -117,7 +229,7 @@ func (c *Client) ReadBatch(ctx context.Context, lines []uint64, dst []byte, info
 		return fmt.Errorf("client: read batch: dst holds %d bytes, want %d: %w", len(dst), len(lines)*core.LineSize, core.ErrBadLineSize)
 	}
 	var resp batchReadResp
-	if err := c.do(ctx, http.MethodPost, "/v1/read_batch", batchReadReq{Lines: lines}, &resp); err != nil {
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/read_batch", batchReadReq{Lines: lines}, &resp); err != nil {
 		return err
 	}
 	if len(lines) > 0 && len(resp.Data) != len(lines)*core.LineSize {
@@ -150,7 +262,7 @@ func (c *Client) WriteBatch(ctx context.Context, lines []uint64, src []byte) err
 // Scrub runs one foreground patrol pass over the tenant's array.
 func (c *Client) Scrub(ctx context.Context) (core.ScrubReport, error) {
 	var resp scrubResp
-	if err := c.do(ctx, http.MethodPost, "/v1/scrub", struct{}{}, &resp); err != nil {
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/scrub", struct{}{}, &resp); err != nil {
 		return core.ScrubReport{}, err
 	}
 	return core.ScrubReport{Scanned: resp.Scanned, Corrected: resp.Corrected, Poisoned: resp.Poisoned}, nil
@@ -167,10 +279,25 @@ func (c *Client) Inject(ctx context.Context, line uint64, chips []int, mask byte
 	return c.do(ctx, http.MethodPost, "/v1/inject", injectReq{Line: line, Chips: chips, Mask: mask}, nil)
 }
 
+// Snapshot checkpoints the tenant: the server quiesces the array and
+// commits a sealed snapshot to the tenant's store. Not retried — a
+// second snapshot is a new checkpoint, not a replay.
+func (c *Client) Snapshot(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/snapshot", struct{}{}, nil)
+}
+
+// Restore replaces the tenant's array state with its committed
+// snapshot. Fail-closed refusals surface with the local sentinels:
+// errors.Is(err, core.ErrSnapshotCorrupt) (and Torn / Mismatch /
+// NoSnapshot) work across the wire.
+func (c *Client) Restore(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/restore", struct{}{}, nil)
+}
+
 // Stats returns the tenant engine's aggregated counters.
 func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 	var st core.Stats
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+	if err := c.doIdem(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
 		return core.Stats{}, err
 	}
 	return st, nil
@@ -179,7 +306,7 @@ func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 // Info returns the tenant keyspace geometry and shedding state.
 func (c *Client) Info(ctx context.Context) (Info, error) {
 	var resp infoResp
-	if err := c.do(ctx, http.MethodGet, "/v1/info", nil, &resp); err != nil {
+	if err := c.doIdem(ctx, http.MethodGet, "/v1/info", nil, &resp); err != nil {
 		return Info{}, err
 	}
 	return Info(resp), nil

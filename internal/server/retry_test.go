@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synergy/internal/core"
+)
+
+// flakyServer refuses the first `failures` requests to each path with
+// the given status (and optional Retry-After), then delegates to ok.
+type flakyServer struct {
+	failures   int32
+	status     int
+	retryAfter string
+	seen       atomic.Int32
+	ok         http.HandlerFunc
+}
+
+func (f *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.seen.Add(1) <= f.failures {
+		code := codeBackpressure
+		if f.status == http.StatusServiceUnavailable {
+			code = codeShedding
+		}
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		_ = json.NewEncoder(w).Encode(errorBody{Code: code, Error: "try later"})
+		return
+	}
+	f.ok(w, r)
+}
+
+func flakyClient(t *testing.T, f *flakyServer, p RetryPolicy) *Client {
+	t.Helper()
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	c := NewClient(strings.TrimPrefix(srv.URL, "http://"), "tok")
+	t.Cleanup(c.Close)
+	return c.WithRetry(p)
+}
+
+func okStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(core.Stats{Reads: 42})
+}
+
+// TestRetryRidesOut429 pins the satellite contract: an idempotent call
+// against a server shedding the first attempts succeeds transparently
+// within the attempt budget.
+func TestRetryRidesOut429(t *testing.T) {
+	f := &flakyServer{failures: 2, status: http.StatusTooManyRequests, ok: okStats}
+	c := flakyClient(t, f, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond})
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats through flaky server: %v", err)
+	}
+	if st.Reads != 42 {
+		t.Fatalf("Stats = %+v, want the delegated response", st)
+	}
+	if got := f.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two refusals + success)", got)
+	}
+}
+
+func TestRetryHonors503AndRetryAfter(t *testing.T) {
+	f := &flakyServer{failures: 1, status: http.StatusServiceUnavailable, retryAfter: "1", ok: okStats}
+	c := flakyClient(t, f, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 120 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	// Retry-After asked for 1s, MaxDelay caps it at 120ms, jitter
+	// floors the sleep at half: the retry cannot have fired instantly.
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("retried after %v, want >= 60ms (capped Retry-After honored)", d)
+	}
+}
+
+func TestRetryExhaustionReturnsSentinel(t *testing.T) {
+	f := &flakyServer{failures: 1 << 30, status: http.StatusTooManyRequests, ok: okStats}
+	c := flakyClient(t, f, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	_, err := c.Stats(context.Background())
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("exhausted retries: %v, want ErrBackpressure", err)
+	}
+	if got := f.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts", got)
+	}
+}
+
+// TestWritesNeverRetried pins the idempotency boundary: a refused
+// write returns the refusal to the caller instead of replaying.
+func TestWritesNeverRetried(t *testing.T) {
+	f := &flakyServer{failures: 1 << 30, status: http.StatusTooManyRequests, ok: okStats}
+	c := flakyClient(t, f, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	err := c.Write(context.Background(), 0, line(1))
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("refused write: %v, want ErrBackpressure", err)
+	}
+	if got := f.seen.Load(); got != 1 {
+		t.Fatalf("server saw %d write attempts, want 1 (no replay)", got)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	f := &flakyServer{failures: 1 << 30, status: http.StatusTooManyRequests, ok: okStats}
+	c := flakyClient(t, f, RetryPolicy{MaxAttempts: 1000, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Stats(ctx); err == nil {
+		t.Fatal("Stats succeeded against a permanently refusing server")
+	} else if !errors.Is(err, ErrBackpressure) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled retry loop: %v", err)
+	}
+	if got := f.seen.Load(); got > 3 {
+		t.Fatalf("server saw %d requests in 30ms, retry loop ignored the context", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {"0", 0},
+		{"-3", 0}, {"soon", 0}, {"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	} {
+		if got := parseRetryAfter(tc.h); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAgainstRealBackpressure drives the policy end to end: a
+// one-slot, no-wait admission queue refuses concurrent reads with 429,
+// and retrying clients all complete without surfacing refusals.
+func TestRetryAgainstRealBackpressure(t *testing.T) {
+	_, c := startServer(t, Config{QueueDepth: 1, QueueWait: -1})
+	rc := c.WithRetry(RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	ctx := context.Background()
+	if err := rc.Write(ctx, 0, line(7)); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			buf := make([]byte, core.LineSize)
+			_, err := rc.Read(ctx, 0, buf)
+			errs <- err
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("retrying read surfaced a refusal: %v", err)
+		}
+	}
+}

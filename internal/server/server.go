@@ -24,11 +24,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"synergy/internal/core"
 	"synergy/internal/dimm"
+	"synergy/internal/persist"
 	"synergy/internal/telemetry"
 )
 
@@ -57,6 +60,11 @@ type TenantConfig struct {
 	// put its instrumented array behind the wire. The caller keeps
 	// lifecycle ownership (scrub, flush).
 	Backend *core.Array
+	// Snapshots, when non-nil, is where POST /v1/snapshot commits this
+	// tenant's sealed checkpoints and POST /v1/restore reads them back.
+	// Overrides the Config.DataDir-derived file store; nil with no
+	// DataDir disables the durability endpoints for the tenant.
+	Snapshots persist.Store
 }
 
 // Config parameterizes the service.
@@ -88,6 +96,10 @@ type Config struct {
 	// AllowInject enables POST /v1/inject, the fault-injection test
 	// hook. Never enable it on a real deployment.
 	AllowInject bool
+	// DataDir, when non-empty, gives every tenant without an explicit
+	// Snapshots store a crash-atomic file store at
+	// DataDir/<tenant>.snap. The directory must exist.
+	DataDir string
 	// Telemetry receives rpc_* op counters and latency histograms
 	// (and is forced onto tenant arrays the server builds). Nil
 	// disables instrumentation.
@@ -128,6 +140,7 @@ type Server struct {
 	httpSrv   *http.Server
 	ln        net.Listener
 	serveErr  chan error
+	wctx      context.Context // background-machinery context, set by Start
 	watchStop context.CancelFunc
 	watchDone chan struct{}
 	closeOnce sync.Once
@@ -166,12 +179,20 @@ func New(cfg Config) (*Server, error) {
 			}
 			owned = true
 		}
+		snaps := tc.Snapshots
+		if snaps == nil && cfg.DataDir != "" {
+			if strings.ContainsAny(tc.Name, `/\`) {
+				return nil, fmt.Errorf("server: tenant %q: name not usable as a DataDir filename", tc.Name)
+			}
+			snaps = persist.NewFileStore(filepath.Join(cfg.DataDir, tc.Name+".snap"))
+		}
 		t := &tenant{
 			name:            tc.Name,
 			token:           tc.Token,
 			index:           i,
 			arr:             arr,
 			owned:           owned,
+			snaps:           snaps,
 			slots:           make([]chan struct{}, arr.Ranks()),
 			lastCorrections: make([]uint64, arr.Ranks()),
 		}
@@ -199,12 +220,17 @@ func (s *Server) Start(addr string) error {
 	go func() { s.serveErr <- s.httpSrv.Serve(ln) }()
 
 	wctx, cancel := context.WithCancel(context.Background())
+	s.wctx = wctx
 	s.watchStop = cancel
 	s.watchDone = make(chan struct{})
 	go s.watch(wctx)
 	if s.cfg.ScrubInterval > 0 {
 		for _, t := range s.tenants {
+			// Under ctl: the listener is already serving, so a restore
+			// request could race this assignment.
+			t.ctl.Lock()
 			t.scrubber = t.arr.StartScrubber(wctx, s.cfg.ScrubInterval)
+			t.ctl.Unlock()
 		}
 	}
 	return nil
@@ -247,9 +273,12 @@ func (s *Server) Close(ctx context.Context) error {
 			<-s.watchDone
 		}
 		for _, t := range s.tenants {
+			t.ctl.Lock()
 			if t.scrubber != nil {
 				t.scrubber.Stop()
+				t.scrubber = nil
 			}
+			t.ctl.Unlock()
 			if err := t.arr.Sync(); err != nil {
 				errs = append(errs, fmt.Errorf("server: tenant %q flush: %w", t.name, err))
 			}
@@ -257,6 +286,52 @@ func (s *Server) Close(ctx context.Context) error {
 		s.closeErr = errors.Join(errs...)
 	})
 	return s.closeErr
+}
+
+// RestoreAll loads each snapshot-store-backed tenant's committed
+// snapshot into its array — the boot-time recovery path; call it
+// between New and Start. Tenants whose store is empty boot fresh; any
+// verification failure (corrupt, torn, mismatched) aborts with that
+// tenant's typed error, so a tampered checkpoint can never silently
+// serve. Returns how many tenants restored.
+func (s *Server) RestoreAll(ctx context.Context) (int, error) {
+	n := 0
+	for _, t := range s.tenants {
+		if t.snaps == nil {
+			continue
+		}
+		t.ctl.Lock()
+		err := t.arr.Restore(ctx, t.snaps)
+		t.ctl.Unlock()
+		switch {
+		case err == nil:
+			n++
+		case errors.Is(err, core.ErrNoSnapshot):
+			// Fresh boot for this tenant.
+		default:
+			return n, fmt.Errorf("server: tenant %q: restoring snapshot: %w", t.name, err)
+		}
+	}
+	return n, nil
+}
+
+// SnapshotAll checkpoints every snapshot-store-backed tenant — the
+// shutdown counterpart of RestoreAll. Safe while serving (each tenant
+// quiesces only for its own snapshot) and after Close.
+func (s *Server) SnapshotAll(ctx context.Context) error {
+	var errs []error
+	for _, t := range s.tenants {
+		if t.snaps == nil {
+			continue
+		}
+		t.ctl.Lock()
+		err := t.arr.Snapshot(ctx, t.snaps)
+		t.ctl.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: tenant %q: checkpoint: %w", t.name, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Handler exposes the route table (tests drive it via httptest too).
@@ -301,6 +376,10 @@ func (s *Server) routes() *http.ServeMux {
 	// never queued behind data traffic, never shed.
 	s.route(mux, "POST /v1/scrub", telemetry.OpRPCScrub, false, s.handleScrub)
 	s.route(mux, "POST /v1/repair", telemetry.OpRPCRepair, false, s.handleRepair)
+	// Durability: checkpoint and recovery are control plane too — an
+	// operator restoring a shedding tenant must not be shed.
+	s.route(mux, "POST /v1/snapshot", telemetry.OpRPCSnapshot, false, s.handleSnapshot)
+	s.route(mux, "POST /v1/restore", telemetry.OpRPCRestore, false, s.handleRestore)
 	s.route(mux, "POST /v1/inject", telemetry.OpRPCRepair, false, s.handleInject)
 	s.route(mux, "GET /v1/stats", telemetry.OpRPCRead, false, s.handleStats)
 	s.route(mux, "GET /v1/info", telemetry.OpRPCRead, false, s.handleInfo)
@@ -533,6 +612,46 @@ func (s *Server) handleInject(t *tenant, r *http.Request) (int, any) {
 		faults[k] = core.ChipFault{Chip: c, Mask: [dimm.SliceSize]byte{req.Mask, byte(k + 1)}}
 	}
 	if err := m.InjectTransients(m.Layout().DataAddr(inner), faults); err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, struct{}{}
+}
+
+// handleSnapshot checkpoints the tenant: quiesce, seal, commit. The
+// patrol scrubber keeps running — it serializes on the same rank locks
+// the snapshot holds.
+func (s *Server) handleSnapshot(t *tenant, r *http.Request) (int, any) {
+	if t.snaps == nil {
+		return badRequest(errors.New("tenant has no snapshot store (set -data on the server or TenantConfig.Snapshots)"))
+	}
+	t.ctl.Lock()
+	defer t.ctl.Unlock()
+	if err := t.arr.Snapshot(r.Context(), t.snaps); err != nil {
+		return errResponse(err)
+	}
+	return http.StatusOK, struct{}{}
+}
+
+// handleRestore replaces the tenant's array state with its committed
+// snapshot. The patrol scrubber is stopped for the install (the engine
+// refuses to restore a live array) and restarted afterwards whether or
+// not the restore succeeded — a refused restore leaves the tenant
+// serving its pre-call state, which still wants patrolling.
+func (s *Server) handleRestore(t *tenant, r *http.Request) (int, any) {
+	if t.snaps == nil {
+		return badRequest(errors.New("tenant has no snapshot store (set -data on the server or TenantConfig.Snapshots)"))
+	}
+	t.ctl.Lock()
+	defer t.ctl.Unlock()
+	if t.scrubber != nil {
+		t.scrubber.Stop()
+		t.scrubber = nil
+	}
+	err := t.arr.Restore(r.Context(), t.snaps)
+	if s.cfg.ScrubInterval > 0 && s.wctx != nil && s.wctx.Err() == nil {
+		t.scrubber = t.arr.StartScrubber(s.wctx, s.cfg.ScrubInterval)
+	}
+	if err != nil {
 		return errResponse(err)
 	}
 	return http.StatusOK, struct{}{}

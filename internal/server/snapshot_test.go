@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/persist"
+)
+
+// startSnapServer boots a server whose "alpha" tenant checkpoints into
+// the returned MemStore — tamperable from the test.
+func startSnapServer(t *testing.T, mutate func(*Config)) (*Server, *Client, *persist.MemStore) {
+	t.Helper()
+	st := persist.NewMemStore()
+	cfg := Config{
+		Tenants: []TenantConfig{{
+			Name:      "alpha",
+			Token:     "alpha-token",
+			Array:     core.Config{DataLines: 64, Ranks: 2},
+			Snapshots: st,
+		}},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, c := startServer(t, cfg)
+	return s, c, st
+}
+
+func TestSnapshotRestoreOverRPC(t *testing.T) {
+	_, c, _ := startSnapServer(t, nil)
+	ctx := context.Background()
+
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(ctx, i, line(byte(i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(ctx, i, line(0xEE)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Restore(ctx); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	buf := make([]byte, core.LineSize)
+	for i := uint64(0); i < 64; i++ {
+		if _, err := c.Read(ctx, i, buf); err != nil {
+			t.Fatalf("Read %d after restore: %v", i, err)
+		}
+		if !bytes.Equal(buf, line(byte(i))) {
+			t.Fatalf("line %d serves post-snapshot data after restore", i)
+		}
+	}
+}
+
+// TestRestoreSentinelsOverRPC pins the wire taxonomy: every restore
+// refusal surfaces client-side with the same typed sentinel a local
+// synergy.Restore returns, through errors.Is.
+func TestRestoreSentinelsOverRPC(t *testing.T) {
+	_, c, st := startSnapServer(t, nil)
+	ctx := context.Background()
+
+	// No committed snapshot yet.
+	if err := c.Restore(ctx); !errors.Is(err, core.ErrNoSnapshot) {
+		t.Fatalf("restore from empty store: %v, want ErrNoSnapshot over RPC", err)
+	}
+
+	if err := c.Write(ctx, 3, line(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Flip one byte mid-image: corrupt, fail closed.
+	img, _ := st.Bytes()
+	img[len(img)/2] ^= 0x04
+	st.SetBytes(img)
+	if err := c.Restore(ctx); !errors.Is(err, core.ErrSnapshotCorrupt) {
+		t.Fatalf("tampered restore: %v, want ErrSnapshotCorrupt over RPC", err)
+	}
+
+	// Truncate the tail: torn.
+	good, _ := st.Bytes()
+	good[len(good)/2] ^= 0x04 // undo the flip
+	st.SetBytes(good[:len(good)-7])
+	if err := c.Restore(ctx); !errors.Is(err, core.ErrSnapshotTorn) {
+		t.Fatalf("truncated restore: %v, want ErrSnapshotTorn over RPC", err)
+	}
+
+	// A refused restore must leave the tenant serving.
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(ctx, 3, buf); err != nil || !bytes.Equal(buf, line(3)) {
+		t.Fatalf("tenant damaged by refused restores: %v", err)
+	}
+}
+
+// TestRestoreRestartsScrubber pins the control-plane dance: restoring
+// while the server runs patrol scrubbing must stop the scrubber for
+// the install (the engine would refuse otherwise) and bring it back
+// after.
+func TestRestoreRestartsScrubber(t *testing.T) {
+	s, c, _ := startSnapServer(t, func(cfg *Config) {
+		cfg.ScrubInterval = time.Millisecond
+	})
+	ctx := context.Background()
+	if err := c.Write(ctx, 1, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot with live scrubber: %v", err)
+	}
+	if err := c.Restore(ctx); err != nil {
+		t.Fatalf("Restore with live scrubber: %v", err)
+	}
+	s.tenants[0].ctl.Lock()
+	scrub := s.tenants[0].scrubber
+	s.tenants[0].ctl.Unlock()
+	if scrub == nil {
+		t.Fatal("patrol scrubber not restarted after restore")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for scrub.Passes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted scrubber never completed a pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSnapshotWithoutStoreRejected(t *testing.T) {
+	_, c := startServer(t, Config{}) // default tenant: no snapshot store
+	ctx := context.Background()
+	if err := c.Snapshot(ctx); err == nil {
+		t.Fatal("snapshot without a store succeeded")
+	}
+	if err := c.Restore(ctx); err == nil {
+		t.Fatal("restore without a store succeeded")
+	}
+}
+
+// TestSnapshotBypassesShedding pins the control-plane placement: a
+// tenant refusing data-plane traffic must still accept checkpoint and
+// restore, or an operator cannot recover it.
+func TestSnapshotBypassesShedding(t *testing.T) {
+	s, c, _ := startSnapServer(t, nil)
+	ctx := context.Background()
+	if err := c.Write(ctx, 0, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.tenants[0].shedding.Store(true)
+	if err := c.Write(ctx, 0, line(2)); !errors.Is(err, ErrShedding) {
+		t.Fatalf("data plane under shedding: %v, want ErrShedding", err)
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot under shedding: %v", err)
+	}
+	if err := c.Restore(ctx); err != nil {
+		t.Fatalf("Restore under shedding: %v", err)
+	}
+}
+
+// TestServerBootWithDataDir drives the Config.DataDir path: tenants
+// get file stores named after them, and snapshots survive a full
+// server teardown into a fresh process-equivalent server that restores
+// on the same directory.
+func TestServerBootWithDataDir(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*Server, *Client) {
+		return startServer(t, Config{
+			DataDir: dir,
+			Tenants: []TenantConfig{{
+				Name:  "alpha",
+				Token: "alpha-token",
+				Array: core.Config{DataLines: 64, Ranks: 2},
+			}},
+		})
+	}
+	ctx := context.Background()
+	_, c := mk()
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(ctx, i, line(byte(i)^0x5A)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// "Reboot": a second server over the same directory.
+	_, c2 := mk()
+	if err := c2.Restore(ctx); err != nil {
+		t.Fatalf("Restore on reboot: %v", err)
+	}
+	buf := make([]byte, core.LineSize)
+	for i := uint64(0); i < 64; i++ {
+		if _, err := c2.Read(ctx, i, buf); err != nil || !bytes.Equal(buf, line(byte(i)^0x5A)) {
+			t.Fatalf("line %d after reboot restore: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotAllRestoreAll drives the process-lifecycle helpers the
+// daemon uses: SnapshotAll on shutdown, RestoreAll between New and
+// Start on the next boot — and the fail-closed boot contract when the
+// checkpoint was tampered with while the process was down.
+func TestSnapshotAllRestoreAll(t *testing.T) {
+	st := persist.NewMemStore()
+	cfg := Config{
+		Tenants: []TenantConfig{
+			{
+				Name:      "alpha",
+				Token:     "alpha-token",
+				Array:     core.Config{DataLines: 64, Ranks: 2},
+				Snapshots: st,
+			},
+			{
+				Name:  "ephemeral", // no store: both helpers must skip it
+				Token: "e-token",
+				Array: core.Config{DataLines: 32, Ranks: 1},
+			},
+		},
+	}
+	ctx := context.Background()
+	s, c := startServer(t, cfg)
+
+	// Empty store: a fresh boot, not an error.
+	if n, err := s.RestoreAll(ctx); err != nil || n != 0 {
+		t.Fatalf("RestoreAll on empty store: n=%d err=%v, want 0, nil", n, err)
+	}
+
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(ctx, i, line(byte(i)+9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SnapshotAll(ctx); err != nil {
+		t.Fatalf("SnapshotAll: %v", err)
+	}
+
+	// "Reboot": fresh server sharing the store, restored before Start.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s2.RestoreAll(ctx); err != nil || n != 1 {
+		t.Fatalf("RestoreAll: n=%d err=%v, want 1, nil", n, err)
+	}
+	if err := s2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(ctx)
+	c2 := NewClient(s2.Addr, "alpha-token")
+	buf := make([]byte, core.LineSize)
+	for i := uint64(0); i < 64; i++ {
+		if _, err := c2.Read(ctx, i, buf); err != nil || !bytes.Equal(buf, line(byte(i)+9)) {
+			t.Fatalf("line %d after RestoreAll: %v", i, err)
+		}
+	}
+
+	// Tampered checkpoint: the boot path must refuse with the typed
+	// sentinel (the daemon turns this into a non-zero exit).
+	img, _ := st.Bytes()
+	img[len(img)/3] ^= 0x40
+	st.SetBytes(img)
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.RestoreAll(ctx); !errors.Is(err, core.ErrSnapshotCorrupt) {
+		t.Fatalf("RestoreAll on tampered store: %v, want ErrSnapshotCorrupt", err)
+	}
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"synergy/internal/core"
+	"synergy/internal/persist"
 )
 
 // tenant is one keyspace: its own Array (own encryption/MAC keys and
@@ -33,6 +35,16 @@ type tenant struct {
 	// -error totals (only the watcher goroutine touches these).
 	lastCorrections []uint64
 
+	// snaps is where this tenant's sealed checkpoints live (nil:
+	// durability endpoints disabled for the tenant).
+	snaps persist.Store
+	// ctl serializes the durability control plane (snapshot/restore and
+	// the scrubber stop/restart dance around restore) against itself
+	// and against Close.
+	ctl sync.Mutex
+
+	// scrubber is guarded by ctl once Start has run: the restore
+	// handler stops and restarts it around the install.
 	scrubber *core.Scrubber
 }
 

@@ -42,7 +42,14 @@ const (
 	codeAttack       = "attack"
 	codeBackpressure = "backpressure"
 	codeShedding     = "shedding"
-	codeInternal     = "internal"
+	// Durability control-plane codes: restore refusals keep the same
+	// typed sentinels clients would see from a local synergy.Restore.
+	codeSnapshotCorrupt  = "snapshot_corrupt"
+	codeSnapshotTorn     = "snapshot_torn"
+	codeSnapshotMismatch = "snapshot_mismatch"
+	codeNoSnapshot       = "no_snapshot"
+	codeRestoreLive      = "restore_live"
+	codeInternal         = "internal"
 )
 
 // errorBody is the JSON error envelope of every non-2xx response.
@@ -72,6 +79,18 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusServiceUnavailable, codeShedding
 	case errors.Is(err, ErrUnauthorized):
 		return http.StatusUnauthorized, codeUnauthorized
+	case errors.Is(err, core.ErrSnapshotCorrupt):
+		// The stored artifact failed verification — the request was
+		// fine, the entity was not.
+		return http.StatusUnprocessableEntity, codeSnapshotCorrupt
+	case errors.Is(err, core.ErrSnapshotTorn):
+		return http.StatusUnprocessableEntity, codeSnapshotTorn
+	case errors.Is(err, core.ErrSnapshotMismatch):
+		return http.StatusConflict, codeSnapshotMismatch
+	case errors.Is(err, core.ErrNoSnapshot):
+		return http.StatusNotFound, codeNoSnapshot
+	case errors.Is(err, core.ErrArrayLive):
+		return http.StatusConflict, codeRestoreLive
 	default:
 		return http.StatusInternalServerError, codeInternal
 	}
@@ -96,6 +115,16 @@ func codeToError(code, msg string) error {
 		sentinel = ErrShedding
 	case codeUnauthorized:
 		sentinel = ErrUnauthorized
+	case codeSnapshotCorrupt:
+		sentinel = core.ErrSnapshotCorrupt
+	case codeSnapshotTorn:
+		sentinel = core.ErrSnapshotTorn
+	case codeSnapshotMismatch:
+		sentinel = core.ErrSnapshotMismatch
+	case codeNoSnapshot:
+		sentinel = core.ErrNoSnapshot
+	case codeRestoreLive:
+		sentinel = core.ErrArrayLive
 	default:
 		return fmt.Errorf("server: remote error (%s): %s", code, msg)
 	}

@@ -75,6 +75,11 @@ const (
 	OpRPCWriteBatch
 	OpRPCScrub
 	OpRPCRepair
+	// OpRPCSnapshot and OpRPCRestore are the durability control plane:
+	// sealed checkpoints written to and recovered from the tenant's
+	// snapshot store.
+	OpRPCSnapshot
+	OpRPCRestore
 	// OpRPCRejected counts requests refused before reaching the engine
 	// — admission-queue backpressure and poison-storm load shedding
 	// (no latency histogram: rejection is the fast path by design).
@@ -116,6 +121,10 @@ func (o Op) String() string {
 		return "rpc_scrub"
 	case OpRPCRepair:
 		return "rpc_repair"
+	case OpRPCSnapshot:
+		return "rpc_snapshot"
+	case OpRPCRestore:
+		return "rpc_restore"
 	case OpRPCRejected:
 		return "rpc_rejected"
 	default:

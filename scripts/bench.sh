@@ -4,8 +4,9 @@
 # benchmarks, the telemetry overhead pair, the concurrency scaling
 # sweep and the network-service load run, capturing machine-readable
 # results in BENCH_crypto.json, BENCH_writepath.json,
-# BENCH_reliability.json, BENCH_chaos.json, BENCH_telemetry.json,
-# BENCH_concurrency.json and BENCH_server.json at the repo root.
+# BENCH_reliability.json, BENCH_chaos.json, BENCH_persist.json,
+# BENCH_telemetry.json, BENCH_concurrency.json and BENCH_server.json
+# at the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count           -count value per crypto benchmark (default 5)
@@ -66,6 +67,18 @@ go test -run='^$' -bench='BenchmarkDegradedRead' -benchmem -count="$COUNT" \
 go run ./scripts/benchjson <"$CHAOS_RAW" >"$CHAOS_OUT"
 echo "wrote $CHAOS_OUT"
 
+# Durability: what a sealed checkpoint and a verified restore cost.
+# Both benchmarks SetBytes the snapshot image, so the JSON carries
+# MB/s alongside ns/op — the number that says how long a quiesce
+# window a given array size buys.
+PERSIST_OUT="BENCH_persist.json"
+PERSIST_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$PERSIST_RAW"' EXIT
+go test -run='^$' -bench='BenchmarkSnapshot$|BenchmarkRestore$' -benchmem \
+    -count="$COUNT" ./internal/core/ | tee "$PERSIST_RAW"
+go run ./scripts/benchjson <"$PERSIST_RAW" >"$PERSIST_OUT"
+echo "wrote $PERSIST_OUT"
+
 # Telemetry overhead: the same steady-state hot paths with a live
 # registry recording (counters exact, stages sampled 1-in-64) next to
 # the uninstrumented baseline. Budget: instrumented read within 5% of
@@ -75,7 +88,7 @@ echo "wrote $CHAOS_OUT"
 # later and fakes an overhead regression.
 TEL_OUT="BENCH_telemetry.json"
 TEL_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW"' EXIT
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$PERSIST_RAW" "$TEL_RAW"' EXIT
 i=0
 while [ "$i" -lt "$COUNT" ]; do
     go test -run='^$' \
@@ -93,7 +106,7 @@ echo "wrote $TEL_OUT"
 # top of it. The -cpu suffix on each series name is the core count.
 CONC_OUT="BENCH_concurrency.json"
 CONC_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW" "$CONC_RAW"' EXIT
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$PERSIST_RAW" "$TEL_RAW" "$CONC_RAW"' EXIT
 go test -run='^$' -bench='BenchmarkConcurrentThroughput' -benchmem \
     -cpu=1,2,4,8 -count="$COUNT" . | tee "$CONC_RAW"
 go run ./scripts/benchjson <"$CONC_RAW" >"$CONC_OUT"
@@ -109,7 +122,7 @@ SRV_DURATION="${SRV_DURATION:-10s}"
 go build -o /tmp/synergy-server-bench ./cmd/synergy-server
 /tmp/synergy-server-bench -addr "$SRV_ADDR" -tenant "bench:bench-token:4096:4" &
 SRV_PID=$!
-trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$TEL_RAW" "$CONC_RAW"; kill "$SRV_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "$RAW" "$WP_RAW" "$CHAOS_RAW" "$PERSIST_RAW" "$TEL_RAW" "$CONC_RAW"; kill "$SRV_PID" 2>/dev/null || true' EXIT
 i=0
 while ! curl -fsS "http://$SRV_ADDR/healthz" >/dev/null 2>&1; do
     i=$((i + 1))
