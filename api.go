@@ -244,6 +244,42 @@ func NewTelemetry(opts ...TelemetryOption) *Telemetry { return telemetry.New(opt
 // what ServeMetrics serves when no registry is passed explicitly.
 func DefaultTelemetry() *Telemetry { return telemetry.Default() }
 
+// Tracing and the anomaly flight recorder (internal/telemetry):
+// TraceSpan is one request's span — mint with BeginTraceSpan, hand it
+// to Array.ReadTraced/WriteTraced for per-stage events, then offer it
+// to a FlightRecorder, which tail-samples anomalous spans into
+// per-rank ring buffers (served on /debug/flight).
+type (
+	TraceSpan      = telemetry.Span
+	FlightRecorder = telemetry.FlightRecorder
+	FlightConfig   = telemetry.FlightConfig
+	FlightStats    = telemetry.FlightStats
+	FlightRecord   = telemetry.FlightRecord
+)
+
+// BeginTraceSpan starts a span for op, minting a fresh trace ID.
+func BeginTraceSpan(op telemetry.Op) *TraceSpan {
+	return telemetry.BeginSpan(op, telemetry.TraceID{}, telemetry.SpanID{})
+}
+
+// NewFlightRecorder builds an anomaly flight recorder (zero cfg =
+// defaults); attach it with Telemetry.SetFlight.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	return telemetry.NewFlightRecorder(cfg)
+}
+
+// SLO trackers: per-tenant availability/latency objectives with
+// multi-window burn-rate alerting, exported as synergy_slo_* series.
+type (
+	SLOConfig   = telemetry.SLOConfig
+	SLOTracker  = telemetry.SLOTracker
+	SLOSnapshot = telemetry.SLOSnapshot
+)
+
+// NewSLO builds a tracker (zero cfg = 99.9% availability, p99 < 5ms);
+// register it with Telemetry.RegisterSLO to export and snapshot it.
+func NewSLO(cfg SLOConfig) *SLOTracker { return telemetry.NewSLO(cfg) }
+
 // Reliability policies for SimulateReliability.
 const (
 	PolicyNoECC    = reliability.NoECC

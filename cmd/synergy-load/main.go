@@ -15,6 +15,7 @@
 //	synergy-load -addr localhost:7070 -workers 32 -read-frac 0.5 -zipf 1.2
 //	synergy-load -addr localhost:7070 -rate 5000 -burst-every 3s -burst-len 500ms -burst-x 4
 //	synergy-load -addr localhost:7070 -batch-frac 0.2 -batch-size 16 -json
+//	synergy-load -addr localhost:7070 -trace-every 100   # traceparent on every 100th op
 package main
 
 import (
@@ -50,6 +51,7 @@ type options struct {
 	burstEvery time.Duration
 	burstLen   time.Duration
 	burstX     int
+	traceEvery int
 	jsonOut    bool
 }
 
@@ -70,6 +72,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.DurationVar(&o.burstEvery, "burst-every", 0, "burst phase period (0 disables bursts)")
 	fs.DurationVar(&o.burstLen, "burst-len", 500*time.Millisecond, "burst phase length")
 	fs.IntVar(&o.burstX, "burst-x", 4, "offered-load multiplier during a burst")
+	fs.IntVar(&o.traceEvery, "trace-every", 0, "send a traceparent on every Nth op and report the flight-recorder capture rate (0 disables)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable report")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -97,23 +100,31 @@ type opLatency struct {
 
 // report is the BENCH_server.json schema.
 type report struct {
-	Addr        string               `json:"addr"`
-	Mode        string               `json:"mode"` // "closed" or "open"
-	Workers     int                  `json:"workers"`
-	RateTarget  float64              `json:"rate_target,omitempty"`
-	DurationSec float64              `json:"duration_sec"`
-	ReadFrac    float64              `json:"read_frac"`
-	BatchFrac   float64              `json:"batch_frac"`
-	BatchSize   int                  `json:"batch_size"`
-	ZipfS       float64              `json:"zipf_s"`
-	Bursts      int                  `json:"bursts"`
-	Lines       uint64               `json:"keyspace_lines"`
-	Ops         uint64               `json:"ops"`
-	Throughput  float64              `json:"throughput_ops_sec"`
-	Rejected    uint64               `json:"rejected"` // backpressure + shedding refusals
-	FailClosed  uint64               `json:"fail_closed"`
-	OtherErrors uint64               `json:"other_errors"`
-	PerOp       map[string]opLatency `json:"per_op"`
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Workers     int     `json:"workers"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+	ReadFrac    float64 `json:"read_frac"`
+	BatchFrac   float64 `json:"batch_frac"`
+	BatchSize   int     `json:"batch_size"`
+	ZipfS       float64 `json:"zipf_s"`
+	Bursts      int     `json:"bursts"`
+	Lines       uint64  `json:"keyspace_lines"`
+	Ops         uint64  `json:"ops"`
+	Throughput  float64 `json:"throughput_ops_sec"`
+	Rejected    uint64  `json:"rejected"` // backpressure + shedding refusals
+	FailClosed  uint64  `json:"fail_closed"`
+	OtherErrors uint64  `json:"other_errors"`
+	// Tracing (present when -trace-every is set): how many requests
+	// carried a traceparent and how many the server's flight recorder
+	// reported captured (explicitly traced spans are always retained,
+	// so a rate under 1.0 means the recorder was disabled or sampling
+	// was reconfigured server-side).
+	TracesSent       uint64               `json:"traces_sent,omitempty"`
+	TracesCaptured   uint64               `json:"traces_captured,omitempty"`
+	TraceCaptureRate float64              `json:"trace_capture_rate,omitempty"`
+	PerOp            map[string]opLatency `json:"per_op"`
 }
 
 // loadgen is the shared state of one run.
@@ -128,6 +139,11 @@ type loadgen struct {
 	failClosed atomic.Uint64
 	otherErrs  atomic.Uint64
 
+	// Tracing state for -trace-every.
+	traceTick      atomic.Uint64
+	tracesSent     atomic.Uint64
+	tracesCaptured atomic.Uint64
+
 	// bursting is read by workers (closed loop) each op; the burst
 	// phaser flips it.
 	bursting atomic.Bool
@@ -139,6 +155,11 @@ type loadgen struct {
 func (g *loadgen) oneOp(ctx context.Context, rng *rand.Rand, zipf *rand.Zipf, buf, batchBuf []byte, start time.Time) {
 	var op telemetry.Op
 	var err error
+	var tr *server.Trace
+	if g.o.traceEvery > 0 && g.traceTick.Add(1)%uint64(g.o.traceEvery) == 0 {
+		tr = &server.Trace{}
+		ctx = server.WithTrace(ctx, tr)
+	}
 	switch {
 	case g.o.batchFrac > 0 && rng.Float64() < g.o.batchFrac:
 		lines := make([]uint64, g.o.batchSize)
@@ -164,6 +185,12 @@ func (g *loadgen) oneOp(ctx context.Context, rng *rand.Rand, zipf *rand.Zipf, bu
 	g.reg.CountOp(op, 0)
 	g.reg.ObserveOp(op, 0, time.Since(start))
 	g.ops.Add(1)
+	if tr != nil {
+		g.tracesSent.Add(1)
+		if tr.Captured {
+			g.tracesCaptured.Add(1)
+		}
+	}
 	if err == nil || ctx.Err() != nil {
 		return
 	}
@@ -341,6 +368,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		OtherErrors: g.otherErrs.Load(),
 		PerOp:       map[string]opLatency{},
 	}
+	if sent := g.tracesSent.Load(); sent > 0 {
+		rep.TracesSent = sent
+		rep.TracesCaptured = g.tracesCaptured.Load()
+		rep.TraceCaptureRate = float64(rep.TracesCaptured) / float64(sent)
+	}
 	snap := g.reg.Snapshot()
 	for _, op := range []telemetry.Op{
 		telemetry.OpRPCRead, telemetry.OpRPCWrite,
@@ -368,6 +400,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  ops         %d (%.0f/s), %d bursts\n", rep.Ops, rep.Throughput, rep.Bursts)
 	fmt.Fprintf(stdout, "  refused     %d backpressure/shedding, %d fail-closed, %d other errors\n",
 		rep.Rejected, rep.FailClosed, rep.OtherErrors)
+	if rep.TracesSent > 0 {
+		fmt.Fprintf(stdout, "  traces      %d sent, %d captured (%.1f%% capture rate)\n",
+			rep.TracesSent, rep.TracesCaptured, 100*rep.TraceCaptureRate)
+	}
 	for _, name := range []string{"rpc_read", "rpc_write", "rpc_read_batch", "rpc_write_batch"} {
 		if s, ok := rep.PerOp[name]; ok {
 			fmt.Fprintf(stdout, "  %-15s p50 %8.0fus  p99 %8.0fus  mean %8.0fus  (%d ops, %d errs)\n",

@@ -76,9 +76,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	shedMin := fs.Uint64("shed-min-corrections", 8, "corrected errors per window that (with a suspected-DoS assessment) engage shedding")
 	fs.BoolVar(&cfg.AllowInject, "allow-inject", false, "enable POST /v1/inject (fault-injection test hook — never in production)")
 	fs.StringVar(&cfg.DataDir, "data", "", "snapshot directory: restore each tenant on boot, checkpoint every tenant on shutdown")
+	fs.IntVar(&cfg.TraceSampleEvery, "trace-sample-every", 0, "deep-trace every Nth data-plane request without a client traceparent (0 = only explicit traceparents)")
+	fs.BoolVar(&cfg.DisableFlight, "no-flight", false, "disable the anomaly flight recorder (/debug/flight)")
+	flightCap := fs.Int("flight-ring", 0, "flight recorder slots per ring (0 = default 64)")
+	sloAvail := fs.Float64("slo-availability", 0, "per-tenant availability target, e.g. 0.999 (0 = default)")
+	sloLatency := fs.Duration("slo-latency", 0, "per-tenant latency objective, e.g. 5ms (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg.Flight.RingCapacity = *flightCap
+	cfg.SLO.AvailabilityTarget = *sloAvail
+	cfg.SLO.LatencyObjective = *sloLatency
 	cfg.ShedMinCorrections = *shedMin
 	if len(tenants) == 0 {
 		tenants = tenantFlags{{
@@ -124,6 +132,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "synergy-server: serving %d tenant(s) on %s\n", len(cfg.Tenants), s.Addr)
+	fmt.Fprintf(stderr, "synergy-server: health on http://%s/healthz /readyz, traces on /debug/flight\n", s.Addr)
 
 	<-ctx.Done()
 	fmt.Fprintln(stderr, "synergy-server: shutting down")

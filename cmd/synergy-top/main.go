@@ -171,6 +171,35 @@ func render(w io.Writer, d synergy.TelemetrySnapshot, elapsed time.Duration) {
 		}
 	}
 
+	// SLO and flight-recorder sections are point-in-time views (Sub
+	// passes them through), not window deltas.
+	for _, s := range d.SLOs {
+		status := "ok"
+		if s.Alert {
+			status = "ALERT(" + s.AlertObjective + ")"
+		}
+		fmt.Fprintf(w, "  slo %-10s avail %8.4f%% budget %3.0f%%  lat-ok %8.4f%% budget %3.0f%%  burn a %.1f/%.1f l %.1f/%.1f  %s\n",
+			s.Name, 100*s.Availability, 100*s.AvailabilityBudgetRemaining,
+			100*s.LatencyCompliance, 100*s.LatencyBudgetRemaining,
+			s.AvailabilityFastBurn, s.AvailabilitySlowBurn,
+			s.LatencyFastBurn, s.LatencySlowBurn, status)
+	}
+	if f := d.Flight; f != nil && f.Offered > 0 {
+		var an []string
+		for _, k := range []string{"slow", "error", "fail_closed", "escalated", "shed", "backpressure"} {
+			if n := f.CapturedByAnomaly[k]; n > 0 {
+				an = append(an, fmt.Sprintf("%s %d", k, n))
+			}
+		}
+		detail := ""
+		if len(an) > 0 {
+			detail = "  [" + strings.Join(an, ", ") + "]"
+		}
+		fmt.Fprintf(w, "  flight  %d offered, %d captured, %d retained, slow>%s%s\n",
+			f.Offered, f.Captured, f.Retained,
+			fmtDur(time.Duration(f.SlowThresholdNanos)), detail)
+	}
+
 	for _, r := range d.Ranks {
 		if rankQuiet(r) {
 			continue

@@ -62,6 +62,53 @@ func TestRenderFrame(t *testing.T) {
 	}
 }
 
+// SLO and flight sections render from the snapshot's point-in-time
+// views: tenant burn/alert state and recorder capture counts.
+func TestRenderSLOAndFlight(t *testing.T) {
+	d := synergy.TelemetrySnapshot{
+		Ops: map[string]synergy.TelemetryOpSnapshot{
+			"rpc_read": {Count: 100, Latency: hist(100, time.Microsecond)},
+		},
+		SLOs: []telemetry.SLOSnapshot{{
+			Name:                        "alpha",
+			Availability:                0.95,
+			LatencyCompliance:           1,
+			AvailabilityFastBurn:        50,
+			AvailabilitySlowBurn:        50,
+			AvailabilityBudgetRemaining: 0,
+			LatencyBudgetRemaining:      1,
+			Alert:                       true,
+			AlertObjective:              "availability",
+		}},
+		Flight: &telemetry.FlightStats{
+			Offered:            500,
+			Captured:           7,
+			Retained:           7,
+			SlowThresholdNanos: 2500,
+			CapturedByAnomaly:  map[string]uint64{"shed": 4, "fail_closed": 3},
+		},
+	}
+	var sb strings.Builder
+	render(&sb, d, time.Second)
+	out := sb.String()
+	for _, want := range []string{
+		"slo alpha", "ALERT(availability)", "95.0000%",
+		"flight  500 offered, 7 captured, 7 retained",
+		"slow>2.5µs", "shed 4", "fail_closed 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q in:\n%s", want, out)
+		}
+	}
+
+	// No SLOs, no recorder: the sections disappear.
+	sb.Reset()
+	render(&sb, synergy.TelemetrySnapshot{}, time.Second)
+	if strings.Contains(sb.String(), "slo ") || strings.Contains(sb.String(), "flight ") {
+		t.Errorf("empty snapshot rendered observability sections:\n%s", sb.String())
+	}
+}
+
 // The stage share column must weight by total stage time (count×mean),
 // not appearance order, and sum to ~100%.
 func TestRenderStageShares(t *testing.T) {

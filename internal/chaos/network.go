@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"time"
 
 	"synergy/internal/core"
 	"synergy/internal/server"
+	"synergy/internal/telemetry"
 )
 
 // This file is the harness's network transport: with Config.Network
@@ -70,6 +72,16 @@ type DegradedReport struct {
 	// Reads counts verified data reads; FailClosed counts reads the
 	// engine correctly refused.
 	Reads, FailClosed uint64
+	// PoisonTraceCaptured is true when the flight recorder retained the
+	// fail-closed read with engine stage-level span events.
+	PoisonTraceCaptured bool
+	// ShedAnomalyCaptured is true when at least one shed rejection was
+	// retained by the flight recorder.
+	ShedAnomalyCaptured bool
+	// ReadyzFlipped is true when /readyz answered 503 while shedding
+	// was engaged; ReadyzRecovered when it answered 200 again after the
+	// cycle completed.
+	ReadyzFlipped, ReadyzRecovered bool
 	// SDCs and Violations mirror Report: both must stay empty.
 	SDCs       []string
 	Violations []string
@@ -93,6 +105,7 @@ func (r *DegradedReport) Failed() bool { return len(r.SDCs) > 0 || len(r.Violati
 //  4. Verify: every line reads back exactly its shadow — zero SDCs.
 func RunDegraded(ctx context.Context, seed int64) (*DegradedReport, error) {
 	const lines = 64
+	reg := telemetry.New()
 	srv, err := server.New(server.Config{
 		Tenants: []server.TenantConfig{{
 			Name:  "degraded",
@@ -102,6 +115,17 @@ func RunDegraded(ctx context.Context, seed int64) (*DegradedReport, error) {
 		AllowInject:        true,
 		AnalyzeEvery:       10 * time.Millisecond,
 		ShedMinCorrections: 4,
+		// Observability is part of the cycle under test: every request
+		// is deep-traced, anomalies land in the flight recorder, and
+		// the SLO windows are shrunk so the storm's burn alert ages out
+		// within the run instead of pinning /readyz at 503 for minutes.
+		Telemetry:        reg,
+		TraceSampleEvery: 1,
+		SLO: telemetry.SLOConfig{
+			BucketWidth: 100 * time.Millisecond,
+			FastWindow:  500 * time.Millisecond,
+			SlowWindow:  2 * time.Second,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: degraded server: %w", err)
@@ -137,10 +161,17 @@ func RunDegraded(ctx context.Context, seed int64) (*DegradedReport, error) {
 	if err := c.Inject(ctx, victim, []int{2, 5}, 0xFF); err != nil {
 		return nil, fmt.Errorf("chaos: poison inject: %w", err)
 	}
-	if _, err := c.Read(ctx, victim, buf); !core.IsFailClosed(err) {
+	// The double-fault read carries an explicit traceparent: the
+	// fail-closed answer must come back captured, with the engine's
+	// stage-level span events retained in the flight recorder.
+	tr := &server.Trace{}
+	if _, err := c.Read(server.WithTrace(ctx, tr), victim, buf); !core.IsFailClosed(err) {
 		violate("double-fault read returned %v, want fail-closed", err)
 	} else {
 		rep.FailClosed++
+	}
+	if !tr.Captured {
+		violate("fail-closed traced read was not captured by the flight recorder")
 	}
 	if _, err := c.Read(ctx, victim, buf); !errors.Is(err, core.ErrPoisoned) {
 		violate("poisoned line fast-fail returned %v, want ErrPoisoned", err)
@@ -175,6 +206,14 @@ storm:
 				}
 			case errors.Is(err, server.ErrShedding):
 				rep.ShedEngaged = true
+				// A shedding tenant must take the service out of
+				// rotation: /readyz answers 503 while the data plane
+				// refuses.
+				if code := getStatus(ctx, "http://"+srv.Addr+"/readyz"); code == http.StatusServiceUnavailable {
+					rep.ReadyzFlipped = true
+				} else {
+					violate("/readyz answered %d while shedding, want 503", code)
+				}
 				break storm
 			default:
 				violate("storm read(%d): %v", l, err)
@@ -248,5 +287,66 @@ storm:
 	if left := srv.Tenant("degraded").Poisoned(); len(left) != 0 {
 		violate("poisoned lines survived recovery: %v", left)
 	}
+
+	// The anomaly flight recorder must have the whole story: the
+	// poisoned read (fail-closed, with engine stage events — the read
+	// was deep-traced) and at least one shed rejection.
+	for _, r := range reg.Flight().Records() {
+		var failClosed, shed bool
+		for _, a := range r.Anomalies {
+			switch a {
+			case "fail_closed":
+				failClosed = true
+			case "shed":
+				shed = true
+			}
+		}
+		if failClosed {
+			for _, e := range r.Events {
+				if e.Kind == "stage" {
+					rep.PoisonTraceCaptured = true
+				}
+			}
+		}
+		if shed {
+			rep.ShedAnomalyCaptured = true
+		}
+	}
+	if !rep.PoisonTraceCaptured {
+		violate("flight recorder holds no fail-closed record with stage events")
+	}
+	if !rep.ShedAnomalyCaptured {
+		violate("flight recorder holds no shed rejection")
+	}
+
+	// With shedding disengaged and the storm's SLO burn aged out of
+	// its (shrunken) windows, the service must return to rotation.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if code := getStatus(ctx, "http://"+srv.Addr+"/readyz"); code == http.StatusOK {
+			rep.ReadyzRecovered = true
+			break
+		}
+		if time.Now().After(deadline) {
+			violate("/readyz never recovered to 200 after the cycle")
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 	return rep, nil
+}
+
+// getStatus fetches url and returns the HTTP status (0 on transport
+// error).
+func getStatus(ctx context.Context, url string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }

@@ -58,4 +58,16 @@ func TestDegradedCycleOverRPC(t *testing.T) {
 	if rep.Reads == 0 {
 		t.Error("no verified reads")
 	}
+	if !rep.PoisonTraceCaptured {
+		t.Error("poison anomaly not captured with stage-level span events")
+	}
+	if !rep.ShedAnomalyCaptured {
+		t.Error("shed anomaly not captured by the flight recorder")
+	}
+	if !rep.ReadyzFlipped {
+		t.Error("/readyz did not flip to 503 while shedding")
+	}
+	if !rep.ReadyzRecovered {
+		t.Error("/readyz did not recover to 200 after the cycle")
+	}
 }

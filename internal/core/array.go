@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"synergy/internal/telemetry"
 )
 
 // Array is a multi-rank Synergy memory: the Table III system has 2
@@ -110,6 +112,29 @@ func (a *Array) Write(i uint64, plain []byte) error {
 		return err
 	}
 	return m.Write(inner, plain)
+}
+
+// ReadTraced is Read carrying a trace span: the span is located at the
+// serving rank (with the caller's global line index) and the rank's
+// pipeline stages and escalations become span events. A nil span is
+// exactly Read.
+func (a *Array) ReadTraced(i uint64, dst []byte, sp *telemetry.Span) (ReadInfo, error) {
+	m, inner, err := a.route(i)
+	if err != nil {
+		return ReadInfo{}, err
+	}
+	sp.Locate(m.telRank, i)
+	return m.ReadTraced(inner, dst, sp)
+}
+
+// WriteTraced is Write carrying a trace span (see ReadTraced).
+func (a *Array) WriteTraced(i uint64, plain []byte, sp *telemetry.Span) error {
+	m, inner, err := a.route(i)
+	if err != nil {
+		return err
+	}
+	sp.Locate(m.telRank, i)
+	return m.WriteTraced(inner, plain, sp)
 }
 
 // batchPlan is a per-rank slice of one batched request: the rank-local

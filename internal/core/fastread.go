@@ -102,15 +102,25 @@ func (m *Memory) escalate(i uint64, reason telemetry.EscReason) {
 // has already been counted as an escalation); ok=true means the read
 // completed — dst filled, or a definitive error (poison fast-fail,
 // device error) that needs no exclusive work.
-func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bool) {
+//
+// sp is the request's trace span (nil on the untraced path — every use
+// below is nil-receiver safe, so the hot path pays one pointer
+// compare). A traced read always times its stages; escalation rungs
+// and the poison fast-fail become span events the flight recorder can
+// retain.
+func (m *Memory) fastRead(i uint64, dst []byte, sp *telemetry.Span) (info ReadInfo, err error, ok bool) {
 	if len(dst) != LineSize || i >= m.layout.DataLines {
 		return ReadInfo{}, nil, false // exclusive path formats the error
 	}
 	// Sampled stage timing, mirroring readCounted: the load-then-add
 	// pair races between readers, which only jitters the sample phase.
 	var st telemetry.StageTimer
-	if m.tel != nil && (m.fastReads.Load()+1)&m.telMask == 0 {
-		st = m.tel.StartStages(m.telRank)
+	if m.tel != nil {
+		if sp != nil {
+			st = m.tel.StartStagesSpan(m.telRank, sp)
+		} else if (m.fastReads.Load()+1)&m.telMask == 0 {
+			st = m.tel.StartStages(m.telRank)
+		}
 	}
 	g := m.genSlot(i)
 	for attempt := 0; attempt <= fastReadRetries; attempt++ {
@@ -120,6 +130,7 @@ func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bo
 		if m.knownBad >= 0 {
 			m.mu.RUnlock()
 			m.escalate(i, telemetry.EscDegraded)
+			sp.Escalation(telemetry.EscDegraded)
 			return ReadInfo{}, nil, false
 		}
 		if _, bad := m.poisoned[i]; bad {
@@ -128,6 +139,7 @@ func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bo
 			m.tel.CountOp(telemetry.OpRead, int(i))
 			m.tel.CountOpError(telemetry.OpRead, m.telRank)
 			m.tel.CountFailClosed(m.telRank, int(i))
+			sp.Flag(telemetry.AnomalyFailClosed)
 			return ReadInfo{}, fmt.Errorf("core: data line %d: %w", i, ErrPoisoned), true
 		}
 		ca, slot := m.layout.CounterAddr(i)
@@ -135,6 +147,7 @@ func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bo
 		if !hit {
 			m.mu.RUnlock()
 			m.escalate(i, telemetry.EscCacheMiss)
+			sp.Escalation(telemetry.EscCacheMiss)
 			return ReadInfo{}, nil, false
 		}
 		var ctr uint64
@@ -163,6 +176,7 @@ func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bo
 				continue
 			}
 			m.escalate(i, telemetry.EscMismatch)
+			sp.Escalation(telemetry.EscMismatch)
 			return ReadInfo{}, nil, false
 		}
 		st.Mark(telemetry.StageMACVerify)
@@ -180,5 +194,6 @@ func (m *Memory) fastRead(i uint64, dst []byte) (info ReadInfo, err error, ok bo
 		return ReadInfo{}, nil, true
 	}
 	m.escalate(i, telemetry.EscGenConflict)
+	sp.Escalation(telemetry.EscGenConflict)
 	return ReadInfo{}, nil, false
 }

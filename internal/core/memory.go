@@ -813,12 +813,29 @@ func parentCounterOf(path []pathEntry, k int, root uint64) uint64 {
 // (fastread.go); only cache misses, corrections, degraded mode and
 // generation conflicts take the exclusive lock.
 func (m *Memory) Read(i uint64, dst []byte) (ReadInfo, error) {
-	if info, err, ok := m.fastRead(i, dst); ok {
+	if info, err, ok := m.fastRead(i, dst, nil); ok {
 		return info, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.readCounted(i, dst, nil, 0)
+	return m.readCounted(i, dst, nil, 0, nil)
+}
+
+// ReadTraced is Read carrying a trace span: the secure-read pipeline's
+// stage boundaries and any escalation-ladder rungs are recorded into
+// sp as events (tracing.go). A nil span (or a disabled registry) makes
+// it exactly Read — the traced path exists alongside the hot path, it
+// never taxes it.
+func (m *Memory) ReadTraced(i uint64, dst []byte, sp *telemetry.Span) (ReadInfo, error) {
+	if sp == nil || m.tel == nil {
+		return m.Read(i, dst)
+	}
+	if info, err, ok := m.fastRead(i, dst, sp); ok {
+		return info, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readCounted(i, dst, nil, 0, sp)
 }
 
 // batchScratch pools the per-batch address/counter/pad buffers so the
@@ -962,7 +979,7 @@ func (m *Memory) readBatch(lines []uint64, dst []byte, infos []ReadInfo) error {
 		if havePads {
 			pad = pads[k*LineSize : (k+1)*LineSize]
 		}
-		info, err := m.readCounted(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k])
+		info, err := m.readCounted(i, dst[k*LineSize:(k+1)*LineSize], pad, ctrs[k], nil)
 		infos[k] = info
 		if err != nil {
 			be = be.add(k, i, err)
@@ -1216,7 +1233,19 @@ func (m *Memory) noteCorrection(chip int, r Region, addr uint64, usedPP bool, in
 func (m *Memory) Write(i uint64, plain []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.writeCounted(i, plain, nil, 0)
+	return m.writeCounted(i, plain, nil, 0, nil)
+}
+
+// WriteTraced is Write carrying a trace span: the write path's stage
+// boundaries (counter fetch, meta update, OTP) become span events. A
+// nil span or disabled registry makes it exactly Write.
+func (m *Memory) WriteTraced(i uint64, plain []byte, sp *telemetry.Span) error {
+	if sp == nil || m.tel == nil {
+		return m.Write(i, plain)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeCounted(i, plain, nil, 0, sp)
 }
 
 // writeBatch is WriteBatch without the telemetry wrapper. It pipelines
@@ -1253,7 +1282,7 @@ func (m *Memory) writeBatch(lines []uint64, src []byte) error {
 		if havePads {
 			pad = pads[k*LineSize : (k+1)*LineSize]
 		}
-		if err := m.writeCounted(i, src[k*LineSize:(k+1)*LineSize], pad, ctrs[k]); err != nil {
+		if err := m.writeCounted(i, src[k*LineSize:(k+1)*LineSize], pad, ctrs[k], nil); err != nil {
 			be = be.add(k, i, err)
 		}
 	}

@@ -26,7 +26,11 @@ import (
 // fail-closed outcome counter, and — on sampled reads — the per-stage
 // pipeline timer behind the live Fig. 5 breakdown. Callers hold m.mu
 // exclusively (telTick and st are plain fields under the lock).
-func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64) (ReadInfo, error) {
+//
+// sp is the request's trace span: nil on the untraced path; non-nil
+// forces stage timing (an explicitly traced request always gets its
+// breakdown) and mirrors every mark into the span as events.
+func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64, sp *telemetry.Span) (ReadInfo, error) {
 	if m.tel == nil {
 		return m.readLocked(i, dst, pad, padCtr)
 	}
@@ -36,7 +40,9 @@ func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64) (R
 	// budget and not.
 	m.telTick++
 	m.telReads.Set(m.telTick)
-	if m.telTick&m.telMask == 0 {
+	if sp != nil {
+		m.st = m.tel.StartStagesSpan(m.telRank, sp)
+	} else if m.telTick&m.telMask == 0 {
 		m.st = m.tel.StartStages(m.telRank)
 	}
 	info, err := m.readLocked(i, dst, pad, padCtr)
@@ -58,14 +64,16 @@ func (m *Memory) readCounted(i uint64, dst []byte, pad []byte, padCtr uint64) (R
 // latency; one in SampleEvery writes additionally gets the per-stage
 // pipeline timer (counter fetch / meta update / OTP), mirroring the
 // read-side sampling. Callers hold m.mu exclusively.
-func (m *Memory) writeCounted(i uint64, plain []byte, pad []byte, padCtr uint64) error {
+func (m *Memory) writeCounted(i uint64, plain []byte, pad []byte, padCtr uint64, sp *telemetry.Span) error {
 	if m.tel == nil {
 		return m.writeLocked(i, plain, pad, padCtr)
 	}
 	m.tel.CountOp(telemetry.OpWrite, m.telRank)
 	m.telWTick++
 	start := time.Now()
-	if m.telWTick&m.telMask == 0 {
+	if sp != nil {
+		m.st = m.tel.StartStagesSpan(m.telRank, sp)
+	} else if m.telWTick&m.telMask == 0 {
 		m.st = m.tel.StartStages(m.telRank)
 	}
 	err := m.writeLocked(i, plain, pad, padCtr)

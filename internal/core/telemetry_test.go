@@ -40,6 +40,73 @@ func TestReadHotPathAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("instrumented read allocates %.1f times per op, want 0", allocs)
 	}
+
+	// Attaching a flight recorder must not change the untraced path:
+	// spans are nil, the recorder is only consulted by the server.
+	reg.SetFlight(telemetry.NewFlightRecorder(telemetry.FlightConfig{}))
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := m.Read(42, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("read with flight recorder attached allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// A traced read mirrors its stage marks into the span as events and
+// records escalations; the untraced form (nil span) is byte-identical
+// to Read.
+func TestReadTracedStageEvents(t *testing.T) {
+	reg := telemetry.New()
+	a, err := NewArray(Config{DataLines: 1024, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	if err := a.Write(42, fillLine(0x11)); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := telemetry.BeginSpan(telemetry.OpRPCRead, telemetry.TraceID{}, telemetry.SpanID{})
+	sp.Deep = true
+	if _, err := a.ReadTraced(42, buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	events := sp.Events()
+	if len(events) == 0 {
+		t.Fatal("traced read recorded no span events")
+	}
+	stages := map[telemetry.Stage]bool{}
+	for _, e := range events {
+		if e.Kind != telemetry.EventStage {
+			continue
+		}
+		stages[e.Stage] = true
+		if e.Dur <= 0 {
+			t.Errorf("stage %v has non-positive duration %v", e.Stage, e.Dur)
+		}
+	}
+	// Whichever path served the read, the pipeline always fetches the
+	// counter and generates the OTP.
+	if !stages[telemetry.StageCounterFetch] || !stages[telemetry.StageOTP] {
+		t.Fatalf("traced read stages = %v, want counter_fetch and otp", stages)
+	}
+
+	// Nil span → identical to the plain read, no events anywhere.
+	if _, err := a.ReadTraced(42, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write is traced symmetrically.
+	wsp := telemetry.BeginSpan(telemetry.OpRPCWrite, telemetry.TraceID{}, telemetry.SpanID{})
+	wsp.Deep = true
+	if err := a.WriteTraced(42, fillLine(0x22), wsp); err != nil {
+		t.Fatal(err)
+	}
+	if len(wsp.Events()) == 0 {
+		t.Fatal("traced write recorded no span events")
+	}
 }
 
 // Corrections, poisons, scrub passes and repairs must reach the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"synergy/internal/core"
+	"synergy/internal/telemetry"
 )
 
 // Client is the Go binding for one tenant of a synergy-server. Its
@@ -144,17 +145,62 @@ func (c *Client) doIdem(ctx context.Context, method, path string, req, out any) 
 	}
 }
 
-// parseRetryAfter reads a Retry-After header in its delta-seconds form
-// (the only form this server emits); anything else is no hint.
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds (what this server emits) or an HTTP-date (what a proxy
+// or CDN in front of it may rewrite it to). Anything unparseable — or
+// a date already in the past — is no hint.
 func parseRetryAfter(h string) time.Duration {
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(h)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := time.Until(when)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Trace carries one request's trace context into and out of a client
+// call made under WithTrace. Set Traceparent before the call to join
+// an existing trace, or leave it empty and the client mints a fresh
+// one. After the call, ServerTraceparent holds the server span's
+// identity on the same trace and Captured reports whether the
+// server's anomaly flight recorder retained the span (a traceparent
+// request is always deep-traced and always retained when the recorder
+// is enabled — see telemetry.AnomalyRequested).
+//
+// A Trace is per-request state: do not share one across concurrent
+// calls.
+type Trace struct {
+	Traceparent       string
+	ServerTraceparent string
+	Captured          bool
+}
+
+// traceKey keys the *Trace in a context.
+type traceKey struct{}
+
+// WithTrace returns a context under which client calls send
+// tr.Traceparent (minting it if empty) and write the server's
+// response trace headers back into tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// NewTraceparent mints a fresh W3C traceparent header value (new
+// trace ID, new span ID, sampled flag set).
+func NewTraceparent() string {
+	return telemetry.Traceparent(telemetry.NewTraceID(), telemetry.NewSpanID())
 }
 
 // roundTrip runs one round trip: encode req (nil for GET), decode a
@@ -178,6 +224,13 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, req, out an
 		hr.Header.Set("Content-Type", "application/json")
 	}
 	hr.Header.Set("Authorization", "Bearer "+c.token)
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	if tr != nil {
+		if tr.Traceparent == "" {
+			tr.Traceparent = NewTraceparent()
+		}
+		hr.Header.Set("traceparent", tr.Traceparent)
+	}
 	resp, err := c.http.Do(hr)
 	if err != nil {
 		return 0, fmt.Errorf("client: %s: %w", path, err)
@@ -186,6 +239,10 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, req, out an
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
+	if tr != nil {
+		tr.ServerTraceparent = resp.Header.Get("traceparent")
+		tr.Captured = resp.Header.Get("X-Synergy-Trace-Captured") == "1"
+	}
 	hint := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode >= 400 {
 		var eb errorBody

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"synergy/internal/telemetry"
+)
+
+// This file is the unauthenticated infrastructure surface: liveness
+// (/healthz), readiness (/readyz), and the anomaly flight recorder
+// dump (/debug/flight). Load balancers and probes hit these without a
+// tenant token, so they expose operational state only — never data.
+
+// tenantHealth is one tenant's entry in the /healthz report.
+type tenantHealth struct {
+	Name      string `json:"name"`
+	Shedding  bool   `json:"shedding"`
+	Restoring bool   `json:"restoring"`
+	SLOAlert  bool   `json:"slo_alert"`
+}
+
+// healthzResp is the /healthz body. Status is "ok" when nothing is
+// degraded and "degraded" otherwise; the HTTP status is 200 either
+// way — liveness means "the process serves", not "the service is
+// healthy". Readiness is /readyz's job.
+type healthzResp struct {
+	Status  string         `json:"status"`
+	Tenants []tenantHealth `json:"tenants"`
+}
+
+// degradedStates returns every reason the service is currently
+// degraded, one string per (tenant, condition).
+func (s *Server) degradedStates() []string {
+	var reasons []string
+	for _, t := range s.tenants {
+		if t.shedding.Load() {
+			reasons = append(reasons, t.name+": shedding engaged")
+		}
+		if t.restoring.Load() {
+			reasons = append(reasons, t.name+": restore in progress")
+		}
+		if t.slo.Alerting() {
+			reasons = append(reasons, t.name+": slo burn alert")
+		}
+	}
+	return reasons
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthzResp{Status: "ok", Tenants: make([]tenantHealth, 0, len(s.tenants))}
+	for _, t := range s.tenants {
+		th := tenantHealth{
+			Name:      t.name,
+			Shedding:  t.shedding.Load(),
+			Restoring: t.restoring.Load(),
+			SLOAlert:  t.slo.Alerting(),
+		}
+		if th.Shedding || th.Restoring || th.SLOAlert {
+			resp.Status = "degraded"
+		}
+		resp.Tenants = append(resp.Tenants, th)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyzResp is the /readyz body: ready, or the list of reasons the
+// service should be taken out of rotation.
+type readyzResp struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	reasons := s.degradedStates()
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResp{Ready: false, Reasons: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResp{Ready: true})
+}
+
+// flightResp is the /debug/flight JSON body: recorder counters plus
+// the retained anomaly records, newest first.
+type flightResp struct {
+	Stats   telemetry.FlightStats    `json:"stats"`
+	Records []telemetry.FlightRecord `json:"records"`
+}
+
+// handleFlight dumps the anomaly flight recorder. `?format=chrome`
+// exports Chrome trace_event JSON (load it in chrome://tracing or
+// Perfetto); `?n=K` caps the record count (newest first).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{codeBadRequest, "flight recorder disabled"})
+		return
+	}
+	recs := s.flight.Records()
+	if nstr := r.URL.Query().Get("n"); nstr != "" {
+		if n, err := strconv.Atoi(nstr); err == nil && n >= 0 && n < len(recs) {
+			recs = recs[:n]
+		}
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = telemetry.WriteChromeTrace(w, recs)
+		return
+	}
+	writeJSON(w, http.StatusOK, flightResp{Stats: s.flight.Stats(), Records: recs})
+}

@@ -133,12 +133,24 @@ func TestParseRetryAfter(t *testing.T) {
 		h    string
 		want time.Duration
 	}{
-		{"", 0}, {"2", 2 * time.Second}, {"0", 0},
-		{"-3", 0}, {"soon", 0}, {"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		// Delta-seconds form.
+		{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-3", 0},
+		// Garbage.
+		{"soon", 0}, {"2.5", 0}, {"2s", 0},
+		// An HTTP-date in the past (or unparseable) is no hint.
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"Wed, 41 Oct 2015 07:28:00 GMT", 0},
 	} {
 		if got := parseRetryAfter(tc.h); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
 		}
+	}
+	// A future HTTP-date (RFC 1123, what http.ParseTime and real
+	// proxies emit) becomes the remaining wait. One wall-clock read
+	// happens inside parseRetryAfter, so allow generous slack.
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got < 8*time.Second || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~10s", future, got)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"synergy/internal/core"
@@ -104,6 +105,21 @@ type Config struct {
 	// (and is forced onto tenant arrays the server builds). Nil
 	// disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Flight configures the anomaly flight recorder built when
+	// Telemetry is set (zero value = defaults). If the registry
+	// already has a recorder attached, it is reused unchanged.
+	Flight telemetry.FlightConfig
+	// DisableFlight turns the flight recorder off entirely.
+	DisableFlight bool
+	// SLO is the per-tenant SLO template (zero value = defaults:
+	// 99.9% availability, p99 < 5ms, 1m/10m burn windows). The
+	// tenant's name becomes the tracker's name.
+	SLO telemetry.SLOConfig
+	// TraceSampleEvery deep-traces every Nth data-plane request even
+	// without a client traceparent, so the flight recorder's retained
+	// anomalies carry engine stage events. 0 deep-traces only
+	// requests that arrive with a traceparent header.
+	TraceSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,9 +149,13 @@ type Server struct {
 
 	cfg     Config
 	tel     *telemetry.Registry
+	flight  *telemetry.FlightRecorder
 	tenants []*tenant
 	byToken map[string]*tenant
 	mux     *http.ServeMux
+
+	// traceTick drives TraceSampleEvery head-sampling.
+	traceTick atomic.Uint64
 
 	httpSrv   *http.Server
 	ln        net.Listener
@@ -159,6 +179,12 @@ func New(cfg Config) (*Server, error) {
 		tel:      cfg.Telemetry,
 		byToken:  make(map[string]*tenant, len(cfg.Tenants)),
 		serveErr: make(chan error, 1),
+	}
+	if cfg.Telemetry != nil && !cfg.DisableFlight {
+		if s.flight = cfg.Telemetry.Flight(); s.flight == nil {
+			s.flight = telemetry.NewFlightRecorder(cfg.Flight)
+			cfg.Telemetry.SetFlight(s.flight)
+		}
 	}
 	for i, tc := range cfg.Tenants {
 		if tc.Name == "" {
@@ -195,6 +221,12 @@ func New(cfg Config) (*Server, error) {
 			snaps:           snaps,
 			slots:           make([]chan struct{}, arr.Ranks()),
 			lastCorrections: make([]uint64, arr.Ranks()),
+		}
+		if cfg.Telemetry != nil {
+			sloCfg := cfg.SLO
+			sloCfg.Name = tc.Name
+			t.slo = telemetry.NewSLO(sloCfg)
+			cfg.Telemetry.RegisterSLO(t.slo)
 		}
 		for r := range t.slots {
 			t.slots[r] = make(chan struct{}, cfg.QueueDepth)
@@ -363,10 +395,14 @@ func (s *Server) ShedEngagements(name string) uint64 {
 // routes builds the endpoint table.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	// Health endpoints are unauthenticated infrastructure surface:
+	// /healthz is liveness (always 200, body carries detail), /readyz
+	// is readiness (503 while any tenant is degraded — shedding,
+	// restore in progress, or an SLO burn alert). /debug/flight dumps
+	// the anomaly flight recorder.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	// Data plane: admission + shedding apply.
 	s.route(mux, "POST /v1/read", telemetry.OpRPCRead, true, s.handleRead)
 	s.route(mux, "POST /v1/write", telemetry.OpRPCWrite, true, s.handleWrite)
@@ -386,32 +422,93 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
+// controlOp reports whether op is a control-plane operation whose
+// spans the flight recorder always retains (AnomalyControl).
+func controlOp(op telemetry.Op) bool {
+	switch op {
+	case telemetry.OpRPCScrub, telemetry.OpRPCRepair,
+		telemetry.OpRPCSnapshot, telemetry.OpRPCRestore:
+		return true
+	}
+	return false
+}
+
 // route wraps a handler with auth, the shedding gate (data plane
-// only), telemetry, and JSON encoding.
+// only), tracing, telemetry, SLO accounting, and JSON encoding.
+//
+// Tracing: every request gets a span. A client traceparent continues
+// that trace, marks the span AnomalyRequested (always retained) and
+// deep-traces it — the engine records per-stage events into it; so
+// does every TraceSampleEvery-th data-plane request. The span is
+// offered to the flight recorder when the request completes, and the
+// response carries `traceparent` (this span's identity) plus
+// `X-Synergy-Trace-Captured: 0|1` so callers can measure capture.
 func (s *Server) route(mux *http.ServeMux, pattern string, op telemetry.Op, dataPlane bool,
-	h func(t *tenant, r *http.Request) (int, any)) {
+	h func(t *tenant, r *http.Request, sp *telemetry.Span) (int, any)) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t, ok := s.authTenant(r)
 		if !ok {
 			writeJSON(w, http.StatusUnauthorized, errorBody{codeUnauthorized, ErrUnauthorized.Error()})
 			return
 		}
+		trace, parent, hasTP := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		sp := telemetry.BeginSpan(op, trace, parent)
+		sp.Tenant = t.name
+		if controlOp(op) {
+			sp.Flag(telemetry.AnomalyControl)
+		}
+		switch {
+		case hasTP:
+			sp.Flag(telemetry.AnomalyRequested)
+			sp.Deep = true
+		case dataPlane && s.cfg.TraceSampleEvery > 0:
+			sp.Deep = s.traceTick.Add(1)%uint64(s.cfg.TraceSampleEvery) == 0
+		}
+
 		start := time.Now()
 		var status int
 		var body any
 		if dataPlane && t.shedding.Load() {
 			status, body = errResponse(ErrShedding)
 		} else {
-			status, body = h(t, r)
+			status, body = h(t, r, sp)
 		}
+		dur := time.Since(start)
 		s.tel.CountOp(op, t.index)
-		s.tel.ObserveOp(op, t.index, time.Since(start))
+		s.tel.ObserveOp(op, t.index, dur)
 		if status >= 400 {
 			s.tel.CountOpError(op, t.index)
 		}
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			s.tel.CountOp(telemetry.OpRPCRejected, t.index)
 			w.Header().Set("Retry-After", "1")
+		}
+		if eb, isErr := body.(errorBody); isErr {
+			sp.SetError(eb.Code)
+			switch eb.Code {
+			case codePoisoned, codeAttack:
+				sp.Flag(telemetry.AnomalyFailClosed)
+			case codeBackpressure:
+				sp.Flag(telemetry.AnomalyBackpressure)
+			case codeShedding:
+				sp.Flag(telemetry.AnomalyShed)
+			default:
+				sp.Flag(telemetry.AnomalyError)
+			}
+		}
+		if dataPlane {
+			// Availability burn counts service-caused refusals (5xx and
+			// 429 backpressure); a 4xx — including the deliberate 410
+			// poisoned fail-closed answer — is a correct response.
+			t.slo.Observe(status >= 500 || status == http.StatusTooManyRequests, dur)
+		}
+		sp.End()
+		captured := s.flight.Offer(sp)
+		w.Header().Set("traceparent", telemetry.Traceparent(sp.Trace, sp.ID))
+		if captured {
+			w.Header().Set("X-Synergy-Trace-Captured", "1")
+		} else {
+			w.Header().Set("X-Synergy-Trace-Captured", "0")
 		}
 		writeJSON(w, status, body)
 	})
@@ -455,7 +552,7 @@ func badRequest(err error) (int, any) {
 	return http.StatusBadRequest, errorBody{Code: codeBadRequest, Error: err.Error()}
 }
 
-func (s *Server) handleRead(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleRead(t *tenant, r *http.Request, sp *telemetry.Span) (int, any) {
 	var req readReq
 	if err := decode(r, &req); err != nil {
 		return badRequest(err)
@@ -466,14 +563,19 @@ func (s *Server) handleRead(t *tenant, r *http.Request) (int, any) {
 	}
 	defer release()
 	buf := make([]byte, core.LineSize)
-	info, err := t.arr.Read(req.Line, buf)
+	var info core.ReadInfo
+	if sp.IsDeep() {
+		info, err = t.arr.ReadTraced(req.Line, buf, sp)
+	} else {
+		info, err = t.arr.Read(req.Line, buf)
+	}
 	if err != nil {
 		return errResponse(err)
 	}
 	return http.StatusOK, readResp{Data: buf, Corrected: info.Corrected, Preemptive: info.Preemptive}
 }
 
-func (s *Server) handleWrite(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleWrite(t *tenant, r *http.Request, sp *telemetry.Span) (int, any) {
 	var req writeReq
 	if err := decode(r, &req); err != nil {
 		return badRequest(err)
@@ -483,7 +585,12 @@ func (s *Server) handleWrite(t *tenant, r *http.Request) (int, any) {
 		return errResponse(err)
 	}
 	defer release()
-	if err := t.arr.Write(req.Line, req.Data); err != nil {
+	if sp.IsDeep() {
+		err = t.arr.WriteTraced(req.Line, req.Data, sp)
+	} else {
+		err = t.arr.Write(req.Line, req.Data)
+	}
+	if err != nil {
 		return errResponse(err)
 	}
 	return http.StatusOK, struct{}{}
@@ -499,7 +606,7 @@ func (t *tenant) batchMask(lines []uint64) []bool {
 	return mask
 }
 
-func (s *Server) handleReadBatch(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleReadBatch(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	var req batchReadReq
 	if err := decode(r, &req); err != nil {
 		return badRequest(err)
@@ -538,7 +645,7 @@ func (s *Server) handleReadBatch(t *tenant, r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-func (s *Server) handleWriteBatch(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleWriteBatch(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	var req batchWriteReq
 	if err := decode(r, &req); err != nil {
 		return badRequest(err)
@@ -566,7 +673,7 @@ func (s *Server) handleWriteBatch(t *tenant, r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-func (s *Server) handleScrub(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleScrub(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	rep, err := t.arr.Scrub(r.Context())
 	if err != nil {
 		return errResponse(err)
@@ -574,7 +681,7 @@ func (s *Server) handleScrub(t *tenant, r *http.Request) (int, any) {
 	return http.StatusOK, scrubResp{Scanned: rep.Scanned, Corrected: rep.Corrected, Poisoned: rep.Poisoned}
 }
 
-func (s *Server) handleRepair(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleRepair(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	var req repairReq
 	if err := decode(r, &req); err != nil {
 		return badRequest(err)
@@ -585,7 +692,7 @@ func (s *Server) handleRepair(t *tenant, r *http.Request) (int, any) {
 	return http.StatusOK, struct{}{}
 }
 
-func (s *Server) handleInject(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleInject(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	if !s.cfg.AllowInject {
 		return http.StatusForbidden, errorBody{codeBadRequest, "fault injection disabled (start the server with -allow-inject)"}
 	}
@@ -620,7 +727,7 @@ func (s *Server) handleInject(t *tenant, r *http.Request) (int, any) {
 // handleSnapshot checkpoints the tenant: quiesce, seal, commit. The
 // patrol scrubber keeps running — it serializes on the same rank locks
 // the snapshot holds.
-func (s *Server) handleSnapshot(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleSnapshot(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	if t.snaps == nil {
 		return badRequest(errors.New("tenant has no snapshot store (set -data on the server or TenantConfig.Snapshots)"))
 	}
@@ -637,12 +744,14 @@ func (s *Server) handleSnapshot(t *tenant, r *http.Request) (int, any) {
 // refuses to restore a live array) and restarted afterwards whether or
 // not the restore succeeded — a refused restore leaves the tenant
 // serving its pre-call state, which still wants patrolling.
-func (s *Server) handleRestore(t *tenant, r *http.Request) (int, any) {
+func (s *Server) handleRestore(t *tenant, r *http.Request, _ *telemetry.Span) (int, any) {
 	if t.snaps == nil {
 		return badRequest(errors.New("tenant has no snapshot store (set -data on the server or TenantConfig.Snapshots)"))
 	}
 	t.ctl.Lock()
 	defer t.ctl.Unlock()
+	t.restoring.Store(true)
+	defer t.restoring.Store(false)
 	if t.scrubber != nil {
 		t.scrubber.Stop()
 		t.scrubber = nil
@@ -657,11 +766,11 @@ func (s *Server) handleRestore(t *tenant, r *http.Request) (int, any) {
 	return http.StatusOK, struct{}{}
 }
 
-func (s *Server) handleStats(t *tenant, _ *http.Request) (int, any) {
+func (s *Server) handleStats(t *tenant, _ *http.Request, _ *telemetry.Span) (int, any) {
 	return http.StatusOK, t.arr.Stats()
 }
 
-func (s *Server) handleInfo(t *tenant, _ *http.Request) (int, any) {
+func (s *Server) handleInfo(t *tenant, _ *http.Request, _ *telemetry.Span) (int, any) {
 	return http.StatusOK, infoResp{
 		Tenant:   t.name,
 		Lines:    t.arr.DataLines(),

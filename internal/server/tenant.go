@@ -7,6 +7,7 @@ import (
 
 	"synergy/internal/core"
 	"synergy/internal/persist"
+	"synergy/internal/telemetry"
 )
 
 // tenant is one keyspace: its own Array (own encryption/MAC keys and
@@ -30,6 +31,13 @@ type tenant struct {
 	shedding atomic.Bool
 	// shedEngaged counts watcher transitions into shedding.
 	shedEngaged atomic.Uint64
+
+	// slo tracks this tenant's availability/latency objectives (nil
+	// when the server runs without telemetry).
+	slo *telemetry.SLOTracker
+	// restoring is set for the duration of a restore install; /readyz
+	// reports the tenant not-ready while it holds.
+	restoring atomic.Bool
 
 	// Watcher-private state: the previous window's per-rank corrected
 	// -error totals (only the watcher goroutine touches these).

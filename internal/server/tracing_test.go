@@ -1,0 +1,352 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"synergy/internal/core"
+	"synergy/internal/telemetry"
+)
+
+// getJSON fetches an unauthenticated endpoint and decodes its body.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTraceparentRoundTrip is the tentpole contract: a client-minted
+// traceparent rides client → server → engine, the span comes back
+// captured (requested traces are always retained), and the flight
+// record carries per-stage engine events on the same trace.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel})
+	ctx := context.Background()
+
+	if err := c.Write(ctx, 7, line(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &Trace{}
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(WithTrace(ctx, tr), 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Traceparent == "" {
+		t.Fatal("client did not mint a traceparent")
+	}
+	if !tr.Captured {
+		t.Fatal("explicitly traced request not captured by the flight recorder")
+	}
+	reqTrace, _, ok := telemetry.ParseTraceparent(tr.Traceparent)
+	if !ok {
+		t.Fatalf("client traceparent %q does not parse", tr.Traceparent)
+	}
+	srvTrace, srvSpan, ok := telemetry.ParseTraceparent(tr.ServerTraceparent)
+	if !ok {
+		t.Fatalf("server traceparent %q does not parse", tr.ServerTraceparent)
+	}
+	if srvTrace != reqTrace {
+		t.Fatalf("server joined trace %v, want %v", srvTrace, reqTrace)
+	}
+
+	// The retained record must be on the same trace, parented to the
+	// client span, with engine stage events.
+	var flight flightResp
+	if code := getJSON(t, "http://"+s.Addr+"/debug/flight", &flight); code != http.StatusOK {
+		t.Fatalf("/debug/flight: HTTP %d", code)
+	}
+	if flight.Stats.Captured == 0 {
+		t.Fatalf("flight stats: %+v, want a captured span", flight.Stats)
+	}
+	var rec *telemetry.FlightRecord
+	for i := range flight.Records {
+		if flight.Records[i].TraceID == reqTrace.String() {
+			rec = &flight.Records[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("trace %v not in /debug/flight (%d records)", reqTrace, len(flight.Records))
+	}
+	if rec.SpanID != srvSpan.String() {
+		t.Errorf("record span %s, response header says %s", rec.SpanID, srvSpan)
+	}
+	if rec.Op != "rpc_read" || rec.Tenant != "alpha" || rec.Line != 7 {
+		t.Errorf("record = %+v, want rpc_read on alpha line 7", rec)
+	}
+	found := false
+	for _, a := range rec.Anomalies {
+		if a == "requested" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("record anomalies = %v, want requested", rec.Anomalies)
+	}
+	stages := 0
+	for _, e := range rec.Events {
+		if e.Kind == "stage" && e.DurationNanos > 0 {
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Errorf("record has no engine stage events: %+v", rec.Events)
+	}
+
+	// Chrome export of the same recorder parses as trace_event JSON.
+	resp, err := http.Get("http://" + s.Addr + "/debug/flight?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export is empty")
+	}
+}
+
+// A failed traced request is retained with its wire error code.
+func TestTraceCapturesErrors(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel})
+
+	tr := &Trace{}
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(WithTrace(context.Background(), tr), 1<<40, buf); !errors.Is(err, core.ErrOutOfRange) {
+		t.Fatalf("got %v, want ErrOutOfRange", err)
+	}
+	if !tr.Captured {
+		t.Fatal("failed traced request not captured")
+	}
+	var flight flightResp
+	getJSON(t, "http://"+s.Addr+"/debug/flight", &flight)
+	reqTrace, _, _ := telemetry.ParseTraceparent(tr.Traceparent)
+	for _, rec := range flight.Records {
+		if rec.TraceID == reqTrace.String() {
+			if rec.Error == "" {
+				t.Fatalf("record has no error code: %+v", rec)
+			}
+			return
+		}
+	}
+	t.Fatal("errored trace not retained")
+}
+
+// Untraced requests stay untraced (no capture header, no retention)
+// unless head sampling is configured.
+func TestUntracedRequestsNotRetained(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel})
+	ctx := context.Background()
+	if err := c.Write(ctx, 3, line(0x01)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, core.LineSize)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Read(ctx, 3, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flight flightResp
+	getJSON(t, "http://"+s.Addr+"/debug/flight", &flight)
+	if flight.Stats.Captured != 0 {
+		t.Fatalf("healthy untraced traffic captured %d spans: %+v", flight.Stats.Captured, flight.Records)
+	}
+	if flight.Stats.Offered == 0 {
+		t.Fatal("requests were never offered to the recorder")
+	}
+}
+
+func TestHealthzAndReadyz(t *testing.T) {
+	tel := telemetry.New()
+	s, _ := startServer(t, Config{Telemetry: tel})
+	base := "http://" + s.Addr
+
+	var h healthzResp
+	if code := getJSON(t, base+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d", code)
+	}
+	if h.Status != "ok" || len(h.Tenants) != 1 || h.Tenants[0].Name != "alpha" {
+		t.Fatalf("/healthz = %+v", h)
+	}
+	var r readyzResp
+	if code := getJSON(t, base+"/readyz", &r); code != http.StatusOK || !r.Ready {
+		t.Fatalf("/readyz = %d %+v, want ready", code, r)
+	}
+
+	// Engage each degraded condition and watch /readyz flip while
+	// /healthz stays 200 (liveness ≠ readiness).
+	ten := s.tenants[0]
+	for _, tc := range []struct {
+		reason string
+		set    func(bool)
+	}{
+		{"shedding engaged", ten.shedding.Store},
+		{"restore in progress", ten.restoring.Store},
+	} {
+		tc.set(true)
+		code := getJSON(t, base+"/readyz", &r)
+		if code != http.StatusServiceUnavailable || r.Ready {
+			t.Fatalf("%s: /readyz = %d %+v, want 503", tc.reason, code, r)
+		}
+		if len(r.Reasons) != 1 || !strings.Contains(r.Reasons[0], tc.reason) {
+			t.Fatalf("%s: reasons = %v", tc.reason, r.Reasons)
+		}
+		if code := getJSON(t, base+"/healthz", &h); code != http.StatusOK || h.Status != "degraded" {
+			t.Fatalf("%s: /healthz = %d %q, want 200 degraded", tc.reason, code, h.Status)
+		}
+		tc.set(false)
+	}
+
+	// An SLO burn alert also takes the service out of rotation.
+	for i := 0; i < 200; i++ {
+		ten.slo.Observe(true, time.Millisecond)
+	}
+	if code := getJSON(t, base+"/readyz", &r); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz under SLO burn = %d %+v, want 503", code, r)
+	}
+	if len(r.Reasons) != 1 || !strings.Contains(r.Reasons[0], "slo burn") {
+		t.Fatalf("reasons = %v, want slo burn alert", r.Reasons)
+	}
+}
+
+// Shed and backpressure refusals are anomalies the recorder retains
+// even without a client traceparent.
+func TestShedRejectionCaptured(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel})
+	s.tenants[0].shedding.Store(true)
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(context.Background(), 0, buf); !errors.Is(err, ErrShedding) {
+		t.Fatalf("got %v, want ErrShedding", err)
+	}
+	var flight flightResp
+	getJSON(t, "http://"+s.Addr+"/debug/flight", &flight)
+	if flight.Stats.CapturedByAnomaly["shed"] == 0 {
+		t.Fatalf("shed rejection not captured: %+v", flight.Stats)
+	}
+}
+
+// Per-tenant SLO trackers feed the registry snapshot and the 429/5xx
+// failure policy: a 429 burns availability budget, a clean read does
+// not.
+func TestServerSLOAccounting(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel})
+	ctx := context.Background()
+	if err := c.Write(ctx, 1, line(0x02)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(ctx, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	// A shed refusal (503) is a service failure.
+	s.tenants[0].shedding.Store(true)
+	if _, err := c.Read(ctx, 1, buf); !errors.Is(err, ErrShedding) {
+		t.Fatal(err)
+	}
+	s.tenants[0].shedding.Store(false)
+
+	snap := tel.Snapshot()
+	if len(snap.SLOs) != 1 {
+		t.Fatalf("snapshot has %d SLOs, want 1", len(snap.SLOs))
+	}
+	slo := snap.SLOs[0]
+	if slo.Name != "alpha" {
+		t.Fatalf("SLO name = %q", slo.Name)
+	}
+	// Write + read + shed read = 3 data-plane requests, 1 failed.
+	if slo.Requests != 3 || slo.Errors != 1 {
+		t.Fatalf("SLO requests/errors = %d/%d, want 3/1", slo.Requests, slo.Errors)
+	}
+}
+
+// TraceSampleEvery deep-traces unheadered traffic so retained
+// anomalies carry stage events.
+func TestHeadSamplingDeepTraces(t *testing.T) {
+	tel := telemetry.New()
+	s, c := startServer(t, Config{Telemetry: tel, TraceSampleEvery: 1, AllowInject: true})
+	ctx := context.Background()
+	if err := c.Write(ctx, 4, line(0x05)); err != nil {
+		t.Fatal(err)
+	}
+	// Two-chip fault → fail-closed read: an anomaly with no client
+	// traceparent, retained with engine stage events because head
+	// sampling marked it deep.
+	if err := c.Inject(ctx, 4, []int{1, 5}, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(ctx, 4, buf); !core.IsFailClosed(err) {
+		t.Fatalf("got %v, want fail-closed", err)
+	}
+	var flight flightResp
+	getJSON(t, "http://"+s.Addr+"/debug/flight", &flight)
+	for _, rec := range flight.Records {
+		for _, a := range rec.Anomalies {
+			if a == "fail_closed" {
+				if len(rec.Events) == 0 {
+					t.Fatalf("fail-closed record has no stage events: %+v", rec)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no fail_closed record retained: %+v", flight.Stats)
+}
+
+// The X-Synergy-Trace-Captured header is exact: 1 when retained, 0
+// when the span was offered and dropped.
+func TestCaptureHeaderReflectsRetention(t *testing.T) {
+	// Flight recorder disabled: traced requests report not-captured.
+	tel := telemetry.New()
+	_, c := startServer(t, Config{Telemetry: tel, DisableFlight: true})
+	ctx := context.Background()
+	if err := c.Write(ctx, 2, line(0x09)); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	buf := make([]byte, core.LineSize)
+	if _, err := c.Read(WithTrace(ctx, tr), 2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Captured {
+		t.Fatal("capture reported with the recorder disabled")
+	}
+	if tr.ServerTraceparent == "" {
+		t.Fatal("tracing must still round-trip without a recorder")
+	}
+}
+
+// Disabled flight recorder: /debug/flight 404s instead of lying with
+// an empty recorder.
+func TestFlightEndpointDisabled(t *testing.T) {
+	tel := telemetry.New()
+	s, _ := startServer(t, Config{Telemetry: tel, DisableFlight: true})
+	if code := getJSON(t, fmt.Sprintf("http://%s/debug/flight", s.Addr), nil); code != http.StatusNotFound {
+		t.Fatalf("/debug/flight with recorder disabled = %d, want 404", code)
+	}
+}

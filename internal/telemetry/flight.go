@@ -1,0 +1,376 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// flight.go: the anomaly flight recorder. Every completed RPC span is
+// *offered*; only anomalous ones (see Anomaly) are *retained*, into
+// per-rank lock-free ring buffers of immutable records. The common
+// case — a healthy request — costs one histogram observation and a few
+// atomic loads; allocation happens only when a span is actually kept,
+// which by construction is rare. Memory is bounded: Rings ×
+// RingCapacity record pointers, each record a fixed-size struct plus
+// its (≤ MaxSpanEvents) events.
+//
+// The "slow" trigger is self-calibrating: the recorder keeps its own
+// log2 histogram of every offered duration and periodically caches the
+// configured quantile (default p99) as the threshold, so "slow" always
+// means "slow relative to this deployment's recent traffic", not a
+// hand-tuned constant.
+
+// FlightConfig configures a FlightRecorder. The zero value selects the
+// documented defaults.
+type FlightConfig struct {
+	// Rings is the number of retention rings; spans hash into a ring
+	// by rank so one noisy rank cannot evict every other rank's
+	// history. Default 4.
+	Rings int
+	// RingCapacity is the record slots per ring. Default 64.
+	RingCapacity int
+	// Quantile is the rolling latency quantile above which an offered
+	// span counts as slow. Default 0.99.
+	Quantile float64
+	// MinSamples is the number of offered spans required before the
+	// slow trigger arms (a cold recorder would otherwise flag its
+	// first requests). Default 512.
+	MinSamples uint64
+	// Keep masks which anomaly classes are retained. Zero keeps all
+	// (AnomalyAll).
+	Keep Anomaly
+	// RecomputeEvery is the offer interval between threshold
+	// recomputations, rounded up to a power of two. Default 256.
+	RecomputeEvery uint64
+}
+
+// flightRing is one lock-free retention ring: a monotonically claimed
+// head plus immutable record pointers. Writers claim a slot with one
+// atomic add and publish with one atomic store; readers load pointers
+// and never block writers. A record can be overwritten between a
+// reader's head load and slot load — the reader just sees a newer
+// record, never a torn one.
+type flightRing struct {
+	head  atomic.Uint64
+	slots []atomic.Pointer[FlightRecord]
+}
+
+// FlightRecorder tail-samples completed spans. All methods are
+// nil-receiver safe and safe for concurrent use.
+type FlightRecorder struct {
+	rings         []flightRing
+	quantile      float64
+	minSamples    uint64
+	keep          Anomaly
+	recomputeMask uint64
+
+	offered   atomic.Uint64
+	kept      atomic.Uint64
+	byAnomaly [numAnomalies]atomic.Uint64
+
+	lat       Histogram    // every offered span's duration
+	threshold atomic.Int64 // cached slow cutoff, ns; 0 = not yet armed
+	tick      atomic.Uint64
+}
+
+// NewFlightRecorder builds a recorder; zero config fields take the
+// documented defaults.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Rings <= 0 {
+		cfg.Rings = 4
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 64
+	}
+	if cfg.Quantile <= 0 || cfg.Quantile > 1 {
+		cfg.Quantile = 0.99
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 512
+	}
+	if cfg.Keep == 0 {
+		cfg.Keep = AnomalyAll
+	}
+	if cfg.RecomputeEvery == 0 {
+		cfg.RecomputeEvery = 256
+	}
+	p := uint64(1)
+	for p < cfg.RecomputeEvery {
+		p <<= 1
+	}
+	f := &FlightRecorder{
+		rings:         make([]flightRing, cfg.Rings),
+		quantile:      cfg.Quantile,
+		minSamples:    cfg.MinSamples,
+		keep:          cfg.Keep,
+		recomputeMask: p - 1,
+	}
+	for i := range f.rings {
+		f.rings[i].slots = make([]atomic.Pointer[FlightRecord], cfg.RingCapacity)
+	}
+	return f
+}
+
+// FlightRecord is the retained, immutable form of a captured span —
+// the /debug/flight JSON element.
+type FlightRecord struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Op       string `json:"op"`
+	Tenant   string `json:"tenant,omitempty"`
+	Rank     int    `json:"rank"`
+	Line     uint64 `json:"line"`
+
+	StartUnixNanos int64 `json:"start_unix_nanos"`
+	DurationNanos  int64 `json:"duration_nanos"`
+
+	Anomalies []string `json:"anomalies"`
+	Error     string   `json:"error,omitempty"`
+
+	Events        []FlightEvent `json:"events,omitempty"`
+	EventsDropped int           `json:"events_dropped,omitempty"`
+}
+
+// FlightEvent is one span event in a retained record.
+type FlightEvent struct {
+	// Kind is "stage" or "escalation".
+	Kind string `json:"kind"`
+	// Name is the stage or escalation-reason label.
+	Name string `json:"name"`
+	// OffsetNanos is the event's start offset from the span start.
+	OffsetNanos int64 `json:"offset_nanos"`
+	// DurationNanos is the stage duration (0 for point events).
+	DurationNanos int64 `json:"duration_nanos,omitempty"`
+}
+
+// record freezes the span into its retained form.
+func (s *Span) record(an Anomaly) *FlightRecord {
+	r := &FlightRecord{
+		TraceID:        s.Trace.String(),
+		SpanID:         s.ID.String(),
+		Op:             s.Op.String(),
+		Tenant:         s.Tenant,
+		Rank:           s.Rank,
+		Line:           s.Line,
+		StartUnixNanos: s.Start.UnixNano(),
+		DurationNanos:  int64(s.dur),
+		Anomalies:      an.Labels(),
+		Error:          s.errCode,
+		EventsDropped:  int(s.dropped),
+	}
+	if !s.Parent.IsZero() {
+		r.ParentID = s.Parent.String()
+	}
+	if s.n > 0 {
+		r.Events = make([]FlightEvent, 0, s.n)
+		for _, e := range s.events[:s.n] {
+			fe := FlightEvent{OffsetNanos: int64(e.Offset)}
+			switch e.Kind {
+			case EventStage:
+				fe.Kind = "stage"
+				fe.Name = e.Stage.String()
+				fe.DurationNanos = int64(e.Dur)
+			case EventEscalation:
+				fe.Kind = "escalation"
+				fe.Name = e.Reason.String()
+			}
+			r.Events = append(r.Events, fe)
+		}
+	}
+	return r
+}
+
+// Offer presents a completed span for tail-sampling and reports
+// whether it was retained. Ends the span if the caller has not.
+func (f *FlightRecorder) Offer(sp *Span) bool {
+	if f == nil || sp == nil {
+		return false
+	}
+	d := sp.End()
+	f.offered.Add(1)
+	// Control-plane spans (scrub, repair, snapshot, restore) run for
+	// milliseconds to seconds by design; keeping them out of the
+	// rolling histogram keeps the slow threshold a data-plane p99.
+	if sp.anomalies&AnomalyControl == 0 {
+		f.lat.ObserveAt(sp.Rank, d)
+		if f.tick.Add(1)&f.recomputeMask == 0 {
+			f.recompute()
+		}
+	}
+	an := sp.anomalies
+	if thr := f.threshold.Load(); thr > 0 && int64(d) > thr {
+		an |= AnomalySlow
+	}
+	an &= f.keep
+	if an == 0 {
+		return false
+	}
+	rec := sp.record(an)
+	ring := &f.rings[uint(sp.Rank)%uint(len(f.rings))]
+	slot := ring.head.Add(1) - 1
+	ring.slots[slot%uint64(len(ring.slots))].Store(rec)
+	f.kept.Add(1)
+	for i := 0; i < numAnomalies; i++ {
+		if an&(1<<i) != 0 {
+			f.byAnomaly[i].Add(1)
+		}
+	}
+	return true
+}
+
+// recompute refreshes the cached slow threshold from the offered-span
+// histogram. Cheap enough to run inline every RecomputeEvery offers.
+func (f *FlightRecorder) recompute() {
+	s := f.lat.Snapshot()
+	if s.Count < f.minSamples {
+		return
+	}
+	f.threshold.Store(int64(s.Quantile(f.quantile)))
+}
+
+// SlowThreshold returns the current slow-span cutoff (0 until armed).
+func (f *FlightRecorder) SlowThreshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Duration(f.threshold.Load())
+}
+
+// Records returns every retained record, newest first. The records are
+// immutable; the slice is freshly allocated.
+func (f *FlightRecorder) Records() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	var out []FlightRecord
+	for i := range f.rings {
+		for j := range f.rings[i].slots {
+			if rec := f.rings[i].slots[j].Load(); rec != nil {
+				out = append(out, *rec)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].StartUnixNanos > out[b].StartUnixNanos
+	})
+	return out
+}
+
+// FlightStats summarizes the recorder for /metrics and snapshots.
+type FlightStats struct {
+	// Offered counts every span presented for sampling.
+	Offered uint64 `json:"offered"`
+	// Captured counts spans retained (subset of Offered).
+	Captured uint64 `json:"captured"`
+	// Retained is the number of records currently held (gauge).
+	Retained int `json:"retained"`
+	// SlowThresholdNanos is the rolling slow cutoff (0 until armed).
+	SlowThresholdNanos int64 `json:"slow_threshold_nanos"`
+	// CapturedByAnomaly counts retentions per anomaly class (a
+	// record with two classes counts under both).
+	CapturedByAnomaly map[string]uint64 `json:"captured_by_anomaly"`
+}
+
+// Stats returns current recorder totals (zero value when nil).
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	st := FlightStats{
+		Offered:            f.offered.Load(),
+		Captured:           f.kept.Load(),
+		SlowThresholdNanos: f.threshold.Load(),
+		CapturedByAnomaly:  make(map[string]uint64, numAnomalies),
+	}
+	for i := 0; i < numAnomalies; i++ {
+		if n := f.byAnomaly[i].Load(); n > 0 {
+			st.CapturedByAnomaly[anomalyNames[i]] = n
+		}
+	}
+	// head counts total stores; the ring holds min(head, capacity).
+	for i := range f.rings {
+		head := f.rings[i].head.Load()
+		if c := uint64(len(f.rings[i].slots)); head > c {
+			head = c
+		}
+		st.Retained += int(head)
+	}
+	return st
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" complete events:
+// ts/dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders records in the Chrome trace_event JSON
+// format (load the output in chrome://tracing or Perfetto). Each
+// record becomes a complete event on track rank=TID, with its stage
+// events nested beneath and escalations as instant events.
+func WriteChromeTrace(w io.Writer, recs []FlightRecord) error {
+	events := make([]chromeEvent, 0, len(recs)*4)
+	for _, r := range recs {
+		args := map[string]any{
+			"trace_id":  r.TraceID,
+			"span_id":   r.SpanID,
+			"tenant":    r.Tenant,
+			"line":      r.Line,
+			"anomalies": r.Anomalies,
+		}
+		if r.Error != "" {
+			args["error"] = r.Error
+		}
+		ts := float64(r.StartUnixNanos) / 1e3
+		events = append(events, chromeEvent{
+			Name: r.Op, Cat: "rpc", Ph: "X",
+			TS: ts, Dur: float64(r.DurationNanos) / 1e3,
+			PID: 1, TID: r.Rank, Args: args,
+		})
+		for _, e := range r.Events {
+			ev := chromeEvent{
+				Name: e.Name, Cat: e.Kind, Ph: "X",
+				TS:  ts + float64(e.OffsetNanos)/1e3,
+				Dur: float64(e.DurationNanos) / 1e3,
+				PID: 1, TID: r.Rank,
+			}
+			if e.Kind == "escalation" {
+				ev.Ph = "i" // instant event
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+	})
+}
+
+// SetFlight attaches (or replaces) the registry's flight recorder so
+// exporters — /metrics, /metrics.json, /debug/flight — can reach it.
+func (r *Registry) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight.Store(f)
+}
+
+// Flight returns the attached recorder (nil when absent or disabled).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// span builds an ended span with a controlled duration for Offer.
+func testSpan(op Op, rank int, d time.Duration, an Anomaly) *Span {
+	sp := BeginSpan(op, TraceID{}, SpanID{})
+	sp.Rank = rank
+	sp.dur = d
+	sp.anomalies |= an
+	return sp
+}
+
+func TestFlightTailSampling(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{})
+	// Healthy spans are offered but never retained.
+	for i := 0; i < 10; i++ {
+		if f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, 0)) {
+			t.Fatal("healthy span retained")
+		}
+	}
+	// Anomalous spans are retained.
+	if !f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, AnomalyShed)) {
+		t.Fatal("shed span not retained")
+	}
+	if !f.Offer(testSpan(OpRPCRead, 1, time.Microsecond, AnomalyFailClosed)) {
+		t.Fatal("fail-closed span not retained")
+	}
+	st := f.Stats()
+	if st.Offered != 12 || st.Captured != 2 || st.Retained != 2 {
+		t.Fatalf("stats = %+v, want offered 12, captured 2, retained 2", st)
+	}
+	if st.CapturedByAnomaly["shed"] != 1 || st.CapturedByAnomaly["fail_closed"] != 1 {
+		t.Fatalf("by-anomaly = %v", st.CapturedByAnomaly)
+	}
+}
+
+func TestFlightKeepMask(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Keep: AnomalyShed})
+	if f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, AnomalyError)) {
+		t.Fatal("masked-out anomaly retained")
+	}
+	if !f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, AnomalyShed|AnomalyError)) {
+		t.Fatal("in-mask anomaly dropped")
+	}
+	recs := f.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	// Only the kept classes appear on the record.
+	if len(recs[0].Anomalies) != 1 || recs[0].Anomalies[0] != "shed" {
+		t.Fatalf("record anomalies = %v, want [shed]", recs[0].Anomalies)
+	}
+}
+
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Rings: 1, RingCapacity: 4})
+	for i := 0; i < 10; i++ {
+		sp := testSpan(OpRPCRead, 0, time.Microsecond, AnomalyError)
+		sp.Line = uint64(i)
+		if !f.Offer(sp) {
+			t.Fatalf("span %d not retained", i)
+		}
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want ring capacity 4", len(recs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		seen[r.Line] = true
+	}
+	for i := uint64(6); i < 10; i++ {
+		if !seen[i] {
+			t.Fatalf("newest records missing line %d: %v", i, seen)
+		}
+	}
+	st := f.Stats()
+	if st.Captured != 10 || st.Retained != 4 {
+		t.Fatalf("stats = %+v, want captured 10 retained 4", st)
+	}
+}
+
+func TestFlightRecordsNewestFirst(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{})
+	for i := 0; i < 3; i++ {
+		sp := testSpan(OpRPCRead, i, time.Microsecond, AnomalyError)
+		sp.Start = time.Unix(0, int64(1000+i))
+		f.Offer(sp)
+	}
+	recs := f.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].StartUnixNanos < recs[i].StartUnixNanos {
+			t.Fatalf("records not newest-first: %d before %d", recs[i-1].StartUnixNanos, recs[i].StartUnixNanos)
+		}
+	}
+}
+
+func TestFlightSlowThreshold(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{MinSamples: 64, RecomputeEvery: 64})
+	// 1ms baseline traffic arms the threshold near the p99.
+	for i := 0; i < 256; i++ {
+		f.Offer(testSpan(OpRPCRead, 0, time.Millisecond, 0))
+	}
+	thr := f.SlowThreshold()
+	if thr <= 0 {
+		t.Fatal("threshold not armed after 256 offers")
+	}
+	// An order-of-magnitude outlier is retained as slow.
+	if !f.Offer(testSpan(OpRPCRead, 0, 100*time.Millisecond, 0)) {
+		t.Fatalf("outlier not retained (threshold %v)", thr)
+	}
+	recs := f.Records()
+	if len(recs) != 1 || recs[0].Anomalies[0] != "slow" {
+		t.Fatalf("records = %+v, want one slow record", recs)
+	}
+}
+
+func TestFlightControlSpansExcludedFromBaseline(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{MinSamples: 64, RecomputeEvery: 64})
+	// Control-plane spans are seconds long; they must not drag the
+	// slow threshold up...
+	for i := 0; i < 256; i++ {
+		f.Offer(testSpan(OpRPCScrub, 0, time.Second, AnomalyControl))
+	}
+	if thr := f.SlowThreshold(); thr != 0 {
+		t.Fatalf("control spans armed the data-plane threshold: %v", thr)
+	}
+	// ...but they are always retained (AnomalyControl is in the mask).
+	if got := f.Stats().Captured; got != 256 {
+		t.Fatalf("captured %d control spans, want 256", got)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	if f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, AnomalyError)) {
+		t.Fatal("nil recorder retained a span")
+	}
+	if f.Records() != nil || f.SlowThreshold() != 0 {
+		t.Fatal("nil recorder accessors must return zero values")
+	}
+	st := f.Stats()
+	if st.Offered != 0 || st.Captured != 0 {
+		t.Fatal("nil recorder stats must be zero")
+	}
+	f.Offer(nil) // and a nil span on a real recorder
+	NewFlightRecorder(FlightConfig{}).Offer(nil)
+}
+
+func TestFlightConcurrentOffer(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Rings: 2, RingCapacity: 8})
+	var wg sync.WaitGroup
+	const G, N = 8, 200
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				an := Anomaly(0)
+				if i%3 == 0 {
+					an = AnomalyError
+				}
+				f.Offer(testSpan(OpRPCRead, g, time.Microsecond, an))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := f.Stats()
+	if st.Offered != G*N {
+		t.Fatalf("offered %d, want %d", st.Offered, G*N)
+	}
+	if want := uint64(G * 67); st.Captured != want { // ceil(200/3)=67 per goroutine
+		t.Fatalf("captured %d, want %d", st.Captured, want)
+	}
+	if st.Retained > 16 {
+		t.Fatalf("retained %d, ring bound is 16", st.Retained)
+	}
+	// Every retained record must be intact (not torn).
+	for _, r := range f.Records() {
+		if r.TraceID == "" || r.Op == "" || len(r.Anomalies) == 0 {
+			t.Fatalf("torn record: %+v", r)
+		}
+	}
+}
+
+func TestFlightChromeExport(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{})
+	sp := testSpan(OpRPCRead, 3, 5*time.Microsecond, AnomalyFailClosed)
+	sp.Tenant = "acme"
+	sp.StageEvent(StageCounterFetch, time.Microsecond)
+	sp.Escalation(EscMismatch)
+	f.Offer(sp)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, f.Records()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		phases = append(phases, fmt.Sprint(e["ph"]))
+	}
+	// One complete event for the span, one for the stage, one instant
+	// for the escalation.
+	var x, inst int
+	for _, p := range phases {
+		switch p {
+		case "X":
+			x++
+		case "i":
+			inst++
+		}
+	}
+	if x != 2 || inst != 1 {
+		t.Fatalf("phases = %v, want two X (span+stage) and one i (escalation)", phases)
+	}
+}
+
+func TestRegistryFlightAttach(t *testing.T) {
+	r := New()
+	if r.Flight() != nil {
+		t.Fatal("fresh registry has a recorder")
+	}
+	f := NewFlightRecorder(FlightConfig{})
+	r.SetFlight(f)
+	if r.Flight() != f {
+		t.Fatal("SetFlight/Flight round trip failed")
+	}
+	f.Offer(testSpan(OpRPCRead, 0, time.Microsecond, AnomalyShed))
+	snap := r.Snapshot()
+	if snap.Flight == nil || snap.Flight.Captured != 1 {
+		t.Fatalf("snapshot flight = %+v, want captured 1", snap.Flight)
+	}
+	// Nil registry is inert.
+	var nilr *Registry
+	nilr.SetFlight(f)
+	if nilr.Flight() != nil {
+		t.Fatal("nil registry returned a recorder")
+	}
+}

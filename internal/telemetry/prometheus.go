@@ -35,6 +35,22 @@ import (
 //	synergy_read_fast_total{rank=...}
 //	synergy_read_gen_retries_total{rank=...}
 //	synergy_read_escalations_total{rank=...,reason=...}
+//
+// Registered SLO trackers and an attached flight recorder add:
+//
+//	synergy_slo_requests_total{slo=...}
+//	synergy_slo_errors_total{slo=...}
+//	synergy_slo_slow_requests_total{slo=...}
+//	synergy_slo_availability{slo=...}                  (gauge)
+//	synergy_slo_latency_compliance{slo=...}            (gauge)
+//	synergy_slo_burn_rate{slo=...,objective=...,window=...} (gauge)
+//	synergy_slo_budget_remaining{slo=...,objective=...} (gauge)
+//	synergy_slo_alert{slo=...}                         (gauge, 0/1)
+//	synergy_flight_spans_offered_total
+//	synergy_flight_spans_captured_total
+//	synergy_flight_captured_by_anomaly_total{anomaly=...}
+//	synergy_flight_retained_spans                      (gauge)
+//	synergy_flight_slow_threshold_seconds              (gauge)
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	ew := &errWriter{w: w}
@@ -143,6 +159,72 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			ew.sample("synergy_read_escalations_total", rl+","+lbl("reason", EscReason(e).String()), n)
 		}
 	}
+
+	slos := append([]SLOSnapshot(nil), s.SLOs...)
+	sort.Slice(slos, func(a, b int) bool { return slos[a].Name < slos[b].Name })
+	ew.family("synergy_slo_requests_total", "counter", "Requests evaluated against the tenant's SLOs.")
+	for _, sl := range slos {
+		ew.sample("synergy_slo_requests_total", lbl("slo", sl.Name), sl.Requests)
+	}
+	ew.family("synergy_slo_errors_total", "counter", "Service-caused failures (availability budget burn).")
+	for _, sl := range slos {
+		ew.sample("synergy_slo_errors_total", lbl("slo", sl.Name), sl.Errors)
+	}
+	ew.family("synergy_slo_slow_requests_total", "counter", "Requests over the latency objective (latency budget burn).")
+	for _, sl := range slos {
+		ew.sample("synergy_slo_slow_requests_total", lbl("slo", sl.Name), sl.Slow)
+	}
+	ew.family("synergy_slo_availability", "gauge", "Availability over the slow burn window (1 when idle).")
+	for _, sl := range slos {
+		ew.gauge("synergy_slo_availability", lbl("slo", sl.Name), sl.Availability)
+	}
+	ew.family("synergy_slo_latency_compliance", "gauge", "Fraction of slow-window requests under the latency objective.")
+	for _, sl := range slos {
+		ew.gauge("synergy_slo_latency_compliance", lbl("slo", sl.Name), sl.LatencyCompliance)
+	}
+	ew.family("synergy_slo_burn_rate", "gauge", "Error-budget burn rate by objective and window (1 = sustainable).")
+	for _, sl := range slos {
+		l := lbl("slo", sl.Name)
+		ew.gauge("synergy_slo_burn_rate", l+","+lbl("objective", "availability")+","+lbl("window", "fast"), sl.AvailabilityFastBurn)
+		ew.gauge("synergy_slo_burn_rate", l+","+lbl("objective", "availability")+","+lbl("window", "slow"), sl.AvailabilitySlowBurn)
+		ew.gauge("synergy_slo_burn_rate", l+","+lbl("objective", "latency")+","+lbl("window", "fast"), sl.LatencyFastBurn)
+		ew.gauge("synergy_slo_burn_rate", l+","+lbl("objective", "latency")+","+lbl("window", "slow"), sl.LatencySlowBurn)
+	}
+	ew.family("synergy_slo_budget_remaining", "gauge", "Fraction of error budget left at the slow-window burn rate.")
+	for _, sl := range slos {
+		l := lbl("slo", sl.Name)
+		ew.gauge("synergy_slo_budget_remaining", l+","+lbl("objective", "availability"), sl.AvailabilityBudgetRemaining)
+		ew.gauge("synergy_slo_budget_remaining", l+","+lbl("objective", "latency"), sl.LatencyBudgetRemaining)
+	}
+	ew.family("synergy_slo_alert", "gauge", "1 while an objective's fast and slow burn rates both exceed their thresholds.")
+	for _, sl := range slos {
+		v := uint64(0)
+		if sl.Alert {
+			v = 1
+		}
+		ew.sample("synergy_slo_alert", lbl("slo", sl.Name), v)
+	}
+
+	ew.family("synergy_flight_spans_offered_total", "counter", "Completed spans offered to the flight recorder.")
+	ew.family("synergy_flight_spans_captured_total", "counter", "Spans the flight recorder retained as anomalous.")
+	ew.family("synergy_flight_captured_by_anomaly_total", "counter", "Retained spans by anomaly class (multi-class spans count once per class).")
+	ew.family("synergy_flight_retained_spans", "gauge", "Records currently held in the flight-recorder rings.")
+	ew.family("synergy_flight_slow_threshold_seconds", "gauge", "Rolling latency cutoff above which a span counts as slow (0 until armed).")
+	if fs := s.Flight; fs != nil {
+		ew.printf("synergy_flight_spans_offered_total %d\n", fs.Offered)
+		ew.printf("synergy_flight_spans_captured_total %d\n", fs.Captured)
+		anomalies := make([]string, 0, len(fs.CapturedByAnomaly))
+		for name := range fs.CapturedByAnomaly {
+			anomalies = append(anomalies, name)
+		}
+		sort.Strings(anomalies)
+		for _, name := range anomalies {
+			ew.sample("synergy_flight_captured_by_anomaly_total", lbl("anomaly", name), fs.CapturedByAnomaly[name])
+		}
+		ew.printf("synergy_flight_retained_spans %d\n", fs.Retained)
+		ew.printf("synergy_flight_slow_threshold_seconds %s\n",
+			strconv.FormatFloat(float64(fs.SlowThresholdNanos)/1e9, 'g', -1, 64))
+	}
 	return ew.err
 }
 
@@ -180,6 +262,11 @@ func (e *errWriter) family(name, typ, help string) {
 
 func (e *errWriter) sample(name, labels string, v uint64) {
 	e.printf("%s{%s} %d\n", name, labels, v)
+}
+
+// gauge emits a float-valued sample (shortest round-trip rendering).
+func (e *errWriter) gauge(name, labels string, v float64) {
+	e.printf("%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
 // histogram emits the cumulative-bucket exposition of h under the base

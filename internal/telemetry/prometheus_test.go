@@ -9,11 +9,20 @@ import (
 	"time"
 )
 
-// promLine matches one exposition sample: name{labels} value. The
-// value may be an integer, float or exponent form.
+// promLine matches one exposition sample: name{labels} value, the
+// label block optional. The value may be an integer, float or
+// exponent form.
 var promLine = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{([a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\} ` +
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? ` +
 		`(NaN|[-+]?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+
+// sampleFamily strips a sample line to its metric family name (the
+// HELP/TYPE unit: histogram suffixes removed, labels dropped).
+func sampleFamily(line string) string {
+	name := line[:strings.IndexAny(line, "{ ")]
+	return strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+		"_bucket"), "_sum"), "_count")
+}
 
 // parseExposition validates the text format line by line and returns
 // the sample count per metric family.
@@ -29,9 +38,7 @@ func parseExposition(t *testing.T, text string) map[string]int {
 		if !promLine.MatchString(line) {
 			t.Fatalf("malformed exposition line: %q", line)
 		}
-		name := line[:strings.IndexByte(line, '{')]
-		families[strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
-			"_bucket"), "_sum"), "_count")]++
+		families[sampleFamily(line)]++
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
@@ -146,6 +153,113 @@ func TestWritePrometheusCumulativeBuckets(t *testing.T) {
 	}
 	if last != 3 {
 		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+// TestWritePrometheusRoundTrip is the exposition contract for a fully
+// loaded registry — ops, stages, SLO trackers and a flight recorder:
+// every sample parses, every family carries HELP and TYPE metadata
+// with a valid type, no series (name + label set) appears twice, and
+// the synergy_slo_* / synergy_flight_* families are present.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := New(SampleEvery(1))
+	r.CountOp(OpRead, 0)
+	r.ObserveOp(OpRead, 0, time.Microsecond)
+	r.ObserveStage(StageMACVerify, 0, 100*time.Nanosecond)
+	r.CountEscalation(0, EscCacheMiss, 0)
+
+	slo := NewSLO(SLOConfig{Name: "acme"})
+	slo.Observe(false, time.Millisecond)
+	slo.Observe(true, 10*time.Millisecond)
+	r.RegisterSLO(slo)
+	r.RegisterSLO(NewSLO(SLOConfig{Name: "beta"}))
+
+	f := NewFlightRecorder(FlightConfig{})
+	sp := BeginSpan(OpRPCRead, TraceID{}, SpanID{})
+	sp.Flag(AnomalyShed)
+	f.Offer(sp)
+	r.SetFlight(f)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	help := map[string]bool{}
+	typ := map[string]string{}
+	series := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			help[strings.Fields(line)[2]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if prev, dup := typ[fields[2]]; dup {
+				t.Errorf("family %s declared TYPE twice (%s)", fields[2], prev)
+			}
+			typ[fields[2]] = fields[3]
+		default:
+			if !promLine.MatchString(line) {
+				t.Fatalf("malformed exposition line: %q", line)
+			}
+			key := line[:strings.LastIndexByte(line, ' ')]
+			if series[key] {
+				t.Errorf("duplicate series %q", key)
+			}
+			series[key] = true
+			fam := sampleFamily(line)
+			if !help[fam] {
+				t.Errorf("sample %q precedes or lacks its # HELP", line)
+			}
+			switch typ[fam] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("family %s has TYPE %q", fam, typ[fam])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"synergy_slo_requests_total",
+		"synergy_slo_errors_total",
+		"synergy_slo_slow_requests_total",
+		"synergy_slo_availability",
+		"synergy_slo_latency_compliance",
+		"synergy_slo_burn_rate",
+		"synergy_slo_budget_remaining",
+		"synergy_slo_alert",
+		"synergy_flight_spans_offered_total",
+		"synergy_flight_spans_captured_total",
+		"synergy_flight_captured_by_anomaly_total",
+		"synergy_flight_retained_spans",
+		"synergy_flight_slow_threshold_seconds",
+	} {
+		if typ[want] == "" {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+	for _, want := range []string{
+		`synergy_slo_requests_total{slo="acme"} 2`,
+		`synergy_slo_errors_total{slo="acme"} 1`,
+		`synergy_slo_slow_requests_total{slo="acme"} 1`,
+		`synergy_slo_requests_total{slo="beta"} 0`,
+		`synergy_slo_burn_rate{slo="acme",objective="availability",window="fast"}`,
+		`synergy_slo_burn_rate{slo="acme",objective="latency",window="slow"}`,
+		`synergy_flight_spans_offered_total 1`,
+		`synergy_flight_spans_captured_total 1`,
+		`synergy_flight_captured_by_anomaly_total{anomaly="shed"} 1`,
+		`synergy_flight_retained_spans 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing sample %q", want)
+		}
 	}
 }
 

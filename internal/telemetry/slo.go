@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// slo.go: sliding-window service-level objectives with multi-window
+// burn-rate alerting (the Google SRE workbook's fast/slow pattern,
+// scaled to this service's minutes-long windows). One SLOTracker per
+// tenant tracks two objectives over the same request stream:
+//
+//   - availability: the fraction of requests that do not fail for a
+//     service-caused reason (5xx and 429 admission refusals; 4xx
+//     client errors and the deliberate 410 poisoned fail-closed answer
+//     are *correct* responses and do not burn budget);
+//   - latency: the fraction of requests completing under the latency
+//     objective.
+//
+// Burn rate is observed bad-fraction ÷ error budget (1 − target): 1.0
+// means exactly consuming budget at the sustainable rate, 10 means
+// 10× too fast. An alert fires only when BOTH the fast and the slow
+// window exceed their thresholds — the fast window catches the onset
+// quickly, the slow window stops a brief blip from paging.
+//
+// The tracker is a fixed ring of time buckets guarded by a mutex; an
+// Observe is two integer adds under an uncontended lock on a path that
+// already did an HTTP round trip, far below measurement noise.
+
+// SLOConfig configures one tracker. Zero fields take the documented
+// defaults.
+type SLOConfig struct {
+	// Name labels the SLO (the tenant name; the synergy_slo_* series'
+	// "slo" label).
+	Name string
+	// AvailabilityTarget is the availability objective. Default 0.999.
+	AvailabilityTarget float64
+	// LatencyObjective is the per-request latency cutoff. Default 5ms.
+	LatencyObjective time.Duration
+	// LatencyTarget is the fraction of requests that must complete
+	// under LatencyObjective. Default 0.99.
+	LatencyTarget float64
+	// BucketWidth is the sliding-window resolution. Default 1s.
+	BucketWidth time.Duration
+	// FastWindow and SlowWindow are the two burn-rate windows. The
+	// slow window is also the ring's full span. Defaults 1m and 10m.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurnThreshold and SlowBurnThreshold gate the alert: both
+	// windows must burn at or above their threshold. Defaults 14 and 6
+	// (the SRE workbook's page-severity pair).
+	FastBurnThreshold float64
+	SlowBurnThreshold float64
+}
+
+// sloBucket is one time slice of the request stream.
+type sloBucket struct {
+	total  uint64
+	errors uint64 // service-caused failures (availability objective)
+	slow   uint64 // over the latency objective
+}
+
+// SLOTracker measures one request stream against an SLOConfig. All
+// methods are nil-receiver safe and safe for concurrent use.
+type SLOTracker struct {
+	cfg         SLOConfig
+	fastBuckets int
+
+	// Lifetime totals, exported as Prometheus counters (atomics so
+	// exporters read without the ring lock).
+	total  atomic.Uint64
+	errors atomic.Uint64
+	slow   atomic.Uint64
+
+	mu       sync.Mutex
+	buckets  []sloBucket
+	cur      int
+	curStart time.Time
+}
+
+// NewSLO builds a tracker; zero config fields take the documented
+// defaults.
+func NewSLO(cfg SLOConfig) *SLOTracker {
+	if cfg.AvailabilityTarget <= 0 || cfg.AvailabilityTarget >= 1 {
+		cfg.AvailabilityTarget = 0.999
+	}
+	if cfg.LatencyObjective <= 0 {
+		cfg.LatencyObjective = 5 * time.Millisecond
+	}
+	if cfg.LatencyTarget <= 0 || cfg.LatencyTarget >= 1 {
+		cfg.LatencyTarget = 0.99
+	}
+	if cfg.BucketWidth <= 0 {
+		cfg.BucketWidth = time.Second
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = time.Minute
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = 10 * time.Minute
+	}
+	if cfg.SlowWindow < cfg.FastWindow {
+		cfg.SlowWindow = cfg.FastWindow
+	}
+	if cfg.FastBurnThreshold <= 0 {
+		cfg.FastBurnThreshold = 14
+	}
+	if cfg.SlowBurnThreshold <= 0 {
+		cfg.SlowBurnThreshold = 6
+	}
+	n := int(cfg.SlowWindow / cfg.BucketWidth)
+	if n < 1 {
+		n = 1
+	}
+	fast := int(cfg.FastWindow / cfg.BucketWidth)
+	if fast < 1 {
+		fast = 1
+	}
+	if fast > n {
+		fast = n
+	}
+	return &SLOTracker{
+		cfg:         cfg,
+		fastBuckets: fast,
+		buckets:     make([]sloBucket, n),
+		curStart:    time.Now(),
+	}
+}
+
+// Name returns the SLO's label.
+func (t *SLOTracker) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.cfg.Name
+}
+
+// rotateLocked advances the ring to cover now, zeroing skipped
+// buckets. Called with mu held.
+func (t *SLOTracker) rotateLocked(now time.Time) {
+	steps := int(now.Sub(t.curStart) / t.cfg.BucketWidth)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(t.buckets) {
+		for i := range t.buckets {
+			t.buckets[i] = sloBucket{}
+		}
+		t.cur = 0
+		t.curStart = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		t.cur = (t.cur + 1) % len(t.buckets)
+		t.buckets[t.cur] = sloBucket{}
+	}
+	t.curStart = t.curStart.Add(time.Duration(steps) * t.cfg.BucketWidth)
+}
+
+// Observe records one completed request: failed marks a service-caused
+// failure (burns availability budget), d is the end-to-end latency.
+func (t *SLOTracker) Observe(failed bool, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.total.Add(1)
+	if failed {
+		t.errors.Add(1)
+	}
+	isSlow := d > t.cfg.LatencyObjective
+	if isSlow {
+		t.slow.Add(1)
+	}
+	t.mu.Lock()
+	t.rotateLocked(time.Now())
+	b := &t.buckets[t.cur]
+	b.total++
+	if failed {
+		b.errors++
+	}
+	if isSlow {
+		b.slow++
+	}
+	t.mu.Unlock()
+}
+
+// SLOSnapshot is a point-in-time evaluation of one tracker — the
+// /metrics.json element and the source of the synergy_slo_* series.
+type SLOSnapshot struct {
+	Name                  string  `json:"name"`
+	AvailabilityTarget    float64 `json:"availability_target"`
+	LatencyObjectiveNanos int64   `json:"latency_objective_nanos"`
+	LatencyTarget         float64 `json:"latency_target"`
+	FastWindowNanos       int64   `json:"fast_window_nanos"`
+	SlowWindowNanos       int64   `json:"slow_window_nanos"`
+
+	// Lifetime counters.
+	Requests uint64 `json:"requests_total"`
+	Errors   uint64 `json:"errors_total"`
+	Slow     uint64 `json:"slow_total"`
+
+	// Slow-window gauges. Availability/LatencyCompliance are 1 when
+	// the window is empty (no traffic = no burn).
+	WindowRequests    uint64  `json:"window_requests"`
+	Availability      float64 `json:"availability"`
+	LatencyCompliance float64 `json:"latency_compliance"`
+
+	// Burn rates per objective and window (bad-fraction ÷ budget).
+	AvailabilityFastBurn float64 `json:"availability_fast_burn"`
+	AvailabilitySlowBurn float64 `json:"availability_slow_burn"`
+	LatencyFastBurn      float64 `json:"latency_fast_burn"`
+	LatencySlowBurn      float64 `json:"latency_slow_burn"`
+
+	// BudgetRemaining is 1 − slowBurn clamped to [0,1]: the fraction
+	// of error budget left if the slow window's rate holds.
+	AvailabilityBudgetRemaining float64 `json:"availability_budget_remaining"`
+	LatencyBudgetRemaining      float64 `json:"latency_budget_remaining"`
+
+	// Alert is true when an objective's fast AND slow burns exceed
+	// their thresholds; AlertObjective names it ("availability",
+	// "latency" or "availability+latency").
+	Alert          bool   `json:"alert"`
+	AlertObjective string `json:"alert_objective,omitempty"`
+}
+
+// window sums the most recent n buckets (including the current one).
+func (t *SLOTracker) windowLocked(n int) (b sloBucket) {
+	idx := t.cur
+	for i := 0; i < n; i++ {
+		b.total += t.buckets[idx].total
+		b.errors += t.buckets[idx].errors
+		b.slow += t.buckets[idx].slow
+		idx--
+		if idx < 0 {
+			idx = len(t.buckets) - 1
+		}
+	}
+	return b
+}
+
+func burnRate(bad, total uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / budget
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Snapshot evaluates the tracker now.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	t.mu.Lock()
+	t.rotateLocked(time.Now())
+	fast := t.windowLocked(t.fastBuckets)
+	slow := t.windowLocked(len(t.buckets))
+	t.mu.Unlock()
+
+	availBudget := 1 - t.cfg.AvailabilityTarget
+	latBudget := 1 - t.cfg.LatencyTarget
+	s := SLOSnapshot{
+		Name:                  t.cfg.Name,
+		AvailabilityTarget:    t.cfg.AvailabilityTarget,
+		LatencyObjectiveNanos: int64(t.cfg.LatencyObjective),
+		LatencyTarget:         t.cfg.LatencyTarget,
+		FastWindowNanos:       int64(t.cfg.FastWindow),
+		SlowWindowNanos:       int64(t.cfg.SlowWindow),
+		Requests:              t.total.Load(),
+		Errors:                t.errors.Load(),
+		Slow:                  t.slow.Load(),
+		WindowRequests:        slow.total,
+		Availability:          1,
+		LatencyCompliance:     1,
+		AvailabilityFastBurn:  burnRate(fast.errors, fast.total, availBudget),
+		AvailabilitySlowBurn:  burnRate(slow.errors, slow.total, availBudget),
+		LatencyFastBurn:       burnRate(fast.slow, fast.total, latBudget),
+		LatencySlowBurn:       burnRate(slow.slow, slow.total, latBudget),
+	}
+	if slow.total > 0 {
+		s.Availability = 1 - float64(slow.errors)/float64(slow.total)
+		s.LatencyCompliance = 1 - float64(slow.slow)/float64(slow.total)
+	}
+	s.AvailabilityBudgetRemaining = clamp01(1 - s.AvailabilitySlowBurn)
+	s.LatencyBudgetRemaining = clamp01(1 - s.LatencySlowBurn)
+
+	availAlert := s.AvailabilityFastBurn >= t.cfg.FastBurnThreshold &&
+		s.AvailabilitySlowBurn >= t.cfg.SlowBurnThreshold
+	latAlert := s.LatencyFastBurn >= t.cfg.FastBurnThreshold &&
+		s.LatencySlowBurn >= t.cfg.SlowBurnThreshold
+	switch {
+	case availAlert && latAlert:
+		s.Alert, s.AlertObjective = true, "availability+latency"
+	case availAlert:
+		s.Alert, s.AlertObjective = true, "availability"
+	case latAlert:
+		s.Alert, s.AlertObjective = true, "latency"
+	}
+	return s
+}
+
+// Alerting reports whether the tracker is currently in the alerting
+// state (both windows over threshold for either objective).
+func (t *SLOTracker) Alerting() bool {
+	if t == nil {
+		return false
+	}
+	return t.Snapshot().Alert
+}
+
+// RegisterSLO attaches a tracker to the registry so exporters include
+// it in /metrics (synergy_slo_*), /metrics.json and synergy-top.
+func (r *Registry) RegisterSLO(t *SLOTracker) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur []*SLOTracker
+	if ls := r.slos.Load(); ls != nil {
+		cur = *ls
+	}
+	grown := make([]*SLOTracker, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = t
+	r.slos.Store(&grown)
+}
+
+// sloList returns the registered trackers (read-only).
+func (r *Registry) sloList() []*SLOTracker {
+	if r == nil {
+		return nil
+	}
+	if ls := r.slos.Load(); ls != nil {
+		return *ls
+	}
+	return nil
+}

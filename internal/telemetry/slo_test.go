@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLOHealthyTraffic(t *testing.T) {
+	s := NewSLO(SLOConfig{Name: "acme"})
+	for i := 0; i < 100; i++ {
+		s.Observe(false, time.Millisecond) // under the 5ms objective
+	}
+	snap := s.Snapshot()
+	if snap.Name != "acme" {
+		t.Fatalf("name = %q", snap.Name)
+	}
+	if snap.Requests != 100 || snap.Errors != 0 || snap.Slow != 0 {
+		t.Fatalf("lifetime counters = %d/%d/%d", snap.Requests, snap.Errors, snap.Slow)
+	}
+	if snap.Availability != 1 || snap.LatencyCompliance != 1 {
+		t.Fatalf("availability %v compliance %v, want 1/1", snap.Availability, snap.LatencyCompliance)
+	}
+	if snap.Alert {
+		t.Fatal("healthy traffic alerting")
+	}
+	if snap.AvailabilityBudgetRemaining != 1 || snap.LatencyBudgetRemaining != 1 {
+		t.Fatalf("budget remaining = %v/%v, want 1/1", snap.AvailabilityBudgetRemaining, snap.LatencyBudgetRemaining)
+	}
+}
+
+func TestSLOEmptyWindowDoesNotBurn(t *testing.T) {
+	snap := NewSLO(SLOConfig{}).Snapshot()
+	if snap.Availability != 1 || snap.LatencyCompliance != 1 || snap.Alert {
+		t.Fatalf("empty tracker: %+v", snap)
+	}
+}
+
+func TestSLOAvailabilityBurnAlert(t *testing.T) {
+	// 0.999 target → 0.001 budget. A 50% failure rate burns at 500× —
+	// far past the 14/6 thresholds in both windows (same buckets).
+	s := NewSLO(SLOConfig{})
+	for i := 0; i < 200; i++ {
+		s.Observe(i%2 == 0, time.Millisecond)
+	}
+	snap := s.Snapshot()
+	if snap.AvailabilityFastBurn < 14 || snap.AvailabilitySlowBurn < 6 {
+		t.Fatalf("burns = %v/%v, want over 14/6", snap.AvailabilityFastBurn, snap.AvailabilitySlowBurn)
+	}
+	if !snap.Alert || snap.AlertObjective != "availability" {
+		t.Fatalf("alert = %v %q, want availability alert", snap.Alert, snap.AlertObjective)
+	}
+	if snap.AvailabilityBudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v, want exhausted", snap.AvailabilityBudgetRemaining)
+	}
+	if !s.Alerting() {
+		t.Fatal("Alerting() disagrees with Snapshot().Alert")
+	}
+}
+
+func TestSLOLatencyBurnAlert(t *testing.T) {
+	// All requests succeed but 10% are over the latency objective:
+	// 0.99 target → 0.01 budget → burn 10 ≥ 6 on the slow window but
+	// also ≥ 14? 10 < 14: use 20% slow → burn 20.
+	s := NewSLO(SLOConfig{})
+	for i := 0; i < 200; i++ {
+		d := time.Millisecond
+		if i%5 == 0 {
+			d = 50 * time.Millisecond
+		}
+		s.Observe(false, d)
+	}
+	snap := s.Snapshot()
+	if !snap.Alert || snap.AlertObjective != "latency" {
+		t.Fatalf("alert = %v %q (burns %v/%v), want latency alert",
+			snap.Alert, snap.AlertObjective, snap.LatencyFastBurn, snap.LatencySlowBurn)
+	}
+	if snap.Errors != 0 {
+		t.Fatal("latency breaches must not count as availability errors")
+	}
+}
+
+func TestSLOBurnBelowThresholdNoAlert(t *testing.T) {
+	// 0.2% failures on a 0.1% budget burns at 2× — real burn, no page.
+	s := NewSLO(SLOConfig{})
+	for i := 0; i < 1000; i++ {
+		s.Observe(i%500 == 0, time.Millisecond)
+	}
+	snap := s.Snapshot()
+	if snap.Alert {
+		t.Fatalf("2x burn paged: %+v", snap)
+	}
+	if snap.AvailabilitySlowBurn <= 1 {
+		t.Fatalf("slow burn = %v, want ~2", snap.AvailabilitySlowBurn)
+	}
+	if snap.AvailabilityBudgetRemaining != 0 { // clamp01(1-2) = 0
+		t.Fatalf("budget remaining = %v", snap.AvailabilityBudgetRemaining)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	// Tiny windows so the failure burst ages out in real time.
+	s := NewSLO(SLOConfig{
+		BucketWidth: time.Millisecond,
+		FastWindow:  5 * time.Millisecond,
+		SlowWindow:  20 * time.Millisecond,
+	})
+	for i := 0; i < 100; i++ {
+		s.Observe(true, time.Millisecond)
+	}
+	if !s.Snapshot().Alert {
+		t.Fatal("total failure not alerting")
+	}
+	time.Sleep(40 * time.Millisecond) // > SlowWindow
+	snap := s.Snapshot()
+	if snap.Alert {
+		t.Fatalf("alert persists after the window aged out: %+v", snap)
+	}
+	if snap.WindowRequests != 0 {
+		t.Fatalf("window still holds %d requests", snap.WindowRequests)
+	}
+	if snap.Requests != 100 || snap.Errors != 100 {
+		t.Fatal("lifetime counters must survive window expiry")
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLOTracker
+	s.Observe(true, time.Second)
+	if s.Alerting() || s.Name() != "" {
+		t.Fatal("nil tracker must be inert")
+	}
+	if snap := s.Snapshot(); snap.Requests != 0 {
+		t.Fatal("nil tracker snapshot must be zero")
+	}
+}
+
+func TestRegistrySLORegistration(t *testing.T) {
+	r := New()
+	a := NewSLO(SLOConfig{Name: "a"})
+	b := NewSLO(SLOConfig{Name: "b"})
+	r.RegisterSLO(a)
+	r.RegisterSLO(b)
+	r.RegisterSLO(nil) // ignored
+	a.Observe(false, time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap.SLOs) != 2 {
+		t.Fatalf("snapshot holds %d SLOs, want 2", len(snap.SLOs))
+	}
+	names := map[string]uint64{}
+	for _, s := range snap.SLOs {
+		names[s.Name] = s.Requests
+	}
+	if names["a"] != 1 || names["b"] != 0 {
+		t.Fatalf("SLO snapshots = %v", names)
+	}
+	// Sub must pass the point-in-time SLO views through unchanged.
+	sub := snap.Sub(snap)
+	if len(sub.SLOs) != 2 {
+		t.Fatalf("Sub dropped SLOs: %d", len(sub.SLOs))
+	}
+	var nilr *Registry
+	nilr.RegisterSLO(a) // inert
+}

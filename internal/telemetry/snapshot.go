@@ -16,6 +16,10 @@ type Snapshot struct {
 	Stages map[string]HistogramSnapshot `json:"stages"`
 	// Ranks holds per-rank event counters, indexed by rank.
 	Ranks []RankSnapshot `json:"ranks"`
+	// SLOs holds one evaluation per registered SLO tracker.
+	SLOs []SLOSnapshot `json:"slos,omitempty"`
+	// Flight summarizes the attached flight recorder, when present.
+	Flight *FlightStats `json:"flight,omitempty"`
 }
 
 // OpSnapshot is one operation's totals.
@@ -77,6 +81,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, rm := range r.rankList() {
 		s.Ranks = append(s.Ranks, rm.snapshot())
+	}
+	for _, t := range r.sloList() {
+		s.SLOs = append(s.SLOs, t.Snapshot())
+	}
+	if f := r.Flight(); f != nil {
+		fs := f.Stats()
+		s.Flight = &fs
 	}
 	return s
 }
@@ -170,6 +181,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		}
 		d.Ranks = append(d.Ranks, rd)
 	}
+	// SLO evaluations and flight-recorder stats are point-in-time
+	// views (windows and gauges), not counters: the delta carries the
+	// current values unchanged.
+	d.SLOs = s.SLOs
+	d.Flight = s.Flight
 	return d
 }
 

@@ -271,6 +271,8 @@ type Registry struct {
 	ranks  atomic.Pointer[[]*RankMetrics]
 	sinks  atomic.Pointer[[]Sink]
 	locals atomic.Pointer[[]*LocalOpCount]
+	slos   atomic.Pointer[[]*SLOTracker]
+	flight atomic.Pointer[FlightRecorder]
 }
 
 // Disabled is the no-op registry: every method on it is safe and free.
@@ -558,6 +560,7 @@ func (r *Registry) CountEscalation(rank int, reason EscReason, shard int) {
 // is a no-op; it is a value type and never allocates.
 type StageTimer struct {
 	reg   *Registry
+	span  *Span
 	shard int
 	start time.Time
 	last  time.Time
@@ -571,6 +574,18 @@ func (r *Registry) StartStages(shard int) StageTimer {
 	}
 	now := time.Now()
 	return StageTimer{reg: r, shard: shard, start: now, last: now}
+}
+
+// StartStagesSpan begins a stage-timing span that also appends every
+// stage boundary to sp as a span event (tracing.go). Unlike the
+// sampled StartStages path, a traced operation always times its
+// stages — the caller asked for this specific request's breakdown.
+func (r *Registry) StartStagesSpan(shard int, sp *Span) StageTimer {
+	if r == nil {
+		return StageTimer{}
+	}
+	now := time.Now()
+	return StageTimer{reg: r, span: sp, shard: shard, start: now, last: now}
 }
 
 // Active reports whether the timer is recording.
@@ -589,7 +604,11 @@ func (t *StageTimer) Mark(s Stage) {
 
 func (t *StageTimer) mark(s Stage) {
 	now := time.Now()
-	t.reg.stages[s].ObserveAt(t.shard, now.Sub(t.last))
+	d := now.Sub(t.last)
+	t.reg.stages[s].ObserveAt(t.shard, d)
+	if t.span != nil {
+		t.span.StageEvent(s, d)
+	}
 	t.last = now
 }
 

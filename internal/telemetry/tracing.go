@@ -1,0 +1,334 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// tracing.go: request tracing for the RPC → engine path. A Span is a
+// fixed-size value carried by one request from the server handler down
+// through Array/Memory, collecting the secure-read pipeline's stage
+// boundaries (the same marks StageTimer feeds the Fig. 5 histograms)
+// and the optimistic read path's escalation reasons as timestamped
+// events. Trace identity follows the W3C Trace Context `traceparent`
+// header: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>.
+//
+// Tracing is strictly opt-in per request. The untraced path passes a
+// nil *Span everywhere; every Span method is nil-receiver safe and
+// costs one pointer compare, so the engine's 0 allocs/op hot-path
+// contract is unchanged (verified by TestReadHotPathAllocs).
+
+// TraceID is a 128-bit trace identifier (16 bytes, rendered as 32
+// lowercase hex digits). The zero value means "no trace".
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier (8 bytes, 16 hex digits).
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the span ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState seeds a process-wide splitmix64 stream for ID generation:
+// one atomic add per 64 bits, no locks, no crypto/rand syscalls on the
+// request path. Trace IDs need uniqueness, not unpredictability.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()) ^ 0x9e3779b97f4a7c15)
+}
+
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // all-zero IDs are invalid per the spec
+	}
+	return x
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[0:8], nextID())
+	binary.BigEndian.PutUint64(t[8:16], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// Traceparent renders the W3C header value for (t, s): version 00,
+// sampled flag set.
+func Traceparent(t TraceID, s SpanID) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, t[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, s[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version except the invalid ff, requires the fixed
+// 2-32-16-2 hex layout, and rejects all-zero trace or span IDs.
+// ok is false (with zero IDs) for anything malformed.
+func ParseTraceparent(h string) (trace TraceID, parent SpanID, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[0:2])); err != nil || ver[0] == 0xff {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(trace[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if trace.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return trace, parent, true
+}
+
+// Anomaly is a bitmask classifying why a request is interesting enough
+// for the flight recorder to retain (DESIGN.md §16 tail-sampling
+// policy).
+type Anomaly uint16
+
+const (
+	// AnomalySlow: duration above the recorder's rolling latency
+	// threshold (default p99 of everything offered).
+	AnomalySlow Anomaly = 1 << iota
+	// AnomalyError: the request failed with an ordinary error.
+	AnomalyError
+	// AnomalyFailClosed: the request failed closed — ErrAttack or a
+	// poisoned-line fast fail (HTTP 410/the attack 500).
+	AnomalyFailClosed
+	// AnomalyEscalated: the optimistic read path gave up at least once
+	// (escalation-ladder event recorded) or a reconstruction ran.
+	AnomalyEscalated
+	// AnomalyShed: rejected by §IV-B load shedding (503).
+	AnomalyShed
+	// AnomalyBackpressure: rejected by the admission queue (429).
+	AnomalyBackpressure
+	// AnomalyControl: a control-plane operation (scrub, repair,
+	// inject, snapshot, restore) — always worth keeping.
+	AnomalyControl
+	// AnomalyRequested: the client sent an explicit traceparent, a
+	// direct request to capture this trace end to end.
+	AnomalyRequested
+
+	numAnomalies = 8
+)
+
+// AnomalyAll keeps every anomaly class (the FlightConfig default).
+const AnomalyAll = AnomalySlow | AnomalyError | AnomalyFailClosed |
+	AnomalyEscalated | AnomalyShed | AnomalyBackpressure |
+	AnomalyControl | AnomalyRequested
+
+var anomalyNames = [numAnomalies]string{
+	"slow", "error", "fail_closed", "escalated",
+	"shed", "backpressure", "control", "requested",
+}
+
+// Labels returns the set bits as their snake-case names, in bit order.
+func (a Anomaly) Labels() []string {
+	out := make([]string, 0, numAnomalies)
+	for i := 0; i < numAnomalies; i++ {
+		if a&(1<<i) != 0 {
+			out = append(out, anomalyNames[i])
+		}
+	}
+	return out
+}
+
+// EventKind discriminates SpanEvent payloads.
+type EventKind uint8
+
+const (
+	// EventStage is one secure-read/write pipeline stage boundary
+	// (Stage is valid; Dur is the stage's duration).
+	EventStage EventKind = iota
+	// EventEscalation is one optimistic-read escalation (Reason is
+	// valid; instantaneous).
+	EventEscalation
+)
+
+// SpanEvent is one timestamped mark inside a span. Offset is measured
+// from the span's start; stage events carry the stage duration.
+type SpanEvent struct {
+	Kind   EventKind
+	Stage  Stage
+	Reason EscReason
+	Offset time.Duration
+	Dur    time.Duration
+}
+
+// MaxSpanEvents bounds a span's event storage. A clean traced read
+// records 4–5 stage events; an escalated one adds the ladder rung and
+// a second set of exclusive-path stages. Overflow increments a drop
+// counter rather than growing — spans must stay fixed-size.
+const MaxSpanEvents = 16
+
+// Span is one traced request. It is created by the RPC layer
+// (BeginSpan), carried by pointer through the engine, and offered to
+// the flight recorder when the request completes. All methods are
+// nil-receiver safe: untraced code paths pass a nil *Span and pay one
+// pointer compare. A Span is owned by a single request goroutine and
+// is not safe for concurrent use.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+
+	// Op is the RPC operation being traced.
+	Op Op
+	// Tenant is the owning tenant's name (set by the server).
+	Tenant string
+	// Rank and Line locate the touched data (set via Locate on
+	// single-line ops; Line is the tenant-global line index).
+	Rank int
+	Line uint64
+	// Deep marks spans that requested engine-level stage events (an
+	// explicit traceparent or the server's head-sampling); shallow
+	// spans record only RPC-level marks.
+	Deep bool
+	// Start is the span's wall-clock begin time.
+	Start time.Time
+
+	dur       time.Duration
+	anomalies Anomaly
+	errCode   string
+	n         uint8
+	dropped   uint8
+	events    [MaxSpanEvents]SpanEvent
+}
+
+// BeginSpan starts a span for op. A zero trace ID mints a fresh trace;
+// a non-zero one (from a parsed traceparent) continues it with parent
+// as the parent span.
+func BeginSpan(op Op, trace TraceID, parent SpanID) *Span {
+	sp := &Span{Op: op, Trace: trace, Parent: parent, Start: time.Now()}
+	if sp.Trace.IsZero() {
+		sp.Trace = NewTraceID()
+	}
+	sp.ID = NewSpanID()
+	return sp
+}
+
+func (s *Span) addEvent(e SpanEvent) {
+	if int(s.n) >= len(s.events) {
+		if s.dropped < ^uint8(0) {
+			s.dropped++
+		}
+		return
+	}
+	s.events[s.n] = e
+	s.n++
+}
+
+// StageEvent records one pipeline-stage boundary: the stage ran for d
+// and ended now. Called from StageTimer.mark on traced operations.
+func (s *Span) StageEvent(st Stage, d time.Duration) {
+	if s == nil {
+		return
+	}
+	off := time.Since(s.Start) - d
+	if off < 0 {
+		off = 0
+	}
+	s.addEvent(SpanEvent{Kind: EventStage, Stage: st, Offset: off, Dur: d})
+}
+
+// Escalation records one escalation-ladder event and flags the span
+// anomalous.
+func (s *Span) Escalation(r EscReason) {
+	if s == nil {
+		return
+	}
+	s.anomalies |= AnomalyEscalated
+	s.addEvent(SpanEvent{Kind: EventEscalation, Reason: r, Offset: time.Since(s.Start)})
+}
+
+// Flag marks the span with anomaly class a.
+func (s *Span) Flag(a Anomaly) {
+	if s != nil {
+		s.anomalies |= a
+	}
+}
+
+// IsDeep reports whether the span wants engine-level stage events —
+// the caller sent a traceparent, or head sampling picked the request.
+func (s *Span) IsDeep() bool {
+	return s != nil && s.Deep
+}
+
+// Anomalies returns the span's accumulated anomaly set.
+func (s *Span) Anomalies() Anomaly {
+	if s == nil {
+		return 0
+	}
+	return s.anomalies
+}
+
+// SetError records the request's terminal error code (the wire code,
+// e.g. "poisoned").
+func (s *Span) SetError(code string) {
+	if s != nil {
+		s.errCode = code
+	}
+}
+
+// Locate records which rank (and tenant-global line) the span touched.
+func (s *Span) Locate(rank int, line uint64) {
+	if s != nil {
+		s.Rank = rank
+		s.Line = line
+	}
+}
+
+// End freezes the span's duration (idempotent) and returns it.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.dur == 0 {
+		s.dur = time.Since(s.Start)
+	}
+	return s.dur
+}
+
+// Events returns the recorded events (a view into the span; valid
+// until the span is reused).
+func (s *Span) Events() []SpanEvent {
+	if s == nil {
+		return nil
+	}
+	return s.events[:s.n]
+}

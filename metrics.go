@@ -48,6 +48,8 @@ type MetricsServer struct {
 //
 //	/metrics       Prometheus text exposition (version 0.0.4)
 //	/metrics.json  JSON snapshot (telemetry.Snapshot wire format)
+//	/debug/flight  anomaly flight recorder dump (when one is attached;
+//	               ?format=chrome exports Chrome trace_event JSON)
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  CPU, heap, goroutine, block profiles
 //
@@ -106,6 +108,25 @@ func metricsMux(r *Telemetry) *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		f := r.Flight()
+		if f == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		recs := f.Records()
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("format") == "chrome" {
+			_ = telemetry.WriteChromeTrace(w, recs)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Stats   telemetry.FlightStats    `json:"stats"`
+			Records []telemetry.FlightRecord `json:"records"`
+		}{f.Stats(), recs})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -137,3 +137,7 @@ go run ./cmd/synergy-load -addr "$SRV_ADDR" -token bench-token \
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || true
 echo "wrote $SRV_OUT"
+
+# Every results file this script just wrote must satisfy the same
+# schema check CI runs against the committed copies.
+go run ./scripts/benchjson -check BENCH_*.json

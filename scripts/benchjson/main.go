@@ -6,13 +6,25 @@
 // Repeated runs of the same benchmark (from -count=N) stay separate
 // entries; downstream tools aggregate as they see fit. Non-benchmark
 // lines (pass/fail banners, package headers) are ignored.
+//
+// With -check it validates committed BENCH_*.json files instead of
+// converting: each file must parse as the schema its name implies
+// (benchmark-result array for most, the synergy-load report for
+// BENCH_server.json, the faultsim run array for BENCH_reliability.json)
+// and carry sane non-empty numbers. CI runs this so a half-written or
+// stale-schema results file fails the build instead of silently
+// shipping as "data":
+//
+//	go run ./scripts/benchjson -check BENCH_*.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -31,6 +43,15 @@ type result struct {
 }
 
 func main() {
+	check := flag.Bool("check", false, "validate BENCH_*.json files named as arguments instead of converting stdin")
+	flag.Parse()
+	if *check {
+		if err := checkFiles(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	results := parse(os.Stdin)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -82,4 +103,144 @@ func parse(r *os.File) []result {
 		results = append(results, res)
 	}
 	return results
+}
+
+// checkFiles validates each named BENCH_*.json against the schema its
+// filename implies. With no arguments it checks every BENCH_*.json in
+// the current directory. Any failure names the file and the first
+// problem found.
+func checkFiles(files []string) error {
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("-check: no BENCH_*.json files found")
+		}
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if err := checkFile(filepath.Base(f), data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		fmt.Printf("benchjson: %s ok\n", f)
+	}
+	return nil
+}
+
+// checkFile dispatches on the base filename: BENCH_server.json is a
+// synergy-load report, BENCH_reliability.json a faultsim run array,
+// everything else a benchmark-result array as emitted by this tool.
+func checkFile(name string, data []byte) error {
+	switch name {
+	case "BENCH_server.json":
+		return checkLoadReport(data)
+	case "BENCH_reliability.json":
+		return checkFaultsim(data)
+	default:
+		return checkBenchArray(data)
+	}
+}
+
+func checkBenchArray(data []byte) error {
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return fmt.Errorf("not a benchmark-result array: %w", err)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("empty benchmark-result array")
+	}
+	for i, r := range results {
+		if !strings.HasPrefix(r.Name, "Benchmark") {
+			return fmt.Errorf("entry %d: name %q does not start with Benchmark", i, r.Name)
+		}
+		if r.Runs <= 0 {
+			return fmt.Errorf("entry %d (%s): runs = %d, want > 0", i, r.Name, r.Runs)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("entry %d (%s): ns_per_op = %v, want > 0", i, r.Name, r.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// loadReport mirrors the fields of cmd/synergy-load's report that the
+// check relies on; unknown fields are allowed so the format can grow.
+type loadReport struct {
+	Addr       string                     `json:"addr"`
+	Mode       string                     `json:"mode"`
+	Ops        uint64                     `json:"ops"`
+	Throughput float64                    `json:"throughput_ops_sec"`
+	PerOp      map[string]json.RawMessage `json:"per_op"`
+}
+
+func checkLoadReport(data []byte) error {
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("not a synergy-load report: %w", err)
+	}
+	if rep.Addr == "" {
+		return fmt.Errorf("load report missing addr")
+	}
+	if rep.Mode != "closed" && rep.Mode != "open" {
+		return fmt.Errorf("load report mode %q, want closed or open", rep.Mode)
+	}
+	if rep.Ops == 0 {
+		return fmt.Errorf("load report recorded 0 ops")
+	}
+	if rep.Throughput <= 0 {
+		return fmt.Errorf("load report throughput_ops_sec = %v, want > 0", rep.Throughput)
+	}
+	if len(rep.PerOp) == 0 {
+		return fmt.Errorf("load report has no per_op latencies")
+	}
+	return nil
+}
+
+// faultsimRun mirrors one cmd/synergy-faultsim -json element.
+type faultsimRun struct {
+	Config struct {
+		Trials  int64 `json:"trials"`
+		Workers int   `json:"workers"`
+	} `json:"config"`
+	Results []struct {
+		Policy      string  `json:"policy"`
+		Trials      int64   `json:"trials"`
+		Probability float64 `json:"probability"`
+	} `json:"results"`
+}
+
+func checkFaultsim(data []byte) error {
+	var runs []faultsimRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return fmt.Errorf("not a faultsim run array: %w", err)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("empty faultsim run array")
+	}
+	for i, run := range runs {
+		if run.Config.Trials <= 0 {
+			return fmt.Errorf("run %d: config.trials = %d, want > 0", i, run.Config.Trials)
+		}
+		if len(run.Results) == 0 {
+			return fmt.Errorf("run %d: no per-policy results", i)
+		}
+		for j, res := range run.Results {
+			if res.Policy == "" {
+				return fmt.Errorf("run %d result %d: empty policy name", i, j)
+			}
+			if res.Trials <= 0 {
+				return fmt.Errorf("run %d result %d (%s): trials = %d, want > 0", i, j, res.Policy, res.Trials)
+			}
+			if res.Probability < 0 || res.Probability > 1 {
+				return fmt.Errorf("run %d result %d (%s): probability %v outside [0,1]", i, j, res.Policy, res.Probability)
+			}
+		}
+	}
+	return nil
 }

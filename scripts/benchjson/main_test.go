@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckBenchArray(t *testing.T) {
+	good := `[{"name":"BenchmarkReadHotPath","runs":100,"ns_per_op":312.7,"b_per_op":0,"allocs_per_op":0}]`
+	if err := checkFile("BENCH_crypto.json", []byte(good)); err != nil {
+		t.Errorf("valid benchmark array rejected: %v", err)
+	}
+	cases := []struct {
+		data string
+		want string
+	}{
+		{`[]`, "empty"},
+		{`{"name":"x"}`, "not a benchmark-result array"},
+		{`[{"name":"ReadHotPath","runs":100,"ns_per_op":1}]`, "does not start with Benchmark"},
+		{`[{"name":"BenchmarkX","runs":0,"ns_per_op":1}]`, "runs"},
+		{`[{"name":"BenchmarkX","runs":5,"ns_per_op":0}]`, "ns_per_op"},
+	}
+	for _, c := range cases {
+		err := checkFile("BENCH_writepath.json", []byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("checkFile(%s) = %v, want error containing %q", c.data, err, c.want)
+		}
+	}
+}
+
+func TestCheckLoadReport(t *testing.T) {
+	good := `{"addr":"127.0.0.1:7493","mode":"closed","ops":1000,"throughput_ops_sec":5000,
+		"per_op":{"read":{"count":900}}}`
+	if err := checkFile("BENCH_server.json", []byte(good)); err != nil {
+		t.Errorf("valid load report rejected: %v", err)
+	}
+	cases := []struct {
+		data string
+		want string
+	}{
+		{`[]`, "not a synergy-load report"},
+		{`{"mode":"closed","ops":1,"throughput_ops_sec":1,"per_op":{"r":{}}}`, "addr"},
+		{`{"addr":"a","mode":"burst","ops":1,"throughput_ops_sec":1,"per_op":{"r":{}}}`, "mode"},
+		{`{"addr":"a","mode":"open","ops":0,"throughput_ops_sec":1,"per_op":{"r":{}}}`, "0 ops"},
+		{`{"addr":"a","mode":"open","ops":1,"throughput_ops_sec":0,"per_op":{"r":{}}}`, "throughput"},
+		{`{"addr":"a","mode":"open","ops":1,"throughput_ops_sec":1}`, "per_op"},
+	}
+	for _, c := range cases {
+		err := checkFile("BENCH_server.json", []byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("checkFile(%s) = %v, want error containing %q", c.data, err, c.want)
+		}
+	}
+}
+
+func TestCheckFaultsim(t *testing.T) {
+	good := `[{"config":{"trials":1000,"workers":1},
+		"results":[{"policy":"NoECC","trials":1000,"probability":0.13}]}]`
+	if err := checkFile("BENCH_reliability.json", []byte(good)); err != nil {
+		t.Errorf("valid faultsim array rejected: %v", err)
+	}
+	cases := []struct {
+		data string
+		want string
+	}{
+		{`[]`, "empty"},
+		{`[{"config":{"trials":0},"results":[{"policy":"p","trials":1,"probability":0}]}]`, "config.trials"},
+		{`[{"config":{"trials":5},"results":[]}]`, "no per-policy results"},
+		{`[{"config":{"trials":5},"results":[{"policy":"","trials":1,"probability":0}]}]`, "empty policy"},
+		{`[{"config":{"trials":5},"results":[{"policy":"p","trials":1,"probability":1.5}]}]`, "outside [0,1]"},
+	}
+	for _, c := range cases {
+		err := checkFile("BENCH_reliability.json", []byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("checkFile(%s) = %v, want error containing %q", c.data, err, c.want)
+		}
+	}
+}
